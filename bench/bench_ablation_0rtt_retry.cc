@@ -1,0 +1,73 @@
+// §5 generalisation ablation — instant ACK across handshake types:
+// 1-RTT, 0-RTT (request rides with the ClientHello) and Retry (token round
+// trip first; the Retry may seed the client's RTT estimate).
+#include "bench_common.h"
+
+namespace {
+
+using namespace quicer;
+
+double Run(core::HandshakeMode mode, quic::ServerBehavior behavior, double delta_ms,
+           bool retry_rtt_sample = true) {
+  core::ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.mode = mode;
+  config.behavior = behavior;
+  config.client_use_retry_rtt_sample = retry_rtt_sample;
+  config.rtt = sim::Millis(9);
+  config.cert_fetch_delay = sim::Millis(delta_ms);
+  config.response_body_bytes = http::kSmallFileBytes;
+  const auto values = core::CollectTtfbMs(config, bench::kRepetitions);
+  return values.empty() ? -1.0 : stats::Median(values);
+}
+
+double FirstPto(core::HandshakeMode mode, quic::ServerBehavior behavior, double delta_ms) {
+  core::ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.mode = mode;
+  config.behavior = behavior;
+  config.rtt = sim::Millis(9);
+  config.cert_fetch_delay = sim::Millis(delta_ms);
+  config.response_body_bytes = http::kSmallFileBytes;
+  return stats::Median(core::RunRepetitions(config, bench::kRepetitions,
+                                            [](const core::ExperimentResult& r) {
+                                              return sim::ToMillis(r.client.first_pto_period);
+                                            }));
+}
+
+}  // namespace
+
+int main() {
+  core::PrintTitle("Ablation: instant ACK under 1-RTT, 0-RTT and Retry handshakes");
+  std::printf("(9 ms RTT, 10 KB transfer, delta_t = 25 ms)\n\n");
+
+  std::printf("%10s  %12s  %12s  %16s  %16s\n", "handshake", "WFC TTFB", "IACK TTFB",
+              "WFC 1st PTO", "IACK 1st PTO");
+  struct Row {
+    const char* label;
+    core::HandshakeMode mode;
+  };
+  for (const Row& row : {Row{"1-RTT", core::HandshakeMode::k1Rtt},
+                         Row{"0-RTT", core::HandshakeMode::k0Rtt},
+                         Row{"Retry", core::HandshakeMode::kRetry}}) {
+    std::printf("%10s  %12.1f  %12.1f  %16.1f  %16.1f\n", row.label,
+                Run(row.mode, quic::ServerBehavior::kWaitForCertificate, 25.0),
+                Run(row.mode, quic::ServerBehavior::kInstantAck, 25.0),
+                FirstPto(row.mode, quic::ServerBehavior::kWaitForCertificate, 25.0),
+                FirstPto(row.mode, quic::ServerBehavior::kInstantAck, 25.0));
+  }
+
+  core::PrintHeading("Retry as first RTT estimate (delta_t = 100 ms, WFC)");
+  std::printf("with Retry RTT sample:    TTFB %7.1f ms\n",
+              Run(core::HandshakeMode::kRetry, quic::ServerBehavior::kWaitForCertificate, 100.0,
+                  true));
+  std::printf("without Retry RTT sample: TTFB %7.1f ms\n",
+              Run(core::HandshakeMode::kRetry, quic::ServerBehavior::kWaitForCertificate, 100.0,
+                  false));
+
+  std::printf("\nShape check: 0-RTT saves ~1 RTT of TTFB and keeps the full IACK PTO\n"
+              "benefit; a Retry costs ~1 RTT but validates the address (no amplification\n"
+              "blocking) and can seed an accurate first RTT estimate, after which the\n"
+              "instant ACK still reduces the RTT variance (paper §5).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Appendix D ablation — could the ACK Delay field replace instant ACK?
+//
+// Evaluates the three client strategies (RFC standard, apply-at-init,
+// re-init-on-second-sample) against the reporting behaviour actually seen in
+// the wild (Table 3 zero-reporters, honest reporters, over-reporters), plus
+// the §5 tuning options: padded instant ACKs and ClientHello-retransmitting
+// probes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/ack_delay_alt.h"
+
+namespace {
+
+using namespace quicer;
+
+void Strategies() {
+  core::PrintHeading("First-PTO by strategy (RTT 9 ms, delta_t 4 ms)");
+  std::printf("%22s  %18s  %18s  %10s\n", "reported ACK Delay", "WFC first PTO [ms]",
+              "IACK first PTO [ms]", "clamped");
+  struct Case {
+    const char* label;
+    core::AckDelayStrategy strategy;
+    double reported_ms;
+  };
+  const Case cases[] = {
+      {"standard / any", core::AckDelayStrategy::kRfcStandard, 4.0},
+      {"apply, honest 4ms", core::AckDelayStrategy::kApplyAtInit, 4.0},
+      {"apply, zero (Table3)", core::AckDelayStrategy::kApplyAtInit, 0.0},
+      {"apply, >RTT (Fig10)", core::AckDelayStrategy::kApplyAtInit, 50.0},
+      {"reinit on 2nd sample", core::AckDelayStrategy::kReinitOnSecond, 4.0},
+  };
+  for (const Case& c : cases) {
+    core::AckDelayAltScenario scenario;
+    scenario.rtt = sim::Millis(9);
+    scenario.delta_t = sim::Millis(4);
+    scenario.reported_ack_delay = sim::Millis(c.reported_ms);
+    const auto result = core::EvaluateStrategy(c.strategy, scenario);
+    std::printf("%22s  %18.1f  %18.1f  %10s\n", c.label, sim::ToMillis(result.first_pto_wfc),
+                sim::ToMillis(result.first_pto_iack),
+                result.clamped_to_min_rtt ? "yes" : "no");
+  }
+}
+
+double MedianTtfb(core::ExperimentConfig config) {
+  const auto values = core::CollectTtfbMs(config, 15);
+  return values.empty() ? -1.0 : stats::Median(values);
+}
+
+void Section5Tuning() {
+  core::PrintHeading("Section 5 tuning knobs (large cert, delta_t 200 ms, 9 ms RTT, IACK)");
+  core::ExperimentConfig base;
+  base.client = clients::ClientImpl::kNgtcp2;
+  base.behavior = quic::ServerBehavior::kInstantAck;
+  base.rtt = sim::Millis(9);
+  base.certificate_bytes = tls::kLargeCertificateBytes;
+  base.cert_fetch_delay = sim::Millis(200);
+  base.response_body_bytes = http::kSmallFileBytes;
+
+  core::ExperimentConfig padded = base;
+  padded.pad_instant_ack = true;
+  core::ExperimentConfig ch_probe = base;
+  ch_probe.client_probe_with_data = true;
+
+  std::printf("%34s  %12s\n", "variant", "TTFB [ms]");
+  std::printf("%34s  %12.1f\n", "plain instant ACK", MedianTtfb(base));
+  std::printf("%34s  %12.1f\n", "padded instant ACK (PMTUD probe)", MedianTtfb(padded));
+  std::printf("%34s  %12.1f\n", "client probes resend ClientHello", MedianTtfb(ch_probe));
+  std::printf("\nA padded instant ACK spends 1200 B of the 3x budget, which can delay the\n"
+              "flight (the paper's caution); ClientHello-retransmitting probes help the\n"
+              "server rebuild state faster after loss.\n");
+}
+
+}  // namespace
+
+int main() {
+  core::PrintTitle("Appendix D ablation: ACK Delay vs instant ACK, and Section 5 tuning");
+  Strategies();
+  Section5Tuning();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// §4.3 "The instant ACK deployment at Cloudflare" — certificate caching by
+// popularity. The paper compares coalesced-ACK+SH shares across domains of
+// different request rates: discord.com 91.9 %, cloudflare.com 50.5 %,
+// tinyurl.com 17.7 %, docker.com 0.7 %; its own domains probed at 1/min
+// almost never coalesce (0.1 %), at 60/min slightly more (7.5 %).
+//
+// Reproduced with the frontend certificate-cache model: one cluster, domains
+// with different organic request rates, plus probe streams at the paper's
+// two rates.
+#include <cstdio>
+
+#include "core/report.h"
+#include "scan/frontend_cache.h"
+
+namespace {
+
+using namespace quicer;
+
+struct DomainLoad {
+  const char* name;
+  double organic_per_minute;  // background traffic keeping the cert hot
+  double paper_share;         // observed coalesced share
+};
+
+}  // namespace
+
+int main() {
+  core::PrintTitle("Cloudflare certificate caching by domain popularity (Fig 9 context)");
+
+  scan::FrontendCertCache::Config config;
+  config.capacity = 1 << 16;
+  config.ttl = sim::Seconds(300);
+  config.frontends_per_cluster = 4096;  // one metro colo (many metals)
+  scan::FrontendCertCache cache(config, sim::Rng(11));
+
+  const DomainLoad domains[] = {
+      {"discord.example", 20000.0, 91.9},
+      {"cloudflare.example", 600.0, 50.5},
+      {"tinyurl.example", 160.0, 17.7},
+      {"docker.example", 6.0, 0.7},
+      {"own-domain (1/min probes)", 0.0, 0.1},
+      {"own-domain (60/min probes)", 0.0, 7.5},
+  };
+
+  // Simulate 3 hours; organic traffic arrives uniformly, probes on their
+  // schedule. Coalesced share is measured on the 1-per-minute probe stream
+  // (as the paper measures), except for the fast-probe row.
+  const int minutes = 3 * 60;
+  int probe_hits[6] = {0};
+  int probe_total[6] = {0};
+  sim::Rng rng(23);
+
+  for (int minute = 0; minute < minutes; ++minute) {
+    const sim::Time base = sim::Seconds(minute * 60);
+    for (int d = 0; d < 6; ++d) {
+      // Organic load.
+      const double rate = domains[d].organic_per_minute;
+      const int arrivals = static_cast<int>(rate) +
+                           (rng.Bernoulli(rate - static_cast<int>(rate)) ? 1 : 0);
+      for (int a = 0; a < arrivals; ++a) {
+        cache.OnConnection(domains[d].name, base + rng.UniformInt(0, 59) * sim::kSecond);
+      }
+      // Probe stream.
+      const int probes = d == 5 ? 60 : 1;
+      for (int p = 0; p < probes; ++p) {
+        ++probe_total[d];
+        if (cache.OnConnection(domains[d].name, base + p * sim::kSecond)) ++probe_hits[d];
+      }
+    }
+  }
+
+  std::printf("%28s  %18s  %18s\n", "domain (load)", "coalesced [%]", "paper [%]");
+  for (int d = 0; d < 6; ++d) {
+    const double share = 100.0 * probe_hits[d] / probe_total[d];
+    std::printf("%28s  %18.1f  %18.1f\n", domains[d].name, share, domains[d].paper_share);
+  }
+  std::printf("\nShape check: coalesced (cached-certificate) share grows monotonically with\n"
+              "the domain's request rate; probe-only domains stay cold except when probed\n"
+              "fast enough to warm a few machines of the cluster.\n");
+  return 0;
+}

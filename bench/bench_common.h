@@ -1,0 +1,73 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "stats/stats.h"
+
+namespace quicer::bench {
+
+/// Repetitions per (client, mode) point. The paper uses 100; 25 keeps every
+/// bench binary comfortably fast while the medians are already stable
+/// (the simulator's only noise sources are signing jitter and quirk draws).
+inline constexpr int kRepetitions = 25;
+
+/// Runs WFC and IACK for one client config and prints a Fig 5/6/7-style row
+/// pair with an ASCII scatter strip. Returns {median_wfc, median_iack} in ms
+/// (negative when all runs aborted).
+struct RowResult {
+  double median_wfc = -1.0;
+  double median_iack = -1.0;
+};
+
+inline RowResult PrintClientRow(core::ExperimentConfig config, const std::string& label,
+                                double axis_lo, double axis_hi,
+                                int repetitions = kRepetitions,
+                                bool response_stream_metric = false) {
+  RowResult result;
+  const auto collect = [&](quic::ServerBehavior behavior) {
+    config.behavior = behavior;
+    return response_stream_metric ? core::CollectResponseTtfbMs(config, repetitions)
+                                  : core::CollectTtfbMs(config, repetitions);
+  };
+  const std::vector<double> wfc = collect(quic::ServerBehavior::kWaitForCertificate);
+  const std::vector<double> iack = collect(quic::ServerBehavior::kInstantAck);
+
+  if (!wfc.empty()) result.median_wfc = stats::Median(wfc);
+  if (!iack.empty()) result.median_iack = stats::Median(iack);
+
+  auto print_one = [&](const char* mode, const std::vector<double>& values, double median) {
+    if (values.empty()) {
+      std::printf("%10s %-5s  %s\n", label.c_str(), mode, "(all runs aborted)");
+      return;
+    }
+    std::printf("%10s %-5s  [%s]  median %8.1f ms  (n=%zu)\n", label.c_str(), mode,
+                core::RenderScatter(values, axis_lo, axis_hi).c_str(), median, values.size());
+  };
+  print_one("WFC", wfc, result.median_wfc);
+  print_one("IACK", iack, result.median_iack);
+  return result;
+}
+
+inline void PrintAxis(double lo, double hi) {
+  std::printf("%18sTTFB axis: %.0f ms %s %.0f ms\n", "", lo, std::string(44, '-').c_str(), hi);
+}
+
+/// Opens a CSV data file for this figure when QUICER_DATA_DIR is set;
+/// returns nullptr (no-op) otherwise.
+inline std::unique_ptr<core::CsvWriter> MaybeCsv(const std::string& figure,
+                                                 const std::vector<std::string>& header) {
+  const auto dir = core::DataDirFromEnv();
+  if (!dir) return nullptr;
+  auto writer = std::make_unique<core::CsvWriter>(*dir, figure, header);
+  if (!writer->active()) return nullptr;
+  return writer;
+}
+
+}  // namespace quicer::bench

@@ -1,0 +1,38 @@
+// Fig 2 — Calculated evolution of the Probe Timeout (PTO) assuming all
+// subsequent packets arrive exactly after one RTT; the instant ACK is
+// delivered Δt = 4 ms earlier. Paper: the instant ACK improves the PTO by
+// 3 x Δt and the WFC curve converges within ~50 new-ACK packets.
+#include <cstdio>
+
+#include "core/pto_model.h"
+#include "core/report.h"
+
+namespace {
+
+void PrintSeriesFor(quicer::sim::Duration rtt, quicer::sim::Duration delta) {
+  using namespace quicer;
+  core::PrintHeading("Client-Frontend RTT " + core::FormatMs(rtt) + " ms, delta_t " +
+                     core::FormatMs(delta) + " ms");
+  const auto points = core::ComputePtoEvolution(rtt, delta, 50);
+  std::printf("%6s  %12s  %12s  %14s\n", "ack#", "PTO WFC [ms]", "PTO IACK [ms]",
+              "reduction [ms]");
+  for (const auto& point : points) {
+    if (point.ack_index > 10 && point.ack_index % 5 != 0) continue;  // readable subsample
+    std::printf("%6d  %12.2f  %12.2f  %14.2f\n", point.ack_index,
+                sim::ToMillis(point.pto_wfc), sim::ToMillis(point.pto_iack),
+                sim::ToMillis(point.pto_wfc - point.pto_iack));
+  }
+  const auto& first = points.front();
+  std::printf("first-PTO improvement: %.2f ms (expected 3 x delta_t = %.2f ms)\n",
+              sim::ToMillis(first.pto_wfc - first.pto_iack), 3 * sim::ToMillis(delta));
+}
+
+}  // namespace
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Figure 2: PTO evolution, WFC vs IACK (numerical model)");
+  PrintSeriesFor(sim::Millis(9), sim::Millis(4));
+  PrintSeriesFor(sim::Millis(25), sim::Millis(4));
+  return 0;
+}

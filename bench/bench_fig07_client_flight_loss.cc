@@ -1,0 +1,34 @@
+// Fig 7 — TTFB of a 10 KB transfer at 9 ms RTT under loss of the entire
+// second client flight (per-implementation datagram mapping, Table 4).
+//
+// Paper shape: IACK improves the TTFB by ~10-28 ms (the client's accurate
+// first RTT sample shortens its PTO by 3x the server-side processing time);
+// picoquic does not benefit because it ignores the Initial-space sample.
+#include "bench_common.h"
+#include "clients/profiles.h"
+#include "core/loss_scenarios.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle(
+      "Figure 7: TTFB, 10 KB @ 9 ms RTT, loss of the entire second client flight (HTTP/1.1)");
+  bench::PrintAxis(40, 620);
+  for (clients::ClientImpl impl : clients::kAllClients) {
+    core::ExperimentConfig config;
+    config.client = impl;
+    config.http = http::Version::kHttp1;
+    config.rtt = sim::Millis(9);
+    config.response_body_bytes = http::kSmallFileBytes;
+    config.loss = core::SecondClientFlightLoss(impl);
+    const auto row =
+        bench::PrintClientRow(config, std::string(clients::Name(impl)), 40, 620,
+                              bench::kRepetitions, /*response_stream_metric=*/true);
+    if (row.median_wfc > 0 && row.median_iack > 0) {
+      std::printf("%10s  IACK improvement: %+.1f ms\n", "",
+                  row.median_wfc - row.median_iack);
+    }
+  }
+  std::printf("\nShape check: IACK saves roughly 3x the server processing delay for every\n"
+              "client except picoquic (which ignores the Initial-space RTT sample).\n");
+  return 0;
+}

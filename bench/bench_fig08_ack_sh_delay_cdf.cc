@@ -1,0 +1,53 @@
+// Fig 8 — CDF of the delay between the first ACK and the subsequent
+// ServerHello per CDN, measured from São Paulo. Coalesced ACK+SH counts as
+// zero delay.
+//
+// Paper shape: Cloudflare's median ~3.2 ms, Amazon ~6.4 ms, Akamai ~20.9 ms
+// (significantly slower), Google ~30.3 ms.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/report.h"
+#include "scan/population.h"
+#include "scan/prober.h"
+#include "stats/stats.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Figure 8: delay between first ACK and ServerHello (Sao Paulo)");
+
+  scan::TrancoPopulation population(300000, 2024);
+  scan::Prober prober(11);
+  std::map<scan::Cdn, std::vector<double>> delays;
+
+  for (const scan::Domain& domain : population.domains()) {
+    if (!domain.speaks_quic) continue;
+    const scan::ProbeResult result = prober.Probe(domain, scan::Vantage::kSaoPaulo, 0);
+    if (!result.success || (!result.iack_observed && !result.coalesced)) continue;
+    delays[domain.cdn].push_back(result.ack_sh_delay_ms);
+  }
+
+  for (scan::Cdn cdn : {scan::Cdn::kAkamai, scan::Cdn::kAmazon, scan::Cdn::kCloudflare,
+                        scan::Cdn::kGoogle, scan::Cdn::kOthers}) {
+    auto it = delays.find(cdn);
+    if (it == delays.end() || it->second.empty()) continue;
+    // Median over IACK (non-coalesced) responses only, like the paper's
+    // "IACKs arrive X ms earlier than the ServerHellos".
+    std::vector<double> separate;
+    for (double d : it->second) {
+      if (d > 0) separate.push_back(d);
+    }
+    core::PrintHeading(std::string(scan::Name(cdn)) + "  (n=" +
+                       std::to_string(it->second.size()) + ", median separate delay " +
+                       core::FormatDouble(stats::Median(separate), 1) + " ms)");
+    const stats::Cdf cdf(it->second);
+    std::printf("%12s  %8s\n", "delay [ms]", "CDF");
+    for (const auto& [x, p] : cdf.SampleLogX(0.001, 1000.0, 13)) {
+      std::printf("%12.3f  %8.3f\n", x, p);
+    }
+  }
+  std::printf("\nShape check: Akamai clearly slower than the other CDNs to deliver the SH;\n"
+              "Cloudflare fastest (median ~3 ms).\n");
+  return 0;
+}

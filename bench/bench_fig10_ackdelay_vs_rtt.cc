@@ -1,0 +1,66 @@
+// Fig 10 — Difference between the client-frontend RTT and the reported ACK
+// Delay field, per CDN, separately for coalesced ACK+SH and separate IACKs.
+//
+// Paper shape: coalesced ACK+SH overwhelmingly carry an acknowledgment delay
+// close to or exceeding the RTT (99.8 % within 1 ms of it); separate IACKs
+// exceed the RTT for most CDNs except Akamai and Others, where 61 % / 79 %
+// stay below — only those allow correct client-side RTT adjustment.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/report.h"
+#include "scan/population.h"
+#include "scan/prober.h"
+#include "stats/stats.h"
+
+namespace {
+
+void Report(const std::map<quicer::scan::Cdn, std::vector<double>>& diffs, const char* label) {
+  using namespace quicer;
+  core::PrintHeading(label);
+  std::printf("%12s  %8s  %12s  %12s  %18s\n", "CDN", "n", "median[ms]", "p90 [ms]",
+              "share delay>RTT [%]");
+  for (const auto& [cdn, values] : diffs) {
+    if (values.size() < 5) continue;
+    int exceeds = 0;
+    for (double diff : values) {
+      if (diff < 0) ++exceeds;  // diff = RTT - ack_delay < 0 -> delay exceeds RTT
+    }
+    std::printf("%12s  %8zu  %12.2f  %12.2f  %18.1f\n",
+                std::string(scan::Name(cdn)).c_str(), values.size(),
+                stats::Median(std::vector<double>(values)),
+                stats::Percentile(std::vector<double>(values), 90),
+                100.0 * exceeds / static_cast<double>(values.size()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Figure 10: RTT minus reported ACK Delay, coalesced vs instant ACK");
+
+  scan::TrancoPopulation population(100000, 2024);
+  scan::Prober prober(17);
+  std::map<scan::Cdn, std::vector<double>> coalesced;
+  std::map<scan::Cdn, std::vector<double>> iack;
+
+  for (const scan::Domain& domain : population.domains()) {
+    if (!domain.speaks_quic) continue;
+    const scan::ProbeResult result = prober.Probe(domain, scan::Vantage::kSaoPaulo, 0);
+    if (!result.success) continue;
+    const double diff = result.rtt_ms - result.reported_ack_delay_ms;
+    if (result.coalesced) {
+      coalesced[domain.cdn].push_back(diff);
+    } else if (result.iack_observed) {
+      iack[domain.cdn].push_back(diff);
+    }
+  }
+
+  Report(coalesced, "(a) Coalesced ACK+SH");
+  Report(iack, "(b) Separate instant ACK");
+  std::printf("\nShape check: coalesced responses hug/exceed the RTT; only Akamai and\n"
+              "Others' IACKs predominantly stay below it.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig 15 — The Fig 9 study repeated from all four vantage points (Hamburg,
+// Hong Kong, Los Angeles, São Paulo).
+//
+// Paper shape: at every location the coalesced ACK+SH is faster than the
+// separate ServerHello; the instant ACK precedes the SH by ~2.1-2.6 ms.
+#include <cstdio>
+
+#include "core/report.h"
+#include "scan/study.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Figure 15: Cloudflare study from four vantage points");
+  std::printf("%16s  %10s  %10s  %10s  %12s  %10s\n", "vantage", "ACK [ms]", "SH [ms]",
+              "gap [ms]", "coal. [%]", "3x gap[ms]");
+  for (scan::Vantage vantage : scan::kAllVantages) {
+    scan::CloudflareStudyConfig config;
+    config.vantage = vantage;
+    config.hours = 72;  // three days per vantage keeps the bench fast
+    config.samples_per_hour = 6;
+    config.seed = 42 + static_cast<std::uint64_t>(vantage);
+    const auto points = scan::RunCloudflareStudy(config);
+    const auto summary = scan::SummarizeStudy(points);
+    std::printf("%16s  %10.2f  %10.2f  %10.2f  %12.1f  %10.2f\n",
+                std::string(scan::Name(vantage)).c_str(), summary.median_ack_ms,
+                summary.median_sh_ms, summary.median_gap_ms, summary.coalesced_share * 100.0,
+                summary.avoided_pto_inflation_ms);
+  }
+  std::printf("\nShape check: consistent ACK->SH gap of a few ms at all locations\n"
+              "(paper: 2.1 ms Sao Paulo/Hamburg, 2.4 ms LA, 2.6 ms Hong Kong).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// QUIC-Interop-Runner-style matrix: median lossless TTFB for every client,
+// HTTP version and server behaviour — the baseline grid underlying the
+// paper's testbed (§3), useful for spotting profile regressions at a glance.
+#include "bench_common.h"
+#include "clients/profiles.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Interop matrix: median TTFB [ms], 10 KB @ 9 ms RTT, no loss");
+  std::printf("%10s  %10s  %10s  %10s  %10s  %12s\n", "client", "H1/WFC", "H1/IACK", "H3/WFC",
+              "H3/IACK", "H3-H1 gap");
+  for (clients::ClientImpl impl : clients::kAllClients) {
+    double cells[4] = {-1, -1, -1, -1};
+    int cell = 0;
+    for (http::Version version : {http::Version::kHttp1, http::Version::kHttp3}) {
+      for (quic::ServerBehavior behavior :
+           {quic::ServerBehavior::kWaitForCertificate, quic::ServerBehavior::kInstantAck}) {
+        if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) {
+          ++cell;
+          continue;
+        }
+        core::ExperimentConfig config;
+        config.client = impl;
+        config.http = version;
+        config.behavior = behavior;
+        config.rtt = sim::Millis(9);
+        config.response_body_bytes = http::kSmallFileBytes;
+        const auto values = core::CollectTtfbMs(config, 15);
+        cells[cell++] = values.empty() ? -1.0 : stats::Median(values);
+      }
+    }
+    std::printf("%10s  %10.1f  %10.1f  %10.1f  %10.1f  %12.1f\n",
+                std::string(clients::Name(impl)).c_str(), cells[0], cells[1], cells[2],
+                cells[3], cells[2] > 0 ? cells[0] - cells[2] : 0.0);
+  }
+  std::printf("\nShape check: without loss or amplification pressure, WFC == IACK for every\n"
+              "client; HTTP/3 sits ~1 RTT below HTTP/1.1 (SETTINGS is the first stream\n"
+              "byte). The instant-ACK effects only appear under loss (Fig 6/7) or the\n"
+              "anti-amplification limit (Fig 5).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// google-benchmark micro suite: cost of the engine's hot paths — full
+// handshakes, 10 KB exchanges, the RTT estimator, PTO computation, ACK-range
+// bookkeeping and the event queue (§4.1's "QUIC stack delays" analogue for
+// this implementation).
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "core/pto_model.h"
+#include "quic/ack_manager.h"
+#include "recovery/pto.h"
+#include "recovery/rtt_estimator.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace quicer;
+
+void BM_FullHandshake10KB(benchmark::State& state) {
+  const bool iack = state.range(0) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::ExperimentConfig config;
+    config.client = clients::ClientImpl::kQuicGo;
+    config.behavior = iack ? quic::ServerBehavior::kInstantAck
+                           : quic::ServerBehavior::kWaitForCertificate;
+    config.rtt = sim::Millis(9);
+    config.response_body_bytes = 10 * 1024;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::RunExperiment(config));
+  }
+}
+BENCHMARK(BM_FullHandshake10KB)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_RttEstimatorSample(benchmark::State& state) {
+  recovery::RttEstimator rtt;
+  sim::Duration sample = sim::Millis(9);
+  for (auto _ : state) {
+    rtt.AddSample(sample, sim::Millis(1));
+    benchmark::DoNotOptimize(rtt.smoothed());
+    sample = sample == sim::Millis(9) ? sim::Millis(11) : sim::Millis(9);
+  }
+}
+BENCHMARK(BM_RttEstimatorSample);
+
+void BM_PtoComputation(benchmark::State& state) {
+  recovery::RttEstimator rtt;
+  rtt.AddSample(sim::Millis(9), 0);
+  recovery::PtoConfig config;
+  int backoff = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recovery::PtoPeriodWithBackoff(
+        rtt, config, quic::PacketNumberSpace::kHandshake, false, backoff));
+    backoff = (backoff + 1) % 4;
+  }
+}
+BENCHMARK(BM_PtoComputation);
+
+void BM_AckManagerReceiveAndBuild(benchmark::State& state) {
+  quic::AckManager manager(quic::PacketNumberSpace::kAppData, quic::AckPolicy{});
+  std::uint64_t pn = 0;
+  for (auto _ : state) {
+    manager.OnPacketReceived(pn, true, static_cast<sim::Time>(pn));
+    ++pn;
+    if (pn % 2 == 0) benchmark::DoNotOptimize(manager.BuildAck(static_cast<sim::Time>(pn)));
+  }
+}
+BENCHMARK(BM_AckManagerReceiveAndBuild);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) queue.Schedule(i, [] {});
+    queue.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_PtoEvolutionModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputePtoEvolution(sim::Millis(9), sim::Millis(4), 50));
+  }
+}
+BENCHMARK(BM_PtoEvolutionModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

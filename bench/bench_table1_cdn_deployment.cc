@@ -1,0 +1,72 @@
+// Table 1 — Domains from the Tranco Top-1M hosted by CDNs, share of instant
+// ACK deployment, and maximum variation across vantage points/days.
+//
+// The synthetic population encodes the published per-CDN behaviour as
+// ground truth; the QScanner-style prober re-measures it from all four
+// vantage points over three days, exactly like the paper's classification
+// pipeline (separate ACK preceding the ServerHello = IACK).
+#include <cstdio>
+#include <map>
+
+#include "core/report.h"
+#include "scan/population.h"
+#include "scan/prober.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Table 1: CDN-hosted domains and instant-ACK deployment (Tranco Top-1M)");
+
+  // 100k-domain population scaled from the 1M list (counts scaled back up).
+  constexpr std::size_t kPopulation = 100000;
+  scan::TrancoPopulation population(kPopulation, /*seed=*/2024);
+  scan::Prober prober(/*seed=*/7);
+
+  struct Row {
+    int domains = 0;
+    double min_share = 1.0;
+    double max_share = 0.0;
+  };
+  std::map<scan::Cdn, Row> rows;
+
+  for (scan::Cdn cdn : scan::kAllCdns) rows[cdn].domains = population.CountQuic(cdn);
+
+  // 4 vantage points x 3 days, as in §3.
+  for (std::uint64_t day = 0; day < 3; ++day) {
+    for (scan::Vantage vantage : scan::kAllVantages) {
+      std::map<scan::Cdn, std::pair<int, int>> counts;  // {iack, total}
+      for (const scan::Domain& domain : population.domains()) {
+        if (!domain.speaks_quic) continue;
+        const scan::ProbeResult result = prober.Probe(domain, vantage, day);
+        if (!result.success) continue;
+        auto& [iack, total] = counts[domain.cdn];
+        ++total;
+        if (result.iack_observed) ++iack;
+      }
+      for (auto& [cdn, count] : counts) {
+        if (count.second == 0) continue;
+        const double share = static_cast<double>(count.first) / count.second;
+        rows[cdn].min_share = std::min(rows[cdn].min_share, share);
+        rows[cdn].max_share = std::max(rows[cdn].max_share, share);
+      }
+    }
+  }
+
+  std::printf("%12s  %12s  %16s  %14s      (paper: share / variation)\n", "CDN",
+              "Domains [#]", "IACK enabled [%]", "Variation [%]");
+  const char* paper[] = {"32.2 / 12.9", "41.0 / 18.0", "99.9 / 0.1", "0.0 / 0.0",
+                         "11.5 / 11.5", "0.0 / 0.0",   "0.0 / 0.0",  "21.5 / 2.3"};
+  int index = 0;
+  const double scale = 1.0 / population.scale();
+  for (scan::Cdn cdn : scan::kAllCdns) {
+    const Row& row = rows[cdn];
+    const double share = row.max_share * 100.0;
+    const double variation = (row.max_share - row.min_share) * 100.0;
+    std::printf("%12s  %12.0f  %16.1f  %14.1f      (%s)\n",
+                std::string(scan::Name(cdn)).c_str(), row.domains * scale, share, variation,
+                paper[index++]);
+  }
+  std::printf("\nNote: IACK share counts only *separate* ACKs preceding the SH; cached\n"
+              "certificates produce coalesced ACK+SH and lower the observed share for\n"
+              "popular domains, as in the paper's Cloudflare analysis.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 3 — Delay reported in the ACK Delay field of the first Initial- and
+// Handshake-space acknowledgment, per server implementation (QUIC Interop
+// Runner population).
+//
+// Paper takeaway (Appendix D): six implementations report 0 ms, msquic sends
+// no Initial/Handshake ACKs at all, and s2n-quic reports more than the RTT —
+// all of which disqualify ACK Delay as a substitute for instant ACK.
+#include <cstdio>
+
+#include "clients/server_profiles.h"
+#include "core/report.h"
+
+int main() {
+  using namespace quicer;
+  core::PrintTitle("Table 3: first ACK Delay per server implementation");
+  std::printf("%12s  %16s  %18s\n", "server", "Initial [ms]", "Handshake [ms]");
+  int zero_count = 0;
+  int no_hs_ack = 0;
+  for (clients::ServerImpl impl : clients::kAllServers) {
+    const auto& profile = clients::GetServerAckDelayProfile(impl);
+    char initial[32] = "-";
+    char handshake[32] = "-";
+    if (profile.initial_ack_delay) {
+      std::snprintf(initial, sizeof(initial), "%.1f", sim::ToMillis(*profile.initial_ack_delay));
+      if (*profile.initial_ack_delay == 0) ++zero_count;
+    }
+    if (profile.handshake_ack_delay) {
+      std::snprintf(handshake, sizeof(handshake), "%.1f",
+                    sim::ToMillis(*profile.handshake_ack_delay));
+    } else {
+      ++no_hs_ack;
+    }
+    std::printf("%12s  %16s  %18s\n", std::string(profile.name).c_str(), initial, handshake);
+  }
+  std::printf("\n%d implementations report 0 ms in the first Initial ACK (paper: 6);\n"
+              "%d send no Handshake-space acknowledgment (paper: 11+); msquic sends no\n"
+              "Initial/Handshake ACKs at all; s2n-quic's reported delay exceeds the RTT.\n",
+              zero_count, no_hs_ack);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Export a connection's qlog trace as JSON-SEQ (draft-ietf-quic-qlog) —
+// the logging format the paper's measurement pipeline consumes.
+//
+//   ./export_qlog [iack|wfc] > trace.qlog
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "core/timeline.h"
+#include "qlog/qlog_json.h"
+
+using namespace quicer;
+
+int main(int argc, char** argv) {
+  const bool iack = argc > 1 && std::strcmp(argv[1], "iack") == 0;
+
+  core::ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.behavior = iack ? quic::ServerBehavior::kInstantAck
+                         : quic::ServerBehavior::kWaitForCertificate;
+  config.rtt = sim::Millis(9);
+  config.cert_fetch_delay = sim::Millis(25);
+  config.response_body_bytes = 10 * 1024;
+
+  std::string client_qlog;
+  std::string transcript;
+  core::RunExperiment(config, [&](const quic::ClientConnection& client,
+                                  const quic::ServerConnection& server) {
+    qlog::JsonOptions options;
+    options.vantage = "client";
+    client_qlog = qlog::ToJsonSeq(client.trace(), options);
+    transcript = core::RenderTimeline(core::BuildTimeline(client.trace(), server.trace()));
+  });
+
+  std::fputs(client_qlog.c_str(), stdout);
+  std::fprintf(stderr, "--- merged timeline (stderr) ---\n%s", transcript.c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Lossy handshakes: reproduce the paper's two deterministic loss scenarios
+// for any client implementation and print the recovery story.
+//
+//   ./lossy_handshakes [client]   (default quic-go; try picoquic or quiche)
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "core/loss_scenarios.h"
+#include "stats/stats.h"
+
+using namespace quicer;
+
+namespace {
+
+clients::ClientImpl ParseClient(const char* name) {
+  for (clients::ClientImpl impl : clients::kAllClients) {
+    if (clients::Name(impl) == name) return impl;
+  }
+  std::printf("unknown client '%s'; using quic-go\n", name);
+  return clients::ClientImpl::kQuicGo;
+}
+
+void Report(const char* scenario, core::ExperimentConfig config) {
+  std::printf("\n--- %s ---\n", scenario);
+  for (quic::ServerBehavior behavior :
+       {quic::ServerBehavior::kWaitForCertificate, quic::ServerBehavior::kInstantAck}) {
+    config.behavior = behavior;
+    if (std::strcmp(scenario, "first server flight tail lost") == 0) {
+      config.loss = core::FirstServerFlightTailLoss(behavior, config.certificate_bytes,
+                                                    config.http);
+    }
+    const core::ExperimentResult result = core::RunExperiment(config);
+    if (result.client.aborted) {
+      std::printf("%5s: connection aborted (%s)\n", ToString(behavior),
+                  result.client.abort_reason.c_str());
+      continue;
+    }
+    std::printf("%5s: TTFB %7.1f ms | client PTO expiries %d, probes %d | "
+                "server PTO expiries %d | spurious retx %d\n",
+                ToString(behavior), result.TtfbMs(), result.client.pto_expirations,
+                result.client.probe_datagrams_sent, result.server.pto_expirations,
+                result.client.spurious_retransmits + result.server.spurious_retransmits);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const clients::ClientImpl impl = argc > 1 ? ParseClient(argv[1])
+                                            : clients::ClientImpl::kQuicGo;
+  std::printf("Loss scenarios for %s at 9 ms RTT (10 KB transfer, HTTP/1.1)\n",
+              std::string(clients::Name(impl)).c_str());
+
+  core::ExperimentConfig base;
+  base.client = impl;
+  base.rtt = sim::Millis(9);
+  base.response_body_bytes = http::kSmallFileBytes;
+  base.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+
+  Report("first server flight tail lost", base);
+
+  core::ExperimentConfig client_loss = base;
+  client_loss.loss = core::SecondClientFlightLoss(impl);
+  Report("entire second client flight lost", client_loss);
+
+  std::printf("\nWhen the server flight is lost, the instant ACK backfires: it is not\n"
+              "ack-eliciting, so the server holds no RTT sample and resends only after its\n"
+              "default PTO. When the client flight is lost, the accurate IACK RTT sample\n"
+              "lets the client resend the request ~3 x (server processing) sooner.\n");
+  return 0;
+}

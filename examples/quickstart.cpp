@@ -1,0 +1,60 @@
+// Quickstart: run one QUIC handshake + 10 KB GET against the reference
+// server in both frontend modes (wait-for-certificate vs instant ACK) and
+// print the packet timeline plus the headline metrics.
+//
+//   ./quickstart [delta_t_ms]   (default 25 ms certificate-store delay)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+
+using namespace quicer;
+
+namespace {
+
+void RunOnce(quic::ServerBehavior behavior, sim::Duration delta_t) {
+  core::ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.http = http::Version::kHttp1;
+  config.behavior = behavior;
+  config.rtt = sim::Millis(9);
+  config.cert_fetch_delay = delta_t;
+  config.response_body_bytes = http::kSmallFileBytes;
+  config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+
+  std::printf("\n=== %s (delta_t = %.0f ms) ===\n", ToString(behavior),
+              sim::ToMillis(delta_t));
+  const core::ExperimentResult result = core::RunExperiment(
+      config, [](const quic::ClientConnection& client, const quic::ServerConnection&) {
+        std::printf("client packet timeline:\n");
+        for (const auto& event : client.trace().packets()) {
+          std::printf("  %8.3f ms  %s %-9s pn=%llu %4zu B%s\n", sim::ToMillis(event.time),
+                      event.sent ? "->" : "<-", std::string(ToString(event.space)).c_str(),
+                      static_cast<unsigned long long>(event.packet_number), event.size,
+                      event.ack_eliciting ? "" : "  (not ack-eliciting)");
+        }
+      });
+
+  std::printf("first ACK received:   %8.3f ms\n", sim::ToMillis(result.client.first_ack_received));
+  std::printf("first SH received:    %8.3f ms\n",
+              sim::ToMillis(result.client.first_crypto_received));
+  std::printf("first RTT sample:     %8.3f ms\n", sim::ToMillis(result.client.first_rtt_sample));
+  std::printf("first PTO period:     %8.3f ms\n", sim::ToMillis(result.client.first_pto_period));
+  std::printf("TTFB:                 %8.3f ms\n", result.TtfbMs());
+  std::printf("response complete:    %8.3f ms\n",
+              sim::ToMillis(result.client.response_complete));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double delta_ms = argc > 1 ? std::atof(argv[1]) : 25.0;
+  std::printf("ReACKed QUICer quickstart: 10 KB GET at 9 ms RTT, certificate-store "
+              "delay %.0f ms\n", delta_ms);
+  RunOnce(quic::ServerBehavior::kWaitForCertificate, sim::Millis(delta_ms));
+  RunOnce(quic::ServerBehavior::kInstantAck, sim::Millis(delta_ms));
+  std::printf("\nNote how the instant ACK gives the client an accurate first RTT sample\n"
+              "(~9 ms instead of ~%0.f ms), shrinking its first PTO by ~3 x delta_t.\n",
+              9.0 + delta_ms);
+  return 0;
+}

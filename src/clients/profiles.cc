@@ -1,0 +1,129 @@
+#include "clients/profiles.h"
+
+namespace quicer::clients {
+
+std::string_view Name(ClientImpl impl) {
+  switch (impl) {
+    case ClientImpl::kAioquic: return "aioquic";
+    case ClientImpl::kGoXNet: return "go-x-net";
+    case ClientImpl::kMvfst: return "mvfst";
+    case ClientImpl::kNeqo: return "neqo";
+    case ClientImpl::kNgtcp2: return "ngtcp2";
+    case ClientImpl::kPicoquic: return "picoquic";
+    case ClientImpl::kQuicGo: return "quic-go";
+    case ClientImpl::kQuiche: return "quiche";
+  }
+  return "?";
+}
+
+bool SupportsHttp3(ClientImpl impl) { return impl != ClientImpl::kGoXNet; }
+
+sim::Duration DefaultPto(ClientImpl impl) {
+  // Table 4, "Default PTO [ms]".
+  switch (impl) {
+    case ClientImpl::kAioquic: return sim::Millis(200);
+    case ClientImpl::kGoXNet: return sim::Millis(999);
+    case ClientImpl::kMvfst: return sim::Millis(100);
+    case ClientImpl::kNeqo: return sim::Millis(300);
+    case ClientImpl::kNgtcp2: return sim::Millis(300);
+    case ClientImpl::kPicoquic: return sim::Millis(250);
+    case ClientImpl::kQuicGo: return sim::Millis(200);
+    case ClientImpl::kQuiche: return sim::Millis(999);
+  }
+  return sim::Millis(999);
+}
+
+int SecondFlightDatagrams(ClientImpl impl) {
+  // Table 4, "Second flight datagram(s)": indices 2..n+1 after the CH.
+  switch (impl) {
+    case ClientImpl::kAioquic: return 3;
+    case ClientImpl::kGoXNet: return 3;
+    case ClientImpl::kMvfst: return 3;
+    case ClientImpl::kNeqo: return 2;
+    case ClientImpl::kNgtcp2: return 3;
+    case ClientImpl::kPicoquic: return 4;
+    case ClientImpl::kQuicGo: return 3;
+    case ClientImpl::kQuiche: return 1;
+  }
+  return 3;
+}
+
+quic::ConnectionConfig MakeClientConfig(ClientImpl impl, http::Version version) {
+  quic::ConnectionConfig config;
+  config.http_version = version;
+  config.pto.default_pto = DefaultPto(impl);
+  config.second_flight_datagrams = SecondFlightDatagrams(impl);
+
+  switch (impl) {
+    case ClientImpl::kAioquic:
+      // Appendix E: aioquic computes the RTT variance differently.
+      config.rttvar_formula = recovery::RttVarFormula::kAioquicLegacy;
+      config.processing_delay = sim::Millis(0.5);
+      config.flow_update_interval_bytes = 16 * 1024;
+      config.trace.metrics_exposure = 1.0;
+      break;
+    case ClientImpl::kGoXNet:
+      // §4.1: "go-x-net introduces high variations in individual
+      // measurements (median 0.1 ms to 12.7 ms) and partly reports erroneous
+      // values"; §4.1: smoothed RTT sometimes initialised at 90 ms.
+      config.processing_delay = sim::Millis(0.1);
+      config.processing_jitter = sim::Millis(12.6);
+      config.wrong_first_srtt = sim::Millis(90);
+      config.wrong_first_srtt_probability = 0.4;
+      config.flow_update_interval_bytes = 8 * 1024;
+      config.trace.metrics_exposure = 1.0;
+      break;
+    case ClientImpl::kMvfst:
+      // §4.1: receiving an instant ACK does not trigger probe packets.
+      config.rearm_pto_on_empty_inflight = false;
+      config.processing_delay = sim::Millis(1.5);
+      config.flow_update_interval_bytes = 24 * 1024;
+      config.trace.metrics_exposure = 1.0;
+      config.trace.logs_rttvar = false;  // Appendix E
+      break;
+    case ClientImpl::kNeqo:
+      config.processing_delay = sim::Millis(0.3);
+      config.flow_update_interval_bytes = 48 * 1024;
+      config.trace.metrics_exposure = 0.35;  // Appendix E: fewer updates
+      config.trace.logs_rttvar = false;
+      break;
+    case ClientImpl::kNgtcp2:
+      config.processing_delay = sim::Millis(0.3);
+      config.flow_update_interval_bytes = 32 * 1024;
+      config.trace.metrics_exposure = 0.5;
+      break;
+    case ClientImpl::kPicoquic:
+      // §4.2: picoquic ignores the lower RTT induced by IACK and does not
+      // probe in response to an instant ACK; it also never coalesces ACKs.
+      config.use_initial_space_rtt_samples = false;
+      config.rearm_pto_on_empty_inflight = false;
+      config.coalesce_acks = false;
+      config.processing_delay = sim::Millis(0.4);
+      config.flow_update_interval_bytes = 64 * 1024;
+      config.trace.metrics_exposure = 0.3;
+      config.trace.logs_rttvar = false;
+      break;
+    case ClientImpl::kQuicGo:
+      config.processing_delay = sim::Millis(0.5);
+      config.flow_update_interval_bytes = 32 * 1024;
+      config.trace.metrics_exposure = 0.4;
+      break;
+    case ClientImpl::kQuiche:
+      // Table 4: the whole second flight in one datagram (ACKs deferred).
+      config.defer_acks_until_flight = true;
+      config.processing_delay = sim::Millis(0.8);
+      config.flow_update_interval_bytes = 5 * 1024;
+      config.trace.metrics_exposure = 1.0;
+      if (version == http::Version::kHttp1) {
+        // §4.1: drops replies to PING frames together with coalesced
+        // packets; §4.2: aborts when the same CID is retired twice. Neither
+        // was encountered in the paper's HTTP/3 measurements.
+        config.drop_coalesced_ping_reply = true;
+        config.abort_on_duplicate_cid_retirement = true;
+      }
+      break;
+  }
+  return config;
+}
+
+}  // namespace quicer::clients

@@ -1,0 +1,49 @@
+#include "clients/server_profiles.h"
+
+namespace quicer::clients {
+namespace {
+
+// Table 3: "Delay of the first acknowledgment received from server" —
+// medians of the three repetitions, in the Initial and Handshake spaces.
+constexpr std::optional<sim::Duration> kNone = std::nullopt;
+
+const ServerAckDelayProfile kProfiles[] = {
+    {ServerImpl::kAioquic, "aioquic", sim::Millis(3.3), kNone},
+    {ServerImpl::kGoXNet, "go-x-net", sim::Millis(0.0), kNone},
+    {ServerImpl::kHaproxy, "haproxy", sim::Millis(1.0), sim::Millis(0.0)},
+    {ServerImpl::kKwik, "kwik", sim::Millis(0.0), kNone},
+    {ServerImpl::kLsquic, "lsquic", sim::Millis(1.2), sim::Millis(0.2)},
+    {ServerImpl::kMsquic, "msquic", kNone, kNone},  // sends no Initial/Handshake ACKs
+    {ServerImpl::kMvfst, "mvfst", sim::Millis(0.8), sim::Millis(0.2)},
+    {ServerImpl::kNeqo, "neqo", sim::Millis(0.0), sim::Millis(0.0)},
+    {ServerImpl::kNginx, "nginx", sim::Millis(0.0), kNone},
+    {ServerImpl::kNgtcp2, "ngtcp2", sim::Millis(0.0), kNone},
+    {ServerImpl::kPicoquic, "picoquic", sim::Millis(0.8), kNone},
+    {ServerImpl::kQuicGo, "quic-go", sim::Millis(0.0), kNone},
+    {ServerImpl::kQuiche, "quiche", sim::Millis(1.4), kNone},
+    {ServerImpl::kQuinn, "quinn", sim::Millis(0.4), kNone},
+    {ServerImpl::kS2nQuic, "s2n-quic", sim::Millis(14.4), kNone},  // exceeds the RTT
+    {ServerImpl::kXquic, "xquic", sim::Millis(1.2), sim::Millis(0.5)},
+};
+
+}  // namespace
+
+const ServerAckDelayProfile& GetServerAckDelayProfile(ServerImpl impl) {
+  return kProfiles[static_cast<int>(impl)];
+}
+
+std::string_view Name(ServerImpl impl) { return GetServerAckDelayProfile(impl).name; }
+
+quic::AckPolicy MakeAckPolicy(ServerImpl impl) {
+  const ServerAckDelayProfile& profile = GetServerAckDelayProfile(impl);
+  quic::AckPolicy policy;
+  if (!profile.initial_ack_delay.has_value() || *profile.initial_ack_delay == 0) {
+    policy.report_mode = quic::AckDelayReportMode::kZero;
+  } else {
+    policy.report_mode = quic::AckDelayReportMode::kFixed;
+    policy.fixed_report_value = *profile.initial_ack_delay;
+  }
+  return policy;
+}
+
+}  // namespace quicer::clients

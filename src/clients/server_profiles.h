@@ -1,0 +1,64 @@
+// Server implementation ACK Delay profiles (Table 3, Appendix D).
+//
+// The paper verifies, across the 14+2 server implementations of the public
+// QUIC Interop Runner, what value each reports in the ACK Delay field of its
+// first Initial- and Handshake-space acknowledgments. These values decide
+// whether "ACK Delay" could substitute for instant ACK (it cannot: many
+// servers report 0, and PTO initialisation ignores the field anyway).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "quic/ack_manager.h"
+#include "sim/time.h"
+
+namespace quicer::clients {
+
+enum class ServerImpl {
+  kAioquic,
+  kGoXNet,
+  kHaproxy,
+  kKwik,
+  kLsquic,
+  kMsquic,
+  kMvfst,
+  kNeqo,
+  kNginx,
+  kNgtcp2,
+  kPicoquic,
+  kQuicGo,
+  kQuiche,
+  kQuinn,
+  kS2nQuic,
+  kXquic,
+};
+
+inline constexpr std::array<ServerImpl, 16> kAllServers = {
+    ServerImpl::kAioquic, ServerImpl::kGoXNet,  ServerImpl::kHaproxy, ServerImpl::kKwik,
+    ServerImpl::kLsquic,  ServerImpl::kMsquic,  ServerImpl::kMvfst,   ServerImpl::kNeqo,
+    ServerImpl::kNginx,   ServerImpl::kNgtcp2,  ServerImpl::kPicoquic, ServerImpl::kQuicGo,
+    ServerImpl::kQuiche,  ServerImpl::kQuinn,   ServerImpl::kS2nQuic, ServerImpl::kXquic,
+};
+
+/// What a server reports in the ACK Delay field of its first ACKs.
+struct ServerAckDelayProfile {
+  ServerImpl impl;
+  std::string_view name;
+  /// Reported delay of the first Initial-space ACK; nullopt when the server
+  /// sends no Initial ACK at all (msquic).
+  std::optional<sim::Duration> initial_ack_delay;
+  /// Same for the Handshake space; most servers send none.
+  std::optional<sim::Duration> handshake_ack_delay;
+};
+
+const ServerAckDelayProfile& GetServerAckDelayProfile(ServerImpl impl);
+
+std::string_view Name(ServerImpl impl);
+
+/// Ack-delay report mode implied by the profile (zero vs. actual/fixed),
+/// usable to configure an emulated server's AckPolicy.
+quic::AckPolicy MakeAckPolicy(ServerImpl impl);
+
+}  // namespace quicer::clients

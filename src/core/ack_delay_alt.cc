@@ -1,0 +1,46 @@
+#include "core/ack_delay_alt.h"
+
+#include <algorithm>
+
+#include "core/pto_model.h"
+
+namespace quicer::core {
+
+AckDelayAltResult EvaluateStrategy(AckDelayStrategy strategy,
+                                   const AckDelayAltScenario& scenario) {
+  AckDelayAltResult result;
+  result.first_pto_iack = FirstPto(scenario.rtt);
+
+  const sim::Duration wfc_sample = scenario.rtt + scenario.delta_t;
+
+  switch (strategy) {
+    case AckDelayStrategy::kRfcStandard:
+      // RFC 9002 §5.3: the first sample's ack delay is not subtracted.
+      result.first_pto_wfc = FirstPto(wfc_sample);
+      break;
+
+    case AckDelayStrategy::kApplyAtInit: {
+      // Hypothetical: subtract the *reported* delay from the first sample,
+      // but never below the true path RTT floor (min_rtt rule).
+      sim::Duration adjusted = wfc_sample - scenario.reported_ack_delay;
+      if (adjusted < scenario.rtt) {
+        adjusted = scenario.rtt;
+        result.clamped_to_min_rtt = true;
+      }
+      result.first_pto_wfc = FirstPto(adjusted);
+      break;
+    }
+
+    case AckDelayStrategy::kReinitOnSecond: {
+      // The first PTO is the inflated one; from the second (undelayed)
+      // sample the client re-initialises — modelled as the PTO implied by a
+      // clean RTT sample. The benefit arrives one exchange too late for the
+      // handshake, which is the paper's point.
+      result.first_pto_wfc = FirstPto(scenario.rtt);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace quicer::core

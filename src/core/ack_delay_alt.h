@@ -1,0 +1,44 @@
+// Appendix D — can the ACK Delay field replace instant ACK?
+//
+// The paper answers no, for three reasons, all modelled here:
+//  1. PTO initialisation ignores the acknowledgment delay of the first
+//     sample, so a correct ACK Delay only helps from the second sample on;
+//  2. many server implementations report an ACK Delay of 0 (Table 3);
+//  3. deployed CDNs often report delays *exceeding* the RTT (Fig 10), which
+//     clients must ignore (the sample may not drop below min_rtt).
+#pragma once
+
+#include "sim/time.h"
+
+namespace quicer::core {
+
+/// How a hypothetical client could use the ACK Delay field.
+enum class AckDelayStrategy {
+  kRfcStandard,       // ignore at PTO initialisation (what RFC 9002 does)
+  kApplyAtInit,       // subtract the reported delay from the first sample
+  kReinitOnSecond,    // re-initialise smoothed/var from the second sample
+};
+
+struct AckDelayAltScenario {
+  sim::Duration rtt = sim::Millis(9);
+  /// True frontend <-> cert-store delay baked into the WFC first sample.
+  sim::Duration delta_t = sim::Millis(4);
+  /// What the server writes into the ACK Delay field (Table 3 / Fig 10).
+  sim::Duration reported_ack_delay = 0;
+};
+
+struct AckDelayAltResult {
+  sim::Duration first_pto_wfc = 0;        // strategy applied to WFC
+  sim::Duration first_pto_iack = 0;       // instant ACK baseline
+  /// True when subtracting the reported delay pushed the sample below the
+  /// true RTT (over-reported delay, the Fig 10 hazard) and the client must
+  /// clamp to min_rtt.
+  bool clamped_to_min_rtt = false;
+};
+
+/// Evaluates one strategy. For kReinitOnSecond the returned PTO is the one
+/// effective after the *second* exchange (the first PTO stays inflated).
+AckDelayAltResult EvaluateStrategy(AckDelayStrategy strategy,
+                                   const AckDelayAltScenario& scenario);
+
+}  // namespace quicer::core

@@ -1,0 +1,54 @@
+#include "core/advisor.h"
+
+#include "core/pto_model.h"
+#include "tls/messages.h"
+
+namespace quicer::core {
+
+std::string_view ToString(LossCase c) {
+  switch (c) {
+    case LossCase::kNoLoss: return "no loss";
+    case LossCase::kFirstServerFlightTail: return "first server flight tail lost";
+    case LossCase::kSecondClientFlight: return "second client flight lost";
+  }
+  return "?";
+}
+
+std::string_view ToString(Recommendation r) {
+  return r == Recommendation::kWfc ? "WFC" : "IACK";
+}
+
+bool CertificateExceedsAmplificationLimit(const DeploymentScenario& scenario) {
+  // The flight also carries ServerHello/EE/CV/Finished and packet overhead.
+  tls::HandshakeSizes sizes;
+  sizes.certificate = scenario.certificate_bytes;
+  return sizes.ServerFlightBytes() + 200 > scenario.amplification_budget;
+}
+
+bool DeltaWithinClientPto(const DeploymentScenario& scenario) {
+  return scenario.frontend_cert_delay <= SpuriousBoundary(scenario.client_frontend_rtt);
+}
+
+Recommendation Advise(const DeploymentScenario& scenario) {
+  // Table 2 row (2): certificate above the amplification limit -> IACK in
+  // every column.
+  if (CertificateExceedsAmplificationLimit(scenario)) return Recommendation::kIack;
+
+  // Row (1): certificate within the limit.
+  switch (scenario.loss) {
+    case LossCase::kFirstServerFlightTail:
+      // The server needs its own RTT sample to resend quickly; the instant
+      // ACK denies it one (not ack-eliciting), so WFC wins.
+      return Recommendation::kWfc;
+    case LossCase::kSecondClientFlight:
+      // The client's smaller PTO lets it resend the request sooner.
+      return Recommendation::kIack;
+    case LossCase::kNoLoss:
+      // Without loss, instant ACK only pays when it does not cause spurious
+      // probes: Δt below the client PTO (3x RTT).
+      return DeltaWithinClientPto(scenario) ? Recommendation::kIack : Recommendation::kWfc;
+  }
+  return Recommendation::kIack;
+}
+
+}  // namespace quicer::core

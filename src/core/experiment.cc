@@ -1,0 +1,146 @@
+#include "core/experiment.h"
+
+#include <memory>
+#include <utility>
+
+namespace quicer::core {
+namespace {
+
+quic::ConnectionConfig BuildClientConfig(const ExperimentConfig& config) {
+  quic::ConnectionConfig client =
+      config.client_config_override.has_value()
+          ? *config.client_config_override
+          : clients::MakeClientConfig(config.client, config.http);
+  client.tls.certificate = config.certificate_bytes;
+  client.http_version = config.http;
+  client.probe_with_data = config.client_probe_with_data;
+  // Packet capture is disabled for bulk transfers to keep memory bounded.
+  if (config.response_body_bytes > 1024 * 1024) client.trace.capture_packets = false;
+  return client;
+}
+
+quic::ServerConfig BuildServerConfig(const ExperimentConfig& config) {
+  quic::ServerConfig server;
+  server.behavior = config.behavior;
+  server.send_retry = config.mode == HandshakeMode::kRetry;
+  server.accept_0rtt = config.mode == HandshakeMode::k0Rtt;
+  server.pad_instant_ack = config.pad_instant_ack;
+  server.base.http_version = config.http;
+  server.base.tls.certificate = config.certificate_bytes;
+  server.base.pto.default_pto = config.server_default_pto;
+  // The paper's server is quic-go, which reports an ACK Delay of 0 (Table 3).
+  server.base.ack_policy.report_mode = quic::AckDelayReportMode::kZero;
+  // Initial key derivation / scheduling overhead before the CH is acted on.
+  server.base.processing_delay = sim::Millis(0.3);
+  server.cert_store.fetch_delay = config.cert_fetch_delay;
+  server.cert_store.certificate_bytes = config.certificate_bytes;
+  server.cert_store.cached = config.cert_cached;
+  server.signing = config.signing;
+  server.response_body_bytes = config.response_body_bytes;
+  if (config.response_body_bytes > 1024 * 1024) server.base.trace.capture_packets = false;
+  return server;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  return RunExperiment(config, {});
+}
+
+ExperimentResult RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const quic::ClientConnection&, const quic::ServerConnection&)>&
+        inspect) {
+  sim::EventQueue queue;
+  sim::Rng rng(config.seed);
+
+  sim::Link::Config link_config;
+  link_config.one_way_delay = config.rtt / 2;
+  link_config.bandwidth_bps = config.bandwidth_bps;
+  link_config.jitter = config.path_jitter;
+  sim::Link link(queue, link_config, rng.Fork(1));
+  link.set_loss_pattern(config.loss);
+
+  quic::ClientConfig client_config{BuildClientConfig(config)};
+  client_config.enable_0rtt = config.mode == HandshakeMode::k0Rtt;
+  client_config.use_retry_as_rtt_sample = config.client_use_retry_rtt_sample;
+  auto client = std::make_unique<quic::ClientConnection>(queue, client_config, rng.Fork(2));
+  auto server = std::make_unique<quic::ServerConnection>(queue, BuildServerConfig(config),
+                                                         rng.Fork(3));
+
+  quic::ClientConnection* client_ptr = client.get();
+  quic::ServerConnection* server_ptr = server.get();
+
+  client->set_send_function([&link, server_ptr](quic::Datagram&& datagram) {
+    datagram.index = 0;
+    const std::size_t size = datagram.WireSize();
+    auto shared = std::make_shared<quic::Datagram>(std::move(datagram));
+    shared->index = link.Send(sim::Direction::kClientToServer, size,
+                              [server_ptr, shared] { server_ptr->OnDatagramReceived(*shared); });
+  });
+  server->set_send_function([&link, client_ptr](quic::Datagram&& datagram) {
+    const std::size_t size = datagram.WireSize();
+    auto shared = std::make_shared<quic::Datagram>(std::move(datagram));
+    shared->index = link.Send(sim::Direction::kServerToClient, size,
+                              [client_ptr, shared] { client_ptr->OnDatagramReceived(*shared); });
+  });
+
+  client->Start();
+
+  const sim::Time deadline = config.time_limit;
+  while (queue.PendingCount() > 0 && queue.now() <= deadline) {
+    if (client->response_complete() || client->closed() || server->closed()) break;
+    queue.RunOne();
+  }
+
+  if (inspect) inspect(*client, *server);
+
+  ExperimentResult result;
+  result.client = client->metrics();
+  result.server = server->metrics();
+  result.realized_cert_delay = server->realized_cert_delay();
+  result.completed = client->response_complete();
+  result.end_time = queue.now();
+  result.client_to_server = link.stats(sim::Direction::kClientToServer);
+  result.server_to_client = link.stats(sim::Direction::kServerToClient);
+  result.client_metric_updates = client->trace().metrics();
+  result.client_packets_with_new_acks = client->trace().packets_with_new_acks();
+  return result;
+}
+
+std::vector<double> RunRepetitions(ExperimentConfig config, int repetitions,
+                                   const std::function<double(const ExperimentResult&)>& extract) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(repetitions));
+  const std::uint64_t base_seed = config.seed;
+  for (int i = 0; i < repetitions; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
+    values.push_back(extract(RunExperiment(config)));
+  }
+  return values;
+}
+
+std::vector<double> CollectTtfbMs(ExperimentConfig config, int repetitions) {
+  std::vector<double> all = RunRepetitions(std::move(config), repetitions,
+                                           [](const ExperimentResult& r) { return r.TtfbMs(); });
+  std::vector<double> valid;
+  valid.reserve(all.size());
+  for (double v : all) {
+    if (v >= 0) valid.push_back(v);
+  }
+  return valid;
+}
+
+std::vector<double> CollectResponseTtfbMs(ExperimentConfig config, int repetitions) {
+  std::vector<double> all =
+      RunRepetitions(std::move(config), repetitions,
+                     [](const ExperimentResult& r) { return r.ResponseTtfbMs(); });
+  std::vector<double> valid;
+  valid.reserve(all.size());
+  for (double v : all) {
+    if (v >= 0) valid.push_back(v);
+  }
+  return valid;
+}
+
+}  // namespace quicer::core

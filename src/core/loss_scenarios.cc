@@ -1,0 +1,56 @@
+#include "core/loss_scenarios.h"
+
+#include <vector>
+
+#include "quic/types.h"
+
+namespace quicer::core {
+
+int ServerFlightDatagrams(std::size_t certificate_bytes, http::Version version,
+                          const tls::HandshakeSizes& sizes) {
+  // Initial packet: header + ACK + CRYPTO[SH]; then Handshake CRYPTO bytes;
+  // then the 1-RTT tail (H3 SETTINGS + NEW_CONNECTION_ID).
+  const std::size_t initial_packet = 28 + 10 + 6 + sizes.server_hello + quic::kAeadTagSize;
+  const std::size_t handshake_bytes = sizes.encrypted_extensions + certificate_bytes +
+                                      sizes.certificate_verify + sizes.finished;
+  std::size_t app_bytes = 30;  // NEW_CONNECTION_ID
+  if (version == http::Version::kHttp3) app_bytes += http::kH3SettingsBytes + 15;
+
+  // Per-datagram usable payload after long-header + AEAD overhead.
+  const std::size_t per_datagram = quic::kMaxDatagramSize - 60;
+  std::size_t total = initial_packet + handshake_bytes + 40 /*hs headers*/ + app_bytes;
+  int datagrams = 0;
+  while (total > 0) {
+    ++datagrams;
+    total -= std::min(total, per_datagram);
+  }
+  return datagrams;
+}
+
+sim::LossPattern FirstServerFlightTailLoss(quic::ServerBehavior behavior,
+                                           std::size_t certificate_bytes,
+                                           http::Version version) {
+  const int flight = ServerFlightDatagrams(certificate_bytes, version);
+  sim::LossPattern pattern;
+  std::vector<int> drops;
+  if (behavior == quic::ServerBehavior::kWaitForCertificate) {
+    // Datagram 1 = coalesced ACK+SH(+HS head); drop 2..flight.
+    for (int i = 2; i <= flight; ++i) drops.push_back(i);
+  } else {
+    // Datagram 1 = instant ACK; flight occupies 2..flight+1.
+    for (int i = 2; i <= flight + 1; ++i) drops.push_back(i);
+  }
+  pattern.DropIndexRange(sim::Direction::kServerToClient, drops);
+  return pattern;
+}
+
+sim::LossPattern SecondClientFlightLoss(clients::ClientImpl client) {
+  const int flight = clients::SecondFlightDatagrams(client);
+  sim::LossPattern pattern;
+  std::vector<int> drops;
+  for (int i = 2; i <= 1 + flight; ++i) drops.push_back(i);
+  pattern.DropIndexRange(sim::Direction::kClientToServer, drops);
+  return pattern;
+}
+
+}  // namespace quicer::core

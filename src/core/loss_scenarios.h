@@ -1,0 +1,36 @@
+// Builders for the paper's deterministic loss scenarios (§3, Appendix E).
+//
+// The paper drops *specific datagrams by index* and, because implementations
+// coalesce flights differently (Table 4), maps "equal information loss" to
+// per-implementation datagram indices. These helpers encode that mapping.
+#pragma once
+
+#include "clients/profiles.h"
+#include "http/http.h"
+#include "quic/server_connection.h"
+#include "sim/loss.h"
+#include "tls/messages.h"
+
+namespace quicer::core {
+
+/// Number of UDP datagrams the first server flight occupies for a given
+/// certificate size (ServerHello + EncryptedExtensions..Finished + 1-RTT
+/// tail, packed into 1200 B datagrams).
+int ServerFlightDatagrams(std::size_t certificate_bytes, http::Version version,
+                          const tls::HandshakeSizes& sizes = {});
+
+/// Fig 6/12 scenario: lose the remaining first server flight — everything
+/// after the first datagram. Under WFC the first datagram carries the
+/// coalesced ACK+ServerHello (giving the server an RTT sample via the
+/// client's ACK); under IACK it is the instant ACK alone, so the whole
+/// ServerHello flight is lost and the server must rely on its default PTO.
+sim::LossPattern FirstServerFlightTailLoss(quic::ServerBehavior behavior,
+                                           std::size_t certificate_bytes,
+                                           http::Version version);
+
+/// Fig 7/13 scenario: lose the entire second client flight. The flight's
+/// datagram indices follow the implementation's coalescing (Table 4):
+/// datagrams 2..(1 + SecondFlightDatagrams(client)).
+sim::LossPattern SecondClientFlightLoss(clients::ClientImpl client);
+
+}  // namespace quicer::core

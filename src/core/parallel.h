@@ -1,0 +1,28 @@
+// Parallel experiment execution.
+//
+// Each experiment run is an isolated, deterministic function of its config
+// (own event queue, own RNG), so repetitions parallelise perfectly. The
+// benches sweep hundreds of (client, mode, RTT, Δt) points at 10-100
+// repetitions each; running them across hardware threads keeps the full
+// figure regeneration interactive.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace quicer::core {
+
+/// Runs `repetitions` seeded experiments across `threads` workers (0 =
+/// hardware concurrency) and returns extractor(result) for each run, in
+/// seed order — bit-identical to the serial RunRepetitions.
+std::vector<double> RunRepetitionsParallel(
+    ExperimentConfig config, int repetitions,
+    const std::function<double(const ExperimentResult&)>& extract, unsigned threads = 0);
+
+/// Parallel map over arbitrary experiment configs; results in input order.
+std::vector<ExperimentResult> RunExperimentsParallel(
+    const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+
+}  // namespace quicer::core

@@ -1,0 +1,63 @@
+#include "core/pto_model.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "recovery/pto.h"
+
+namespace quicer::core {
+
+void PtoState::AddSample(sim::Duration sample) {
+  if (!has_sample) {
+    has_sample = true;
+    smoothed = sample;
+    rttvar = sample / 2;
+    return;
+  }
+  rttvar = (3 * rttvar + std::abs(smoothed - sample)) / 4;
+  smoothed = (7 * smoothed + sample) / 8;
+}
+
+sim::Duration PtoState::Pto() const {
+  return smoothed + std::max<sim::Duration>(4 * rttvar, recovery::kGranularity);
+}
+
+std::vector<PtoEvolutionPoint> ComputePtoEvolution(sim::Duration rtt, sim::Duration delta_t,
+                                                   int ack_count) {
+  std::vector<PtoEvolutionPoint> points;
+  points.reserve(static_cast<std::size_t>(std::max(ack_count, 0)));
+  PtoState wfc;
+  PtoState iack;
+  for (int i = 0; i < ack_count; ++i) {
+    // WFC's first sample includes the certificate-store delay Δt; every
+    // later packet is assumed to be acknowledged after exactly one RTT.
+    wfc.AddSample(i == 0 ? rtt + delta_t : rtt);
+    iack.AddSample(rtt);
+    points.push_back(PtoEvolutionPoint{i, wfc.Pto(), iack.Pto()});
+  }
+  return points;
+}
+
+sim::Duration FirstPto(sim::Duration first_sample) {
+  PtoState state;
+  state.AddSample(first_sample);
+  return state.Pto();
+}
+
+SweetSpotPoint FirstPtoReduction(sim::Duration rtt, sim::Duration delta_t) {
+  SweetSpotPoint point;
+  point.rtt = rtt;
+  point.delta_t = delta_t;
+  const sim::Duration pto_wfc = FirstPto(rtt + delta_t);
+  const sim::Duration pto_iack = FirstPto(rtt);
+  point.reduction_rtts =
+      static_cast<double>(pto_wfc - pto_iack) / static_cast<double>(std::max<sim::Duration>(rtt, 1));
+  // The client arms its PTO from the instant-ACK sample; if the remaining
+  // wait for the ServerHello (Δt) exceeds that PTO, the probe fires first.
+  point.spurious_retransmissions = delta_t > pto_iack;
+  return point;
+}
+
+sim::Duration SpuriousBoundary(sim::Duration rtt) { return FirstPto(rtt); }
+
+}  // namespace quicer::core

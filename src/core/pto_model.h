@@ -1,0 +1,67 @@
+// Closed-form numerical analysis of the Probe Timeout (RFC 9002 §5/§6.2),
+// independent of the packet-level simulator.
+//
+// This reproduces the paper's "numerical sweet spot analysis" (§4.1):
+//
+//  * Fig 2 — evolution of the PTO over the first ~50 new-ACK packets when
+//    the first RTT sample is inflated by Δt (WFC) versus accurate (IACK):
+//    the instant ACK improves the first PTO by 3Δt and the EWMA slowly
+//    converges afterwards.
+//  * Fig 4 — first-PTO reduction measured in units of the RTT, per Δt, and
+//    the spurious-retransmission boundary: if Δt exceeds the client's PTO
+//    set from the instant-ACK sample, the client probes before the
+//    ServerHello can arrive and the retransmission is spurious.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace quicer::core {
+
+/// RFC 9002 smoothed-RTT state stepped sample by sample.
+struct PtoState {
+  sim::Duration smoothed = 0;
+  sim::Duration rttvar = 0;
+  bool has_sample = false;
+
+  /// Feeds one sample (first sample: smoothed = s, rttvar = s/2).
+  void AddSample(sim::Duration sample);
+
+  /// PTO = smoothed + max(4*rttvar, granularity).
+  sim::Duration Pto() const;
+};
+
+/// One point of the Fig 2 series.
+struct PtoEvolutionPoint {
+  int ack_index = 0;          // packets with new ACKs, 0-based
+  sim::Duration pto_wfc = 0;  // first sample rtt+Δt, then rtt
+  sim::Duration pto_iack = 0; // all samples rtt
+};
+
+/// Computes the PTO evolution assuming every subsequent packet is acked
+/// after exactly one RTT (the Fig 2 static setting).
+std::vector<PtoEvolutionPoint> ComputePtoEvolution(sim::Duration rtt, sim::Duration delta_t,
+                                                   int ack_count);
+
+/// First PTO after one sample: 3x the sample (+ granularity floor).
+sim::Duration FirstPto(sim::Duration first_sample);
+
+/// One point of the Fig 4 analysis.
+struct SweetSpotPoint {
+  sim::Duration rtt = 0;
+  sim::Duration delta_t = 0;
+  /// (PTO_WFC - PTO_IACK) / RTT — the paper's y-axis.
+  double reduction_rtts = 0.0;
+  /// Δt > client PTO: the instant-ACK-armed client probes before the
+  /// ServerHello arrives.
+  bool spurious_retransmissions = false;
+};
+
+SweetSpotPoint FirstPtoReduction(sim::Duration rtt, sim::Duration delta_t);
+
+/// Largest Δt (for a given RTT) that avoids spurious retransmissions —
+/// the boundary line of Fig 4's "zone of reduced latency".
+sim::Duration SpuriousBoundary(sim::Duration rtt);
+
+}  // namespace quicer::core

@@ -1,0 +1,37 @@
+// Plain-text report rendering for the benchmark binaries.
+//
+// Each bench regenerates one of the paper's tables/figures as text: headers,
+// aligned rows, and ASCII scatter strips that mimic the per-measurement
+// diamond plots (Fig 5/6/7/12/13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace quicer::core {
+
+/// Prints a boxed section title to stdout.
+void PrintTitle(const std::string& title);
+
+/// Prints a secondary heading.
+void PrintHeading(const std::string& heading);
+
+/// Formats a duration as milliseconds with one decimal.
+std::string FormatMs(sim::Duration d);
+
+/// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 1);
+
+/// Renders a one-line ASCII scatter of `values` over [lo, hi]: each sample
+/// becomes a diamond-ish marker; stacked samples darken the cell. The median
+/// is marked with '|'.
+std::string RenderScatter(const std::vector<double>& values, double lo, double hi,
+                          std::size_t width = 60);
+
+/// Renders a simple series as "x -> y" aligned columns.
+void PrintSeries(const std::string& x_label, const std::string& y_label,
+                 const std::vector<std::pair<double, double>>& points);
+
+}  // namespace quicer::core

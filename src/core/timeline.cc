@@ -1,0 +1,72 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace quicer::core {
+namespace {
+
+void Append(std::vector<TimelineEntry>& out, const qlog::Trace& trace,
+            const std::string& actor) {
+  for (const qlog::PacketEvent& event : trace.packets()) {
+    TimelineEntry entry;
+    entry.time = event.time;
+    entry.actor = actor;
+    entry.kind = event.sent ? "send" : "recv";
+    entry.space = event.space;
+    entry.packet_number = event.packet_number;
+    entry.size = event.size;
+    entry.ack_eliciting = event.ack_eliciting;
+    out.push_back(std::move(entry));
+  }
+  for (const qlog::NoteEvent& note : trace.notes()) {
+    TimelineEntry entry;
+    entry.time = note.time;
+    entry.actor = actor;
+    entry.kind = "note";
+    entry.detail = note.category + ": " + note.detail;
+    out.push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+std::vector<TimelineEntry> BuildTimeline(const qlog::Trace& client,
+                                         const qlog::Trace& server) {
+  std::vector<TimelineEntry> timeline;
+  Append(timeline, client, "client");
+  Append(timeline, server, "server");
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) { return a.time < b.time; });
+  return timeline;
+}
+
+std::string RenderTimeline(const std::vector<TimelineEntry>& timeline) {
+  std::string out;
+  char line[256];
+  for (const TimelineEntry& entry : timeline) {
+    if (entry.kind == "note") {
+      std::snprintf(line, sizeof(line), "%10.3f ms  %-6s  -- %s\n",
+                    sim::ToMillis(entry.time), entry.actor.c_str(), entry.detail.c_str());
+    } else {
+      std::snprintf(line, sizeof(line), "%10.3f ms  %-6s  %-4s %-9s pn=%llu %5zu B%s\n",
+                    sim::ToMillis(entry.time), entry.actor.c_str(), entry.kind.c_str(),
+                    std::string(ToString(entry.space)).c_str(),
+                    static_cast<unsigned long long>(entry.packet_number), entry.size,
+                    entry.ack_eliciting ? "" : "  [non-eliciting]");
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::vector<TimelineEntry> SendsOf(const std::vector<TimelineEntry>& timeline,
+                                   const std::string& actor) {
+  std::vector<TimelineEntry> out;
+  for (const TimelineEntry& entry : timeline) {
+    if (entry.kind == "send" && entry.actor == actor) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace quicer::core

@@ -1,0 +1,39 @@
+// Merged two-sided connection timeline (a textual Fig 3).
+//
+// Combines the client's and server's qlog traces into one chronological
+// transcript — packet sends/receives and notes — for debugging and for the
+// conformance tests that check the handshake follows the paper's Fig 3
+// choreography.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qlog/qlog.h"
+
+namespace quicer::core {
+
+struct TimelineEntry {
+  sim::Time time = 0;
+  /// "client" or "server".
+  std::string actor;
+  /// "send", "recv" or "note".
+  std::string kind;
+  quic::PacketNumberSpace space = quic::PacketNumberSpace::kInitial;
+  std::uint64_t packet_number = 0;
+  std::size_t size = 0;
+  bool ack_eliciting = false;
+  std::string detail;  // notes only
+};
+
+/// Builds the merged, time-ordered timeline from both traces.
+std::vector<TimelineEntry> BuildTimeline(const qlog::Trace& client, const qlog::Trace& server);
+
+/// Renders the timeline as aligned text, one line per entry.
+std::string RenderTimeline(const std::vector<TimelineEntry>& timeline);
+
+/// Convenience filters.
+std::vector<TimelineEntry> SendsOf(const std::vector<TimelineEntry>& timeline,
+                                   const std::string& actor);
+
+}  // namespace quicer::core

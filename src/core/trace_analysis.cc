@@ -1,0 +1,75 @@
+#include "core/trace_analysis.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace quicer::core {
+
+DerivedPtoSeries DerivePtoSeries(const qlog::Trace& trace) {
+  DerivedPtoSeries series;
+
+  // Outstanding ack-eliciting sends per space, FIFO.
+  std::deque<qlog::PacketEvent> outstanding[quic::kNumSpaces];
+
+  recovery::RttEstimator estimator;
+  recovery::PtoConfig pto_config;
+
+  for (const qlog::PacketEvent& event : trace.packets()) {
+    const int space = quic::SpaceIndex(event.space);
+    if (event.sent) {
+      if (event.ack_eliciting) outstanding[space].push_back(event);
+      continue;
+    }
+    // A packet received in a space acknowledges (at least) the oldest
+    // outstanding ack-eliciting packet of that space if a full round trip
+    // could have elapsed.
+    if (outstanding[space].empty()) continue;
+    const qlog::PacketEvent& oldest = outstanding[space].front();
+    if (event.time <= oldest.time) continue;
+
+    DerivedSample sample;
+    sample.sent_time = oldest.time;
+    sample.acked_time = event.time;
+    sample.rtt = event.time - oldest.time;
+    outstanding[space].pop_front();
+    series.samples.push_back(sample);
+
+    estimator.AddSample(sample.rtt, 0);
+    qlog::MetricsUpdate update;
+    update.time = event.time;
+    update.smoothed_rtt = estimator.smoothed();
+    update.rtt_var = estimator.rttvar();
+    update.latest_rtt = sample.rtt;
+    update.min_rtt = estimator.min_rtt();
+    update.pto = recovery::PtoPeriod(estimator, pto_config,
+                                     quic::PacketNumberSpace::kHandshake, false);
+    series.metrics.push_back(update);
+  }
+  return series;
+}
+
+ExposureComparison CompareExposure(const qlog::Trace& trace) {
+  ExposureComparison comparison;
+  comparison.exposed_updates = trace.metrics().size();
+  const DerivedPtoSeries derived = DerivePtoSeries(trace);
+  comparison.derived_samples = derived.samples.size();
+  if (!trace.metrics().empty() && derived.FirstPto().has_value()) {
+    const sim::Duration exposed_pto = trace.metrics().front().pto;
+    comparison.first_pto_difference =
+        std::max(exposed_pto, *derived.FirstPto()) - std::min(exposed_pto, *derived.FirstPto());
+  }
+  return comparison;
+}
+
+SampleCounts CountSamples(const qlog::Trace& trace) {
+  SampleCounts counts;
+  counts.packets_with_new_acks = trace.packets_with_new_acks();
+  counts.exposed_metric_updates = trace.metrics().size();
+  if (counts.packets_with_new_acks > 0) {
+    counts.exposure_ratio = static_cast<double>(counts.exposed_metric_updates) /
+                            static_cast<double>(counts.packets_with_new_acks);
+  }
+  return counts;
+}
+
+}  // namespace quicer::core

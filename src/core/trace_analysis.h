@@ -1,0 +1,72 @@
+// Offline trace analysis — the paper's measurement methodology.
+//
+// §3: "To ensure consistency, we calculate PTOs based on sent and received
+// packets according to the standard [RFC 9002]." and Appendix E: "When RTT
+// variance is not available [in qlog], we calculate it from the sent and
+// received packets instead."
+//
+// This module re-derives RTT samples and PTOs *from packet events alone*,
+// independent of whatever the connection's own estimator did — exactly what
+// the paper does to compare implementations whose qlog output is incomplete
+// or non-standard (wrong variance formula, missing rttvar, sparse metric
+// exposure).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "qlog/qlog.h"
+#include "recovery/pto.h"
+
+namespace quicer::core {
+
+/// One re-derived RTT sample: an ACK-eliciting packet we sent whose
+/// acknowledgment is inferred from the peer's next return packet.
+struct DerivedSample {
+  sim::Time sent_time = 0;
+  sim::Time acked_time = 0;
+  sim::Duration rtt = 0;
+};
+
+/// Estimator state replayed over the derived samples.
+struct DerivedPtoSeries {
+  std::vector<DerivedSample> samples;
+  /// smoothed/var/PTO after each sample (RFC 9002 formulas).
+  std::vector<qlog::MetricsUpdate> metrics;
+
+  std::optional<sim::Duration> FirstPto() const {
+    if (metrics.empty()) return std::nullopt;
+    return metrics.front().pto;
+  }
+};
+
+/// Re-derives RTT samples from a packet trace. A sample is formed for the
+/// oldest outstanding ack-eliciting sent packet each time a packet is
+/// received from the peer in the same space (our traces do not carry ACK
+/// ranges, so this is the conservative approximation the paper applies to
+/// packet captures: match each return packet to the newest unmatched
+/// ack-eliciting send that precedes it by at least the serialisation time).
+DerivedPtoSeries DerivePtoSeries(const qlog::Trace& trace);
+
+/// Compares the connection's own exposed metrics with the re-derived ones.
+struct ExposureComparison {
+  std::size_t exposed_updates = 0;
+  std::size_t derived_samples = 0;
+  /// |first exposed PTO - first derived PTO|, if both exist.
+  std::optional<sim::Duration> first_pto_difference;
+};
+
+ExposureComparison CompareExposure(const qlog::Trace& trace);
+
+/// Counts the theoretically possible RTT samples (packets with new ACKs of
+/// ack-eliciting data) versus the exposed recovery:metric updates — the two
+/// bars of Fig 11.
+struct SampleCounts {
+  std::uint64_t packets_with_new_acks = 0;
+  std::size_t exposed_metric_updates = 0;
+  double exposure_ratio = 0.0;
+};
+
+SampleCounts CountSamples(const qlog::Trace& trace);
+
+}  // namespace quicer::core

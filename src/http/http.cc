@@ -1,0 +1,31 @@
+#include "http/http.h"
+
+namespace quicer::http {
+
+std::string_view ToString(Version version) {
+  return version == Version::kHttp1 ? "HTTP/1.1" : "HTTP/3";
+}
+
+std::size_t RequestBytes(Version version, std::size_t path_length) {
+  switch (version) {
+    case Version::kHttp1:
+      // "GET /<path> HTTP/1.1\r\nHost: ...\r\n\r\n"
+      return 24 + path_length + 40;
+    case Version::kHttp3:
+      // QPACK-compressed HEADERS frame.
+      return 2 + 1 + 30 + path_length;
+  }
+  return 0;
+}
+
+std::size_t ResponseHeadBytes(Version version) {
+  switch (version) {
+    case Version::kHttp1:
+      return 110;  // status line + typical header block
+    case Version::kHttp3:
+      return 2 + 40;  // HEADERS frame with QPACK static-table entries
+  }
+  return 0;
+}
+
+}  // namespace quicer::http

@@ -1,0 +1,47 @@
+// Minimal HTTP-over-QUIC semantics.
+//
+// The paper runs one GET request/response per connection over HTTP/1.1 and
+// HTTP/3. Only two protocol properties matter to the results:
+//
+//  * HTTP/3 servers open a control stream and send a SETTINGS frame
+//    *immediately after the handshake completes*, so the client's
+//    time-to-first-(stream)-byte is roughly one RTT lower than with HTTP/1.1,
+//    where the first server stream bytes are the response itself (Fig 5).
+//  * Request and response sizes determine how many packets each flight needs.
+//
+// This module provides the stream-id conventions, frame overheads and size
+// helpers; the connection state machines consume them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace quicer::http {
+
+enum class Version { kHttp1, kHttp3 };
+
+std::string_view ToString(Version version);
+
+/// Client-initiated bidirectional stream carrying the GET request/response.
+inline constexpr std::uint64_t kRequestStreamId = 0;
+/// Client's unidirectional HTTP/3 control stream.
+inline constexpr std::uint64_t kClientControlStreamId = 2;
+/// Server's unidirectional HTTP/3 control stream (first server stream bytes).
+inline constexpr std::uint64_t kServerControlStreamId = 3;
+
+/// Wire size of an HTTP/3 SETTINGS frame plus stream-type byte.
+inline constexpr std::size_t kH3SettingsBytes = 9;
+
+/// File sizes used throughout the paper's evaluation (§3).
+inline constexpr std::size_t kSmallFileBytes = 10 * 1024;          // "10 KB"
+inline constexpr std::size_t kLargeFileBytes = 10 * 1024 * 1024;   // "10 MB"
+
+/// Byte size of the GET request as it appears in STREAM frames.
+std::size_t RequestBytes(Version version, std::size_t path_length = 16);
+
+/// Byte size of the response head (status line / HEADERS frame) preceding the
+/// body.
+std::size_t ResponseHeadBytes(Version version);
+
+}  // namespace quicer::http

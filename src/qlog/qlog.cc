@@ -1,0 +1,40 @@
+#include "qlog/qlog.h"
+
+#include <utility>
+
+namespace quicer::qlog {
+
+void Trace::RecordPacket(const PacketEvent& event) {
+  if (config_.capture_packets) packets_.push_back(event);
+}
+
+void Trace::RecordMetrics(const MetricsUpdate& update) {
+  MetricsUpdate stored = update;
+  stored.rtt_var_logged = config_.logs_rttvar;
+  if (!config_.logs_rttvar) stored.rtt_var = 0;
+
+  if (config_.metrics_exposure < 1.0 && !rng_.Bernoulli(config_.metrics_exposure)) {
+    ++suppressed_;
+    return;
+  }
+  // The paper removes consecutive duplicates when counting exposed updates.
+  if (!metrics_.empty()) {
+    const MetricsUpdate& last = metrics_.back();
+    if (last.smoothed_rtt == stored.smoothed_rtt && last.rtt_var == stored.rtt_var &&
+        last.latest_rtt == stored.latest_rtt) {
+      return;
+    }
+  }
+  metrics_.push_back(stored);
+}
+
+void Trace::RecordNote(sim::Time time, std::string category, std::string detail) {
+  notes_.push_back(NoteEvent{time, std::move(category), std::move(detail)});
+}
+
+std::optional<MetricsUpdate> Trace::FirstMetrics() const {
+  if (metrics_.empty()) return std::nullopt;
+  return metrics_.front();
+}
+
+}  // namespace quicer::qlog

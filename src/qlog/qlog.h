@@ -1,0 +1,99 @@
+// Qlog-style structured event trace.
+//
+// The paper's testbed methodology derives all timing results from Qlog
+// (§3): packets sent/received plus recovery:metrics updates (smoothed RTT,
+// RTT variation). Implementations differ in how many metric updates they
+// expose and whether they log the RTT variance at all (Appendix E, Fig 11);
+// both are modelled here via an exposure probability and a logs_rttvar flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quic/types.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace quicer::qlog {
+
+/// recovery:metrics_updated event payload.
+struct MetricsUpdate {
+  sim::Time time = 0;
+  sim::Duration smoothed_rtt = 0;
+  sim::Duration rtt_var = 0;       // 0 when the implementation does not log it
+  sim::Duration latest_rtt = 0;
+  sim::Duration min_rtt = 0;
+  sim::Duration pto = 0;           // PTO period implied by the metrics
+  bool rtt_var_logged = true;
+};
+
+/// transport:packet_sent / packet_received event payload.
+struct PacketEvent {
+  sim::Time time = 0;
+  bool sent = false;  // false = received
+  quic::PacketNumberSpace space = quic::PacketNumberSpace::kInitial;
+  std::uint64_t packet_number = 0;
+  std::size_t size = 0;
+  bool ack_eliciting = false;
+};
+
+/// Free-form noteworthy events (PTO expiry, amplification block, ...).
+struct NoteEvent {
+  sim::Time time = 0;
+  std::string category;
+  std::string detail;
+};
+
+/// Controls how faithfully the emulated implementation exposes its
+/// recovery metrics (Appendix E).
+struct TraceConfig {
+  /// Probability that an individual metrics update is written to the log.
+  double metrics_exposure = 1.0;
+  /// False for implementations that omit rttvar (neqo, mvfst, picoquic).
+  bool logs_rttvar = true;
+  /// Capture packet events (disable for bulk-transfer speed).
+  bool capture_packets = true;
+};
+
+/// Per-connection event log.
+class Trace {
+ public:
+  Trace() : Trace(TraceConfig{}, sim::Rng(1)) {}
+  Trace(TraceConfig config, sim::Rng rng) : config_(config), rng_(rng) {}
+
+  void RecordPacket(const PacketEvent& event);
+
+  /// Records a metrics update, subject to the exposure probability. Two
+  /// consecutive identical updates are deduplicated, mirroring the paper's
+  /// post-processing.
+  void RecordMetrics(const MetricsUpdate& update);
+
+  void RecordNote(sim::Time time, std::string category, std::string detail);
+
+  /// Count of received packets that newly acknowledged data ("packets with
+  /// new ACKs" in Fig 11); incremented by the connection.
+  void CountNewAckPacket() { ++packets_with_new_acks_; }
+
+  const std::vector<MetricsUpdate>& metrics() const { return metrics_; }
+  const std::vector<PacketEvent>& packets() const { return packets_; }
+  const std::vector<NoteEvent>& notes() const { return notes_; }
+  std::uint64_t packets_with_new_acks() const { return packets_with_new_acks_; }
+
+  /// First logged metrics update, if any (basis of Fig 16).
+  std::optional<MetricsUpdate> FirstMetrics() const;
+
+  std::uint64_t suppressed_metrics_updates() const { return suppressed_; }
+
+ private:
+  TraceConfig config_;
+  sim::Rng rng_;
+  std::vector<MetricsUpdate> metrics_;
+  std::vector<PacketEvent> packets_;
+  std::vector<NoteEvent> notes_;
+  std::uint64_t packets_with_new_acks_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace quicer::qlog

@@ -1,0 +1,109 @@
+#include "qlog/qlog_json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace quicer::qlog {
+namespace {
+
+const char* SpaceName(quic::PacketNumberSpace space) {
+  switch (space) {
+    case quic::PacketNumberSpace::kInitial: return "initial";
+    case quic::PacketNumberSpace::kHandshake: return "handshake";
+    case quic::PacketNumberSpace::kAppData: return "1RTT";
+  }
+  return "unknown";
+}
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct Record {
+  sim::Time time;
+  int order;
+  std::string json;
+};
+
+}  // namespace
+
+std::string ToJsonSeq(const Trace& trace, const JsonOptions& options) {
+  std::vector<Record> records;
+  char buf[512];
+  int order = 0;
+
+  if (options.include_packets) {
+    for (const PacketEvent& event : trace.packets()) {
+      std::snprintf(buf, sizeof(buf),
+                    R"({"time":%.3f,"name":"transport:packet_%s","data":{)"
+                    R"("header":{"packet_type":"%s","packet_number":%llu},)"
+                    R"("raw":{"length":%zu},"is_ack_eliciting":%s}})",
+                    sim::ToMillis(event.time), event.sent ? "sent" : "received",
+                    SpaceName(event.space),
+                    static_cast<unsigned long long>(event.packet_number), event.size,
+                    event.ack_eliciting ? "true" : "false");
+      records.push_back({event.time, order++, buf});
+    }
+  }
+
+  if (options.include_metrics) {
+    for (const MetricsUpdate& update : trace.metrics()) {
+      if (update.rtt_var_logged) {
+        std::snprintf(buf, sizeof(buf),
+                      R"({"time":%.3f,"name":"recovery:metrics_updated","data":{)"
+                      R"("smoothed_rtt":%.3f,"rtt_variance":%.3f,"latest_rtt":%.3f,)"
+                      R"("min_rtt":%.3f,"pto_count":0}})",
+                      sim::ToMillis(update.time), sim::ToMillis(update.smoothed_rtt),
+                      sim::ToMillis(update.rtt_var), sim::ToMillis(update.latest_rtt),
+                      sim::ToMillis(update.min_rtt));
+      } else {
+        // Implementations that omit the variance (neqo, mvfst, picoquic).
+        std::snprintf(buf, sizeof(buf),
+                      R"({"time":%.3f,"name":"recovery:metrics_updated","data":{)"
+                      R"("smoothed_rtt":%.3f,"latest_rtt":%.3f,"min_rtt":%.3f,)"
+                      R"("pto_count":0}})",
+                      sim::ToMillis(update.time), sim::ToMillis(update.smoothed_rtt),
+                      sim::ToMillis(update.latest_rtt), sim::ToMillis(update.min_rtt));
+      }
+      records.push_back({update.time, order++, buf});
+    }
+  }
+
+  if (options.include_notes) {
+    for (const NoteEvent& note : trace.notes()) {
+      std::snprintf(buf, sizeof(buf),
+                    R"({"time":%.3f,"name":"internal:note","data":{"category":"%s",)"
+                    R"("message":"%s"}})",
+                    sim::ToMillis(note.time), Escape(note.category).c_str(),
+                    Escape(note.detail).c_str());
+      records.push_back({note.time, order++, buf});
+    }
+  }
+
+  std::stable_sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                R"({"qlog_version":"0.3","title":"reacked-quicer trace",)"
+                R"("trace":{"vantage_point":{"name":"%s"},"event_count":%zu}})",
+                Escape(options.vantage).c_str(), records.size());
+  out += buf;
+  out.push_back('\n');
+  for (const Record& record : records) {
+    out += record.json;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace quicer::qlog

@@ -1,0 +1,32 @@
+// Qlog JSON-SEQ serialisation (draft-ietf-quic-qlog-main-schema).
+//
+// The paper's toolchain consumes Qlog files; this exporter produces the
+// same event classes our Trace records — transport:packet_sent /
+// packet_received and recovery:metrics_updated — in the NDJSON ("JSON text
+// sequence") framing used by qlog 0.3, so traces can be fed to existing
+// qlog tooling (qvis etc.) or diffed across runs.
+#pragma once
+
+#include <string>
+
+#include "qlog/qlog.h"
+
+namespace quicer::qlog {
+
+/// Options for serialisation.
+struct JsonOptions {
+  /// Emit packet events (can dominate file size for bulk transfers).
+  bool include_packets = true;
+  /// Emit recovery metric updates.
+  bool include_metrics = true;
+  /// Emit free-form notes as "internal:note" events.
+  bool include_notes = true;
+  /// Vantage point name recorded in the header.
+  std::string vantage = "client";
+};
+
+/// Serialises the trace as newline-delimited JSON: one header record
+/// followed by one record per event, ordered by time.
+std::string ToJsonSeq(const Trace& trace, const JsonOptions& options = {});
+
+}  // namespace quicer::qlog

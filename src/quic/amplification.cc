@@ -1,0 +1,32 @@
+#include "quic/amplification.h"
+
+#include "quic/types.h"
+
+namespace quicer::quic {
+
+std::size_t AmplificationLimiter::Budget() const {
+  if (validated()) return static_cast<std::size_t>(-1);
+  const std::size_t allowance = kAmplificationFactor * received_;
+  return allowance > sent_ ? allowance - sent_ : 0;
+}
+
+void AmplificationLimiter::NoteBlocked(sim::Time now) {
+  if (currently_blocked_) return;
+  currently_blocked_ = true;
+  blocked_since_ = now;
+  ++blocked_events_;
+}
+
+void AmplificationLimiter::NoteUnblocked(sim::Time now) {
+  if (!currently_blocked_) return;
+  currently_blocked_ = false;
+  blocked_accum_ += now - blocked_since_;
+}
+
+sim::Duration AmplificationLimiter::total_blocked_time(sim::Time now) const {
+  sim::Duration total = blocked_accum_;
+  if (currently_blocked_) total += now - blocked_since_;
+  return total;
+}
+
+}  // namespace quicer::quic

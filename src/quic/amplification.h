@@ -1,0 +1,58 @@
+// Anti-amplification limit (RFC 9000 §8.1).
+//
+// Until the client's address is validated, a server may send at most three
+// times the bytes it has received. When the TLS certificate exceeds this
+// budget the server blocks mid-flight — the situation in which instant ACK
+// helps most (Fig 5), because the earlier client PTO produces probe packets
+// that refill the budget sooner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace quicer::quic {
+
+/// Tracks the 3x send budget of an unvalidated server.
+class AmplificationLimiter {
+ public:
+  /// `enforced` is false for clients, which are never amplification-limited.
+  explicit AmplificationLimiter(bool enforced) : enforced_(enforced) {}
+
+  void OnBytesReceived(std::size_t bytes) { received_ += bytes; }
+  void OnBytesSent(std::size_t bytes) { sent_ += bytes; }
+
+  /// Address validation lifts the limit permanently.
+  void OnAddressValidated() { validated_ = true; }
+  bool validated() const { return validated_ || !enforced_; }
+
+  /// Bytes that may still be sent under the limit.
+  std::size_t Budget() const;
+
+  /// True if a datagram of `bytes` fits in the current budget.
+  bool CanSend(std::size_t bytes) const { return Budget() >= bytes; }
+
+  /// Bookkeeping for the "server blocked" statistics the paper reports from
+  /// server logs (§4.1): call when sending stalls / resumes.
+  void NoteBlocked(sim::Time now);
+  void NoteUnblocked(sim::Time now);
+
+  std::uint64_t blocked_events() const { return blocked_events_; }
+  sim::Duration total_blocked_time(sim::Time now) const;
+
+  std::size_t bytes_received() const { return received_; }
+  std::size_t bytes_sent() const { return sent_; }
+
+ private:
+  bool enforced_;
+  bool validated_ = false;
+  std::size_t received_ = 0;
+  std::size_t sent_ = 0;
+  std::uint64_t blocked_events_ = 0;
+  bool currently_blocked_ = false;
+  sim::Time blocked_since_ = 0;
+  sim::Duration blocked_accum_ = 0;
+};
+
+}  // namespace quicer::quic

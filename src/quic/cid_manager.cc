@@ -1,0 +1,30 @@
+#include "quic/cid_manager.h"
+
+namespace quicer::quic {
+
+CidManager::ProcessResult CidManager::OnNewConnectionId(const NewConnectionIdFrame& frame) {
+  ProcessResult result;
+  active_.insert(frame.sequence);
+  // Retire everything below retire_prior_to, as the frame demands.
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (*it < frame.retire_prior_to) {
+      retired_.insert(*it);
+      result.retirements.push_back(RetireConnectionIdFrame{*it});
+      ++retirement_count_;
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // A retransmitted NEW_CONNECTION_ID asks us to retire already-retired
+  // sequences again.
+  for (std::uint64_t seq : retired_) {
+    if (seq < frame.retire_prior_to && result.retirements.empty()) {
+      result.duplicate_retirement = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace quicer::quic

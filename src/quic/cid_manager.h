@@ -1,0 +1,46 @@
+// Connection-ID issuance and retirement.
+//
+// Only the subset relevant to the paper is modelled: servers issue a
+// NEW_CONNECTION_ID (with retire_prior_to) in their first 1-RTT flight; the
+// peer retires superseded CIDs and responds with RETIRE_CONNECTION_ID.
+// When the issuing packet is retransmitted (e.g. both PTO probe datagrams
+// carry it), the receiver sees the same retirement request twice. Most
+// stacks treat that as idempotent; quiche aborts the connection — the
+// behaviour behind the Fig 6 quiche anomaly ("drops connections when the
+// same connection ID is retired multiple times").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "quic/frame.h"
+
+namespace quicer::quic {
+
+/// Receive-side CID state.
+class CidManager {
+ public:
+  struct ProcessResult {
+    /// RETIRE_CONNECTION_ID frames the receiver must send in response.
+    std::vector<RetireConnectionIdFrame> retirements;
+    /// True if a CID that was already retired was asked to retire again.
+    bool duplicate_retirement = false;
+  };
+
+  /// Processes a NEW_CONNECTION_ID frame; returns required retirements and
+  /// whether a duplicate retirement occurred.
+  ProcessResult OnNewConnectionId(const NewConnectionIdFrame& frame);
+
+  /// Number of currently active (issued, unretired) sequence numbers.
+  std::size_t active_count() const { return active_.size(); }
+
+  std::uint64_t retirement_count() const { return retirement_count_; }
+
+ private:
+  std::set<std::uint64_t> active_{0};   // seq 0 is the handshake CID
+  std::set<std::uint64_t> retired_;
+  std::uint64_t retirement_count_ = 0;
+};
+
+}  // namespace quicer::quic

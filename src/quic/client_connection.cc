@@ -1,0 +1,197 @@
+#include "quic/client_connection.h"
+
+#include <utility>
+
+namespace quicer::quic {
+namespace {
+constexpr std::size_t kCryptoChunk = 1000;
+}
+
+ClientConnection::ClientConnection(sim::EventQueue& queue, ClientConfig config, sim::Rng rng)
+    : Connection(queue, Perspective::kClient, config.base, rng), client_config_(config) {
+  // Expected server messages: ServerHello in Initial, the rest in Handshake.
+  space(PacketNumberSpace::kInitial)
+      .crypto_rx.ExpectMessage(tls::MessageType::kServerHello, this->config().tls.server_hello);
+  auto& hs = space(PacketNumberSpace::kHandshake).crypto_rx;
+  hs.ExpectMessage(tls::MessageType::kEncryptedExtensions,
+                   this->config().tls.encrypted_extensions);
+  hs.ExpectMessage(tls::MessageType::kCertificate, this->config().tls.certificate);
+  hs.ExpectMessage(tls::MessageType::kCertificateVerify, this->config().tls.certificate_verify);
+  hs.ExpectMessage(tls::MessageType::kFinished, this->config().tls.finished);
+}
+
+void ClientConnection::Start() {
+  if (started_) return;
+  started_ = true;
+  SendClientHello();
+}
+
+std::vector<Frame> ClientConnection::BuildEarlyDataFrames() {
+  std::vector<Frame> frames;
+  if (config().http_version == http::Version::kHttp3) {
+    StreamFrame settings;
+    settings.stream_id = http::kClientControlStreamId;
+    settings.length = static_cast<std::uint32_t>(http::kH3SettingsBytes);
+    frames.push_back(settings);
+  }
+  StreamFrame request;
+  request.stream_id = http::kRequestStreamId;
+  request.length = static_cast<std::uint32_t>(http::RequestBytes(config().http_version));
+  request.fin = true;
+  frames.push_back(request);
+  return frames;
+}
+
+void ClientConnection::SendClientHello() {
+  client_hello_sent_time_ = queue().now();
+  std::vector<Frame> frames = MakeCryptoFrames(PacketNumberSpace::kInitial,
+                                               tls::MessageType::kClientHello,
+                                               config().tls.client_hello, kCryptoChunk);
+  RememberCryptoFlight(PacketNumberSpace::kInitial, frames);
+  Packet initial = BuildPacket(PacketNumberSpace::kInitial, std::move(frames));
+  initial.token = retry_token_;
+
+  std::vector<Packet> packets;
+  packets.push_back(std::move(initial));
+  if (client_config_.enable_0rtt && !early_data_sent_) {
+    // 0-RTT: the request rides in the first flight, protected with the
+    // resumed session's early keys.
+    early_data_sent_ = true;
+    InstallOneRttSendKeys();
+    packets.push_back(BuildPacket(PacketNumberSpace::kAppData, BuildEarlyDataFrames()));
+  }
+  SendDatagramNow(std::move(packets), kMinInitialDatagramSize);
+}
+
+void ClientConnection::HandleRetry(const RetryFrame& frame) {
+  if (retry_token_ != 0) return;  // already retried once
+  ++retries_seen_;
+  retry_token_ = frame.token;
+  trace().RecordNote(queue().now(), "transport", "Retry received; resending ClientHello");
+
+  // §5: the Retry round trip may serve as the first RTT estimate. A
+  // subsequent instant ACK is still beneficial — it reduces the variance.
+  if (client_config_.use_retry_as_rtt_sample && client_hello_sent_time_ >= 0) {
+    InjectRttSample(queue().now() - client_hello_sent_time_);
+  }
+
+  // The original attempt's state is discarded (RFC 9000 §17.2.5): forget
+  // the unacknowledged ClientHello and restart the crypto stream.
+  SpaceState& initial = space(PacketNumberSpace::kInitial);
+  congestion().OnPacketDiscarded(initial.ledger.bytes_in_flight());
+  initial.ledger.Clear();
+  initial.crypto_tx_offset = 0;
+  early_data_sent_ = false;  // 0-RTT data must be re-sent with the token
+  SendClientHello();
+}
+
+void ClientConnection::HandleCrypto(PacketNumberSpace s, const CryptoFrame& frame) {
+  (void)frame;
+  if (s == PacketNumberSpace::kInitial && !HasHandshakeKeys() &&
+      space(s).crypto_rx.IsComplete(tls::MessageType::kServerHello)) {
+    InstallHandshakeKeys();
+  }
+  // Second-flight emission happens in AfterDatagramProcessed so the whole
+  // coalesced datagram is taken into account first.
+}
+
+void ClientConnection::AfterDatagramProcessed() {
+  if (flight2_sent_ || !HasHandshakeKeys()) return;
+  if (!space(PacketNumberSpace::kHandshake).crypto_rx.AllComplete()) return;
+  InstallOneRttRecvKeys();
+  InstallOneRttSendKeys();
+  // Absorb the 1-RTT tail of the server flight (H3 SETTINGS,
+  // NEW_CONNECTION_ID) first so replies coalesce into the second flight.
+  ReprocessUndecryptable();
+  SendSecondFlight();
+}
+
+void ClientConnection::SendSecondFlight() {
+  flight2_sent_ = true;
+
+  // Handshake packet: client Finished (+ pending Handshake ACK).
+  std::vector<Frame> hs_frames;
+  if (auto ack = PopAck(PacketNumberSpace::kHandshake)) hs_frames.push_back(*ack);
+  std::vector<Frame> fin = MakeCryptoFrames(PacketNumberSpace::kHandshake,
+                                            tls::MessageType::kFinished,
+                                            config().tls.finished, kCryptoChunk);
+  RememberCryptoFlight(PacketNumberSpace::kHandshake, fin);
+  for (Frame& frame : fin) hs_frames.push_back(std::move(frame));
+
+  // 1-RTT packet: HTTP request (+ HTTP/3 client control stream SETTINGS),
+  // coalesced with any queued 1-RTT replies (e.g. RETIRE_CONNECTION_ID for
+  // the NEW_CONNECTION_ID in the server flight) — real stacks bundle these
+  // into the same flight rather than emitting an extra datagram.
+  std::vector<Frame> app_frames;
+  auto& app_pending = space(PacketNumberSpace::kAppData).pending;
+  for (Frame& frame : app_pending) app_frames.push_back(std::move(frame));
+  app_pending.clear();
+  if (!early_data_sent_) {
+    // 1-RTT handshake: the request goes out now. (In 0-RTT it already rode
+    // with the ClientHello.)
+    for (Frame& frame : BuildEarlyDataFrames()) app_frames.push_back(std::move(frame));
+  } else if (app_frames.empty()) {
+    // Keep the flight shape: an ACK-bearing 1-RTT packet still closes the
+    // exchange.
+    if (auto app_ack = PopAck(PacketNumberSpace::kAppData)) app_frames.push_back(*app_ack);
+    if (app_frames.empty()) app_frames.push_back(PingFrame{});
+  }
+
+  // Leftover Initial ACK (quiche defers it to coalesce here; for others it
+  // usually went out as its own datagram already).
+  std::optional<AckFrame> initial_ack = PopAck(PacketNumberSpace::kInitial);
+
+  const int split = config().second_flight_datagrams;
+  if (split <= 1) {
+    // quiche: everything in one datagram.
+    std::vector<Packet> packets;
+    if (initial_ack) {
+      packets.push_back(BuildPacket(PacketNumberSpace::kInitial, {*initial_ack}));
+    }
+    packets.push_back(BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames)));
+    packets.push_back(BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames)));
+    SendDatagramNow(std::move(packets));
+  } else if (split == 2) {
+    // neqo: Handshake and 1-RTT coalesce.
+    if (initial_ack) {
+      SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {*initial_ack})});
+    }
+    std::vector<Packet> packets;
+    packets.push_back(BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames)));
+    packets.push_back(BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames)));
+    SendDatagramNow(std::move(packets));
+  } else {
+    // Default (3) and picoquic (4): one datagram per space; picoquic's
+    // extra datagram is its uncoalesced Handshake ACK, which the base class
+    // already emitted separately (coalesce_acks = false).
+    if (initial_ack) {
+      SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {*initial_ack})});
+    }
+    SendDatagramNow({BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames))});
+    SendDatagramNow({BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames))});
+  }
+
+  // Sending the Finished completes the handshake from the client's TLS
+  // perspective; the client now discards Initial keys (RFC 9001 §4.9.1).
+  SetHandshakeComplete();
+  if (!space(PacketNumberSpace::kInitial).discarded) {
+    DiscardSpace(PacketNumberSpace::kInitial);
+  }
+}
+
+void ClientConnection::HandleStream(const StreamFrame& frame) {
+  if (frame.stream_id != http::kRequestStreamId) return;
+  const auto it = in_streams().find(http::kRequestStreamId);
+  if (it == in_streams().end()) return;
+  const InStream& in = it->second;
+  if (in.fin_seen && in.high_watermark >= in.fin_offset && !response_complete_) {
+    response_complete_ = true;
+    mutable_metrics().response_complete = queue().now();
+  }
+}
+
+void ClientConnection::HandleHandshakeDone() {
+  // Handshake confirmed; base class already discarded Handshake keys.
+}
+
+}  // namespace quicer::quic

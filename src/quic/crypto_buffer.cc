@@ -1,0 +1,74 @@
+#include "quic/crypto_buffer.h"
+
+#include <algorithm>
+
+namespace quicer::quic {
+
+void CryptoBuffer::ExpectMessage(tls::MessageType type, std::size_t size) {
+  Expected e;
+  e.type = type;
+  e.begin = total_expected_;
+  e.end = total_expected_ + size;
+  expected_.push_back(e);
+  total_expected_ = e.end;
+}
+
+void CryptoBuffer::OnFrame(const CryptoFrame& frame) {
+  if (frame.length == 0) return;
+  Interval incoming{frame.offset, frame.offset + frame.length};
+  // Insert and merge.
+  auto it = std::lower_bound(received_.begin(), received_.end(), incoming,
+                             [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  it = received_.insert(it, incoming);
+  // Merge with predecessor and successors.
+  if (it != received_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->end >= it->begin) {
+      prev->end = std::max(prev->end, it->end);
+      it = received_.erase(it);
+      it = std::prev(it);
+    }
+  }
+  while (std::next(it) != received_.end() && it->end >= std::next(it)->begin) {
+    it->end = std::max(it->end, std::next(it)->end);
+    received_.erase(std::next(it));
+  }
+}
+
+bool CryptoBuffer::Covered(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return true;
+  for (const Interval& interval : received_) {
+    if (interval.begin <= begin && end <= interval.end) return true;
+    if (interval.begin > begin) break;
+  }
+  return false;
+}
+
+bool CryptoBuffer::IsComplete(tls::MessageType type) const {
+  for (const Expected& e : expected_) {
+    if (e.type == type) return Covered(e.begin, e.end);
+  }
+  return false;
+}
+
+bool CryptoBuffer::AllComplete() const {
+  return ContiguousReceived() >= total_expected_ && total_expected_ > 0;
+}
+
+std::uint64_t CryptoBuffer::ContiguousReceived() const {
+  std::uint64_t contiguous = 0;
+  for (const Interval& interval : received_) {
+    if (interval.begin > contiguous) break;
+    contiguous = std::max(contiguous, interval.end);
+  }
+  return contiguous;
+}
+
+std::pair<std::uint64_t, std::uint64_t> CryptoBuffer::RangeOf(tls::MessageType type) const {
+  for (const Expected& e : expected_) {
+    if (e.type == type) return {e.begin, e.end};
+  }
+  return {0, 0};
+}
+
+}  // namespace quicer::quic

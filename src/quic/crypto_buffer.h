@@ -1,0 +1,62 @@
+// Reassembly of the CRYPTO stream within one packet number space.
+//
+// The emulation does not carry real TLS bytes; the receiver instead knows the
+// expected message layout (type + size, in order) and tracks which byte
+// ranges of the crypto stream have arrived. A message is "complete" when its
+// whole extent is covered — this is what gates key installation and flight
+// transitions in the connection state machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quic/frame.h"
+#include "tls/messages.h"
+
+namespace quicer::quic {
+
+/// Crypto-stream reassembly buffer for one packet number space.
+class CryptoBuffer {
+ public:
+  /// Appends an expected message to the layout. Messages occupy consecutive
+  /// stream ranges in the order declared.
+  void ExpectMessage(tls::MessageType type, std::size_t size);
+
+  /// Records receipt of a CRYPTO frame chunk. Overlapping/duplicate ranges
+  /// are fine.
+  void OnFrame(const CryptoFrame& frame);
+
+  /// True if the full extent of `type` has been received.
+  bool IsComplete(tls::MessageType type) const;
+
+  /// True once every expected message is complete.
+  bool AllComplete() const;
+
+  /// Total bytes expected across all declared messages.
+  std::uint64_t TotalExpected() const { return total_expected_; }
+
+  /// Contiguous prefix of the stream received so far.
+  std::uint64_t ContiguousReceived() const;
+
+  /// Stream range [begin, end) occupied by `type`; {0,0} if not declared.
+  std::pair<std::uint64_t, std::uint64_t> RangeOf(tls::MessageType type) const;
+
+ private:
+  struct Expected {
+    tls::MessageType type;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  struct Interval {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  // exclusive
+  };
+
+  bool Covered(std::uint64_t begin, std::uint64_t end) const;
+
+  std::vector<Expected> expected_;
+  std::vector<Interval> received_;  // sorted, disjoint
+  std::uint64_t total_expected_ = 0;
+};
+
+}  // namespace quicer::quic

@@ -1,0 +1,157 @@
+#include "quic/server_connection.h"
+
+#include <utility>
+
+namespace quicer::quic {
+namespace {
+constexpr std::size_t kCryptoChunk = 1000;
+}
+
+ServerConnection::ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng)
+    : Connection(queue, Perspective::kServer, config.base, rng),
+      server_config_(std::move(config)),
+      cert_store_(queue, server_config_.cert_store, this->rng().Fork(0xce57)) {
+  space(PacketNumberSpace::kInitial)
+      .crypto_rx.ExpectMessage(tls::MessageType::kClientHello,
+                               this->config().tls.client_hello);
+  space(PacketNumberSpace::kHandshake)
+      .crypto_rx.ExpectMessage(tls::MessageType::kFinished, this->config().tls.finished);
+  // Accepting 0-RTT means early-data packets coalesced with the ClientHello
+  // are readable immediately (resumed-session keys).
+  if (server_config_.accept_0rtt) InstallOneRttRecvKeys();
+}
+
+bool ServerConnection::SuppressImmediateAck(PacketNumberSpace s) const {
+  // Until the certificate flight exists, Initial ACKs are held back: under
+  // WFC they coalesce with the ServerHello; under IACK the single instant
+  // ACK was already emitted explicitly and later Initial packets (client
+  // PING probes) are acknowledged together with the flight.
+  return s == PacketNumberSpace::kInitial && !flight_built_;
+}
+
+void ServerConnection::HandleCrypto(PacketNumberSpace s, const CryptoFrame& frame) {
+  (void)frame;
+  if (s == PacketNumberSpace::kInitial && !started_ &&
+      space(s).crypto_rx.IsComplete(tls::MessageType::kClientHello)) {
+    if (server_config_.send_retry && current_packet_token() == 0) {
+      // Resource-exhaustion defence: demand a token round trip before
+      // committing any handshake state.
+      if (!retry_sent_) {
+        retry_sent_ = true;
+        SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {RetryFrame{kRetryToken}})});
+        trace().RecordNote(queue().now(), "server", "Retry sent");
+      }
+      return;
+    }
+    if (current_packet_token() == kRetryToken) {
+      // A valid token proves the address (RFC 9000 §8.1.2): the
+      // anti-amplification limit never binds on this connection.
+      amplification_mutable().OnAddressValidated();
+    }
+    OnClientHelloComplete();
+    return;
+  }
+  if (s == PacketNumberSpace::kHandshake && !handshake_confirmed() &&
+      space(s).crypto_rx.IsComplete(tls::MessageType::kFinished)) {
+    // Client Finished: the handshake is complete and confirmed server-side
+    // (RFC 9001 §4.1.2); announce confirmation to the client.
+    SetHandshakeComplete();
+    QueueFrame(PacketNumberSpace::kAppData, HandshakeDoneFrame{});
+    SetHandshakeConfirmed();
+  }
+}
+
+void ServerConnection::OnClientHelloComplete() {
+  started_ = true;
+  ch_complete_time_ = queue().now();
+
+  // A certificate already cached on the frontend resolves immediately: the
+  // ACK coalesces with the ServerHello instead of going out separately —
+  // this is the coalesced-ACK+SH signal the paper uses to detect frontend
+  // caching for popular Cloudflare domains (Fig 9).
+  const bool cert_immediately_available = server_config_.cert_store.cached;
+  if (server_config_.behavior == ServerBehavior::kInstantAck && !iack_sent_ &&
+      !cert_immediately_available) {
+    iack_sent_ = true;
+    if (auto ack = PopAck(PacketNumberSpace::kInitial)) {
+      Packet packet = BuildPacket(PacketNumberSpace::kInitial, {*ack});
+      SendDatagramNow({std::move(packet)},
+                      server_config_.pad_instant_ack ? kMinInitialDatagramSize : 0);
+      trace().RecordNote(queue().now(), "server", "instant ACK sent");
+    }
+  }
+
+  cert_store_.Fetch([this](const tls::CertStore::Result& result) {
+    const sim::Duration signing = server_config_.signing.Sample(rng());
+    realized_cert_delay_ = result.delay + signing;
+    queue().Schedule(signing,
+                     [this, bytes = result.certificate_bytes] { BuildServerFlight(bytes); });
+  });
+}
+
+void ServerConnection::BuildServerFlight(std::size_t certificate_bytes) {
+  if (flight_built_ || closed()) return;
+  flight_built_ = true;
+  InstallHandshakeKeys();
+  InstallOneRttSendKeys();
+  InstallOneRttRecvKeys();
+  trace().RecordNote(queue().now(), "server", "certificate ready; building flight");
+
+  // Initial: ServerHello (the pending ACK is bundled by Flush — this is the
+  // WFC coalesced ACK+SH, or an updated ACK covering client probes in IACK).
+  std::vector<Frame> sh = MakeCryptoFrames(PacketNumberSpace::kInitial,
+                                           tls::MessageType::kServerHello,
+                                           config().tls.server_hello, kCryptoChunk);
+  RememberCryptoFlight(PacketNumberSpace::kInitial, sh);
+  for (Frame& frame : sh) QueueFrame(PacketNumberSpace::kInitial, std::move(frame));
+
+  // Handshake: EncryptedExtensions, Certificate, CertificateVerify, Finished.
+  for (Frame& frame : MakeCryptoFrames(PacketNumberSpace::kHandshake,
+                                       tls::MessageType::kEncryptedExtensions,
+                                       config().tls.encrypted_extensions, kCryptoChunk)) {
+    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
+  }
+  for (Frame& frame :
+       MakeCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kCertificate,
+                        certificate_bytes, kCryptoChunk)) {
+    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
+  }
+  for (Frame& frame : MakeCryptoFrames(PacketNumberSpace::kHandshake,
+                                       tls::MessageType::kCertificateVerify,
+                                       config().tls.certificate_verify, kCryptoChunk)) {
+    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
+  }
+  for (Frame& frame :
+       MakeCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kFinished,
+                        config().tls.finished, kCryptoChunk)) {
+    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
+  }
+
+  // 1-RTT tail of the first flight (Fig 3): HTTP/3 control-stream SETTINGS
+  // (this is the stream frame that gives HTTP/3 its earlier TTFB in Fig 5)
+  // and a NEW_CONNECTION_ID.
+  if (config().http_version == http::Version::kHttp3) {
+    QueueStreamData(http::kServerControlStreamId, http::kH3SettingsBytes, false);
+  }
+  if (server_config_.send_new_connection_id) {
+    QueueFrame(PacketNumberSpace::kAppData, NewConnectionIdFrame{1, 1});
+  }
+
+  Flush();
+  SetLossDetectionTimer();
+}
+
+void ServerConnection::HandleStream(const StreamFrame& frame) {
+  if (frame.stream_id != http::kRequestStreamId || response_queued_) return;
+  const auto it = in_streams().find(http::kRequestStreamId);
+  if (it == in_streams().end()) return;
+  const InStream& in = it->second;
+  if (!in.fin_seen || in.high_watermark < in.fin_offset) return;
+
+  response_queued_ = true;
+  const std::size_t total =
+      http::ResponseHeadBytes(config().http_version) + server_config_.response_body_bytes;
+  QueueStreamData(http::kRequestStreamId, total, /*fin=*/true);
+}
+
+}  // namespace quicer::quic

@@ -1,0 +1,86 @@
+// Server side of the handshake with the two CDN frontend behaviours of
+// Fig 1:
+//
+//  * WaitForCertificate (WFC): the Initial ACK is held back and coalesced
+//    with the ServerHello once the certificate arrived from the store —
+//    the client's first RTT sample is inflated by Δt.
+//  * InstantAck (IACK): an ACK-only Initial (optionally padded, as
+//    Cloudflare does for PMTU probing) leaves immediately; the ServerHello
+//    flight follows when the certificate is available.
+//
+// The rest is a standard QUIC server: anti-amplification enforcement until a
+// Handshake packet validates the client, PTO-driven retransmission of the
+// flight (with the paper's key asymmetry — after an instant ACK the server
+// holds no RTT sample, so it recovers on its *default* PTO, Fig 6), and a
+// simple HTTP/1.1 / HTTP/3 responder.
+#pragma once
+
+#include "quic/connection.h"
+#include "tls/cert_store.h"
+
+namespace quicer::quic {
+
+enum class ServerBehavior { kWaitForCertificate, kInstantAck };
+
+constexpr const char* ToString(ServerBehavior b) {
+  return b == ServerBehavior::kWaitForCertificate ? "WFC" : "IACK";
+}
+
+struct ServerConfig {
+  ConnectionConfig base;
+  ServerBehavior behavior = ServerBehavior::kWaitForCertificate;
+  /// Pad the instant ACK to a full datagram (Cloudflare PMTUD probing, §5).
+  /// Consumes 1200 B of amplification budget instead of ~45 B.
+  bool pad_instant_ack = false;
+  /// Certificate store (Δt lives here).
+  tls::CertStore::Config cert_store;
+  /// TLS signing latency (applied after the certificate is available).
+  tls::SigningModel signing;
+  /// Response body size for the single GET exchange.
+  std::size_t response_body_bytes = http::kSmallFileBytes;
+  /// Issue a NEW_CONNECTION_ID in the first 1-RTT flight (exercises the
+  /// quiche duplicate-retirement quirk under loss).
+  bool send_new_connection_id = true;
+  /// Answer the first (token-less) ClientHello with a Retry packet
+  /// (resource-exhaustion defence, RFC 9000 §8.1.2; §5 of the paper).
+  bool send_retry = false;
+  /// Accept 0-RTT early data coalesced with the ClientHello.
+  bool accept_0rtt = true;
+};
+
+class ServerConnection : public Connection {
+ public:
+  ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng);
+
+  bool flight_built() const { return flight_built_; }
+
+  /// The actual Δt this connection experienced (fetch + signing), available
+  /// after the flight was built.
+  sim::Duration realized_cert_delay() const { return realized_cert_delay_; }
+
+  const ServerConfig& server_config() const { return server_config_; }
+
+ protected:
+  void HandleCrypto(PacketNumberSpace space, const CryptoFrame& frame) override;
+  void HandleStream(const StreamFrame& frame) override;
+  bool SuppressImmediateAck(PacketNumberSpace s) const override;
+
+ private:
+  void OnClientHelloComplete();
+  void BuildServerFlight(std::size_t certificate_bytes);
+
+  ServerConfig server_config_;
+  tls::CertStore cert_store_;
+  sim::Time ch_complete_time_ = -1;
+  sim::Duration realized_cert_delay_ = 0;
+  bool started_ = false;
+  bool iack_sent_ = false;
+  bool flight_built_ = false;
+  bool response_queued_ = false;
+  bool retry_sent_ = false;
+
+  /// Token value issued in Retry packets.
+  static constexpr std::uint64_t kRetryToken = 0x7eACCed;
+};
+
+}  // namespace quicer::quic

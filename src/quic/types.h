@@ -1,0 +1,50 @@
+// Shared QUIC protocol types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace quicer::quic {
+
+/// QUIC packet number spaces (RFC 9000 §12.3).
+enum class PacketNumberSpace : std::uint8_t {
+  kInitial = 0,
+  kHandshake = 1,
+  kAppData = 2,
+};
+
+inline constexpr int kNumSpaces = 3;
+
+constexpr std::string_view ToString(PacketNumberSpace space) {
+  switch (space) {
+    case PacketNumberSpace::kInitial: return "Initial";
+    case PacketNumberSpace::kHandshake: return "Handshake";
+    case PacketNumberSpace::kAppData: return "1-RTT";
+  }
+  return "?";
+}
+
+constexpr int SpaceIndex(PacketNumberSpace space) { return static_cast<int>(space); }
+
+/// Minimum size a client must pad UDP datagrams containing Initial packets
+/// to (RFC 9000 §14.1).
+inline constexpr std::size_t kMinInitialDatagramSize = 1200;
+
+/// Maximum UDP payload both endpoints use during the handshake.
+inline constexpr std::size_t kMaxDatagramSize = 1200;
+
+/// Anti-amplification factor: an unvalidated server may send at most
+/// 3x the bytes it received (RFC 9000 §8.1).
+inline constexpr std::size_t kAmplificationFactor = 3;
+
+/// AEAD authentication tag appended to every packet.
+inline constexpr std::size_t kAeadTagSize = 16;
+
+/// Which peer an endpoint is.
+enum class Perspective : std::uint8_t { kClient, kServer };
+
+constexpr std::string_view ToString(Perspective p) {
+  return p == Perspective::kClient ? "client" : "server";
+}
+
+}  // namespace quicer::quic

@@ -1,0 +1,283 @@
+#include "quic/wire.h"
+
+#include <cstring>
+
+namespace quicer::quic::wire {
+namespace {
+
+// Frame type bytes, aligned with the RFC 9000 registry where applicable.
+enum : std::uint8_t {
+  kTypePadding = 0x00,
+  kTypePing = 0x01,
+  kTypeAck = 0x02,
+  kTypeCrypto = 0x06,
+  kTypeStream = 0x08,  // OFF|LEN|FIN encoded explicitly below
+  kTypeMaxData = 0x10,
+  kTypeNewConnectionId = 0x18,
+  kTypeRetireConnectionId = 0x19,
+  kTypeConnectionClose = 0x1c,
+  kTypeHandshakeDone = 0x1e,
+  kTypeRetry = 0xf6,  // emulation-private
+};
+
+void AppendBytes(std::vector<std::uint8_t>& out, std::uint64_t value, int bytes) {
+  for (int i = bytes - 1; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::optional<std::uint64_t> ReadBytes(const std::vector<std::uint8_t>& data,
+                                       std::size_t& offset, int bytes) {
+  if (offset + static_cast<std::size_t>(bytes) > data.size()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int i = 0; i < bytes; ++i) value = (value << 8) | data[offset++];
+  return value;
+}
+
+struct EncodeVisitor {
+  std::vector<std::uint8_t>& out;
+
+  void operator()(const PaddingFrame& f) const {
+    out.push_back(kTypePadding);
+    AppendVarInt(out, f.size);
+    out.insert(out.end(), f.size, 0);
+  }
+  void operator()(const PingFrame&) const { out.push_back(kTypePing); }
+  void operator()(const AckFrame& f) const {
+    out.push_back(kTypeAck);
+    AppendVarInt(out, f.largest_acked);
+    AppendVarInt(out, static_cast<std::uint64_t>(f.ack_delay));
+    AppendVarInt(out, f.ranges.size());
+    for (const PnRange& range : f.ranges) {
+      AppendVarInt(out, range.first);
+      AppendVarInt(out, range.last);
+    }
+  }
+  void operator()(const CryptoFrame& f) const {
+    out.push_back(kTypeCrypto);
+    AppendVarInt(out, f.offset);
+    AppendVarInt(out, f.length);
+    AppendVarInt(out, static_cast<std::uint64_t>(f.message));
+    out.insert(out.end(), f.length, 0);
+  }
+  void operator()(const StreamFrame& f) const {
+    out.push_back(static_cast<std::uint8_t>(kTypeStream | (f.fin ? 0x01 : 0x00)));
+    AppendVarInt(out, f.stream_id);
+    AppendVarInt(out, f.offset);
+    AppendVarInt(out, f.length);
+    out.insert(out.end(), f.length, 0);
+  }
+  void operator()(const MaxDataFrame& f) const {
+    out.push_back(kTypeMaxData);
+    AppendVarInt(out, f.maximum_data);
+  }
+  void operator()(const HandshakeDoneFrame&) const { out.push_back(kTypeHandshakeDone); }
+  void operator()(const NewConnectionIdFrame& f) const {
+    out.push_back(kTypeNewConnectionId);
+    AppendVarInt(out, f.sequence);
+    AppendVarInt(out, f.retire_prior_to);
+  }
+  void operator()(const RetireConnectionIdFrame& f) const {
+    out.push_back(kTypeRetireConnectionId);
+    AppendVarInt(out, f.sequence);
+  }
+  void operator()(const ConnectionCloseFrame& f) const {
+    out.push_back(kTypeConnectionClose);
+    AppendVarInt(out, f.error_code);
+    AppendVarInt(out, f.reason.size());
+    out.insert(out.end(), f.reason.begin(), f.reason.end());
+  }
+  void operator()(const RetryFrame& f) const {
+    out.push_back(kTypeRetry);
+    AppendVarInt(out, f.token);
+  }
+};
+
+}  // namespace
+
+void AppendVarInt(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  constexpr std::uint64_t kMax = (1ULL << 62) - 1;
+  if (value > kMax) value = kMax;
+  if (value < 64) {
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value < 16384) {
+    AppendBytes(out, value | (1ULL << 14), 2);
+  } else if (value < 1073741824) {
+    AppendBytes(out, value | (2ULL << 30), 4);
+  } else {
+    AppendBytes(out, value | (3ULL << 62), 8);
+  }
+}
+
+std::optional<std::uint64_t> ReadVarInt(const std::vector<std::uint8_t>& data,
+                                        std::size_t& offset) {
+  if (offset >= data.size()) return std::nullopt;
+  const int prefix = data[offset] >> 6;
+  const int length = 1 << prefix;
+  auto value = ReadBytes(data, offset, length);
+  if (!value) return std::nullopt;
+  const std::uint64_t mask = (1ULL << (8 * length - 2)) - 1;
+  return *value & mask;
+}
+
+void EncodeFrame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  std::visit(EncodeVisitor{out}, frame);
+}
+
+std::optional<Frame> DecodeFrame(const std::vector<std::uint8_t>& data, std::size_t& offset) {
+  if (offset >= data.size()) return std::nullopt;
+  const std::uint8_t type = data[offset++];
+  switch (type) {
+    case kTypePadding: {
+      auto size = ReadVarInt(data, offset);
+      if (!size || offset + *size > data.size()) return std::nullopt;
+      offset += *size;
+      return PaddingFrame{static_cast<std::uint32_t>(*size)};
+    }
+    case kTypePing:
+      return PingFrame{};
+    case kTypeAck: {
+      AckFrame ack;
+      auto largest = ReadVarInt(data, offset);
+      auto delay = ReadVarInt(data, offset);
+      auto count = ReadVarInt(data, offset);
+      if (!largest || !delay || !count) return std::nullopt;
+      ack.largest_acked = *largest;
+      ack.ack_delay = static_cast<sim::Duration>(*delay);
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto first = ReadVarInt(data, offset);
+        auto last = ReadVarInt(data, offset);
+        if (!first || !last) return std::nullopt;
+        ack.ranges.push_back(PnRange{*first, *last});
+      }
+      return ack;
+    }
+    case kTypeCrypto: {
+      auto off = ReadVarInt(data, offset);
+      auto length = ReadVarInt(data, offset);
+      auto message = ReadVarInt(data, offset);
+      if (!off || !length || !message || offset + *length > data.size()) return std::nullopt;
+      offset += *length;
+      CryptoFrame frame;
+      frame.offset = *off;
+      frame.length = static_cast<std::uint32_t>(*length);
+      frame.message = static_cast<tls::MessageType>(*message);
+      return frame;
+    }
+    case kTypeStream:
+    case kTypeStream | 0x01: {
+      auto id = ReadVarInt(data, offset);
+      auto off = ReadVarInt(data, offset);
+      auto length = ReadVarInt(data, offset);
+      if (!id || !off || !length || offset + *length > data.size()) return std::nullopt;
+      offset += *length;
+      StreamFrame frame;
+      frame.stream_id = *id;
+      frame.offset = *off;
+      frame.length = static_cast<std::uint32_t>(*length);
+      frame.fin = (type & 0x01) != 0;
+      return frame;
+    }
+    case kTypeMaxData: {
+      auto maximum = ReadVarInt(data, offset);
+      if (!maximum) return std::nullopt;
+      return MaxDataFrame{*maximum};
+    }
+    case kTypeHandshakeDone:
+      return HandshakeDoneFrame{};
+    case kTypeNewConnectionId: {
+      auto sequence = ReadVarInt(data, offset);
+      auto retire = ReadVarInt(data, offset);
+      if (!sequence || !retire) return std::nullopt;
+      return NewConnectionIdFrame{*sequence, *retire};
+    }
+    case kTypeRetireConnectionId: {
+      auto sequence = ReadVarInt(data, offset);
+      if (!sequence) return std::nullopt;
+      return RetireConnectionIdFrame{*sequence};
+    }
+    case kTypeConnectionClose: {
+      auto code = ReadVarInt(data, offset);
+      auto length = ReadVarInt(data, offset);
+      if (!code || !length || offset + *length > data.size()) return std::nullopt;
+      ConnectionCloseFrame frame;
+      frame.error_code = *code;
+      frame.reason.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                          data.begin() + static_cast<std::ptrdiff_t>(offset + *length));
+      offset += *length;
+      return frame;
+    }
+    case kTypeRetry: {
+      auto token = ReadVarInt(data, offset);
+      if (!token) return std::nullopt;
+      return RetryFrame{*token};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> EncodePacket(const Packet& packet) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(packet.space));
+  AppendVarInt(out, packet.packet_number);
+  AppendVarInt(out, packet.token);
+  AppendVarInt(out, packet.frames.size());
+  for (const Frame& frame : packet.frames) EncodeFrame(out, frame);
+  return out;
+}
+
+std::optional<Packet> DecodePacket(const std::vector<std::uint8_t>& data) {
+  std::size_t offset = 0;
+  if (data.empty()) return std::nullopt;
+  const std::uint8_t space = data[offset++];
+  if (space >= kNumSpaces) return std::nullopt;
+  auto pn = ReadVarInt(data, offset);
+  auto token = ReadVarInt(data, offset);
+  auto count = ReadVarInt(data, offset);
+  if (!pn || !token || !count) return std::nullopt;
+
+  Packet packet;
+  packet.space = static_cast<PacketNumberSpace>(space);
+  packet.packet_number = *pn;
+  packet.token = *token;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto frame = DecodeFrame(data, offset);
+    if (!frame) return std::nullopt;
+    packet.frames.push_back(std::move(*frame));
+  }
+  if (offset != data.size()) return std::nullopt;  // trailing garbage
+  return packet;
+}
+
+std::vector<std::uint8_t> EncodeDatagram(const Datagram& datagram) {
+  std::vector<std::uint8_t> out;
+  AppendVarInt(out, datagram.packets.size());
+  for (const Packet& packet : datagram.packets) {
+    const std::vector<std::uint8_t> encoded = EncodePacket(packet);
+    AppendVarInt(out, encoded.size());
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  return out;
+}
+
+std::optional<Datagram> DecodeDatagram(const std::vector<std::uint8_t>& data) {
+  std::size_t offset = 0;
+  auto count = ReadVarInt(data, offset);
+  if (!count) return std::nullopt;
+  Datagram datagram;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto length = ReadVarInt(data, offset);
+    if (!length || offset + *length > data.size()) return std::nullopt;
+    std::vector<std::uint8_t> slice(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                                    data.begin() + static_cast<std::ptrdiff_t>(offset + *length));
+    offset += *length;
+    auto packet = DecodePacket(slice);
+    if (!packet) return std::nullopt;
+    datagram.packets.push_back(std::move(*packet));
+  }
+  if (offset != data.size()) return std::nullopt;
+  return datagram;
+}
+
+}  // namespace quicer::quic::wire

@@ -1,0 +1,45 @@
+// Byte-level wire codec for the emulated QUIC packets.
+//
+// The simulator itself moves structured Packet objects, but a reproduction
+// that claims wire realism should be able to serialise them: this codec
+// encodes/decodes the frame and packet model to bytes using RFC 9000
+// variable-length integers and type bytes close to the real registry.
+// CRYPTO/STREAM payload bytes are zero-filled (the emulation carries sizes,
+// not content). Round-tripping is exact for everything the model stores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "quic/packet.h"
+
+namespace quicer::quic::wire {
+
+/// RFC 9000 §16 variable-length integer encoding. Values >= 2^62 are not
+/// representable; Append* truncates them to the maximum.
+void AppendVarInt(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Reads a varint at `offset`, advancing it. Returns nullopt on truncation.
+std::optional<std::uint64_t> ReadVarInt(const std::vector<std::uint8_t>& data,
+                                        std::size_t& offset);
+
+/// Encodes one frame (type byte + fields + zero-filled payload).
+void EncodeFrame(std::vector<std::uint8_t>& out, const Frame& frame);
+
+/// Decodes one frame at `offset`, advancing it; nullopt on malformed input.
+std::optional<Frame> DecodeFrame(const std::vector<std::uint8_t>& data, std::size_t& offset);
+
+/// Encodes a full packet (emulation header: form byte, space, packet number,
+/// optional token, frame count, frames).
+std::vector<std::uint8_t> EncodePacket(const Packet& packet);
+
+/// Decodes a packet; nullopt on malformed input.
+std::optional<Packet> DecodePacket(const std::vector<std::uint8_t>& data);
+
+/// Encodes a datagram (length-prefixed packets).
+std::vector<std::uint8_t> EncodeDatagram(const Datagram& datagram);
+
+std::optional<Datagram> DecodeDatagram(const std::vector<std::uint8_t>& data);
+
+}  // namespace quicer::quic::wire

@@ -1,0 +1,56 @@
+#include "recovery/congestion.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace quicer::recovery {
+
+NewRenoCongestion::NewRenoCongestion() : NewRenoCongestion(Config{}) {}
+
+NewRenoCongestion::NewRenoCongestion(Config config)
+    : config_(config),
+      cwnd_(config.initial_window_packets * config.max_datagram_size),
+      ssthresh_(std::numeric_limits<std::size_t>::max()) {}
+
+void NewRenoCongestion::OnPacketSent(std::size_t bytes) { bytes_in_flight_ += bytes; }
+
+void NewRenoCongestion::OnPacketAcked(std::size_t bytes, sim::Time sent_time) {
+  bytes_in_flight_ -= std::min(bytes_in_flight_, bytes);
+  if (InRecovery(sent_time)) return;  // no growth on packets sent before recovery
+  if (InSlowStart()) {
+    cwnd_ += bytes;
+  } else {
+    // Congestion avoidance: one MSS per window worth of acked bytes.
+    cwnd_ += config_.max_datagram_size * bytes / cwnd_;
+  }
+}
+
+void NewRenoCongestion::OnPacketsLost(std::size_t bytes, sim::Time largest_lost_sent_time,
+                                      sim::Time now) {
+  bytes_in_flight_ -= std::min(bytes_in_flight_, bytes);
+  if (InRecovery(largest_lost_sent_time)) return;  // already reduced this period
+  recovery_start_ = now;
+  cwnd_ = static_cast<std::size_t>(static_cast<double>(cwnd_) * config_.loss_reduction_factor);
+  cwnd_ = std::max(cwnd_, config_.min_window_packets * config_.max_datagram_size);
+  ssthresh_ = cwnd_;
+}
+
+void NewRenoCongestion::OnPacketDiscarded(std::size_t bytes) {
+  bytes_in_flight_ -= std::min(bytes_in_flight_, bytes);
+}
+
+void NewRenoCongestion::OnPersistentCongestion() {
+  cwnd_ = config_.min_window_packets * config_.max_datagram_size;
+  ssthresh_ = cwnd_;
+  recovery_start_ = -1;  // a fresh loss may reduce again immediately
+}
+
+bool NewRenoCongestion::CanSend(std::size_t bytes) const {
+  return bytes_in_flight_ + bytes <= cwnd_;
+}
+
+std::size_t NewRenoCongestion::AvailableWindow() const {
+  return bytes_in_flight_ >= cwnd_ ? 0 : cwnd_ - bytes_in_flight_;
+}
+
+}  // namespace quicer::recovery

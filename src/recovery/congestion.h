@@ -1,0 +1,61 @@
+// NewReno congestion control (RFC 9002 §7).
+//
+// The paper's transfers run over a 10 Mbit/s bottleneck; congestion control
+// matters mostly for the 10 MB downloads (Fig 11) where the window must open
+// past the bandwidth-delay product. Slow start, congestion avoidance and a
+// single-reduction-per-recovery-period response to loss are implemented.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace quicer::recovery {
+
+class NewRenoCongestion {
+ public:
+  struct Config {
+    std::size_t max_datagram_size = 1200;
+    std::size_t initial_window_packets = 10;  // RFC 9002 recommendation
+    std::size_t min_window_packets = 2;
+    double loss_reduction_factor = 0.5;
+  };
+
+  NewRenoCongestion();  // default configuration
+  explicit NewRenoCongestion(Config config);
+
+  void OnPacketSent(std::size_t bytes);
+  void OnPacketAcked(std::size_t bytes, sim::Time sent_time);
+  void OnPacketsLost(std::size_t bytes, sim::Time largest_lost_sent_time, sim::Time now);
+  /// Removes bytes from flight without CC reaction (e.g. key discard).
+  void OnPacketDiscarded(std::size_t bytes);
+
+  /// Persistent congestion (RFC 9002 §7.6): every packet across a span
+  /// longer than the persistent-congestion duration was lost — collapse the
+  /// window to the minimum and restart slow start.
+  void OnPersistentCongestion();
+
+  /// Duration threshold: (smoothed + max(4*rttvar, granularity) +
+  /// max_ack_delay) * kPersistentCongestionThreshold.
+  static sim::Duration PersistentCongestionDuration(sim::Duration pto_period) {
+    return 3 * pto_period;
+  }
+
+  bool CanSend(std::size_t bytes) const;
+  std::size_t AvailableWindow() const;
+
+  std::size_t congestion_window() const { return cwnd_; }
+  std::size_t bytes_in_flight() const { return bytes_in_flight_; }
+  std::size_t slow_start_threshold() const { return ssthresh_; }
+  bool InSlowStart() const { return cwnd_ < ssthresh_; }
+  bool InRecovery(sim::Time sent_time) const { return sent_time <= recovery_start_; }
+
+ private:
+  Config config_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_;
+  std::size_t bytes_in_flight_ = 0;
+  sim::Time recovery_start_ = -1;
+};
+
+}  // namespace quicer::recovery

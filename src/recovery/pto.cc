@@ -1,0 +1,25 @@
+#include "recovery/pto.h"
+
+#include <algorithm>
+
+namespace quicer::recovery {
+
+sim::Duration PtoPeriod(const RttEstimator& rtt, const PtoConfig& config,
+                        quic::PacketNumberSpace space, bool handshake_confirmed) {
+  if (!rtt.has_sample()) return config.default_pto;
+  sim::Duration pto = rtt.smoothed() + std::max<sim::Duration>(4 * rtt.rttvar(), kGranularity);
+  if (space == quic::PacketNumberSpace::kAppData && handshake_confirmed) {
+    pto += config.peer_max_ack_delay;
+  }
+  return pto;
+}
+
+sim::Duration PtoPeriodWithBackoff(const RttEstimator& rtt, const PtoConfig& config,
+                                   quic::PacketNumberSpace space, bool handshake_confirmed,
+                                   int backoff_count) {
+  sim::Duration period = PtoPeriod(rtt, config, space, handshake_confirmed);
+  for (int i = 0; i < backoff_count && period < sim::Seconds(60); ++i) period *= 2;
+  return period;
+}
+
+}  // namespace quicer::recovery

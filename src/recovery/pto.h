@@ -1,0 +1,41 @@
+// Probe Timeout computation (RFC 9002 §6.2).
+//
+//   PTO = smoothed_rtt + max(4*rttvar, kGranularity) [+ max_ack_delay]
+//
+// The max_ack_delay term applies only in the application space once the
+// handshake is underway. Before any RTT sample exists, implementations fall
+// back to a default PTO — the RFC recommends an initial RTT of 333 ms
+// (PTO 999 ms) but deployed stacks choose much lower values (Table 4).
+// Every PTO expiry doubles the backoff.
+#pragma once
+
+#include "quic/types.h"
+#include "recovery/rtt_estimator.h"
+#include "sim/time.h"
+
+namespace quicer::recovery {
+
+/// Timer granularity (RFC 9002 kGranularity).
+inline constexpr sim::Duration kGranularity = sim::Millis(1);
+
+/// RFC 9002 initial RTT assumption, yielding the 999 ms default PTO.
+inline constexpr sim::Duration kInitialRtt = sim::Millis(333);
+
+struct PtoConfig {
+  /// PTO period used before the first RTT sample (Table 4 per client;
+  /// 3 * kInitialRtt per the RFC).
+  sim::Duration default_pto = 3 * kInitialRtt;
+  /// Peer's max_ack_delay contribution in the application space.
+  sim::Duration peer_max_ack_delay = sim::Millis(25);
+};
+
+/// PTO period for one expiry (before applying the backoff exponent).
+sim::Duration PtoPeriod(const RttEstimator& rtt, const PtoConfig& config,
+                        quic::PacketNumberSpace space, bool handshake_confirmed);
+
+/// PTO period with exponential backoff applied (backoff_count doublings).
+sim::Duration PtoPeriodWithBackoff(const RttEstimator& rtt, const PtoConfig& config,
+                                   quic::PacketNumberSpace space, bool handshake_confirmed,
+                                   int backoff_count);
+
+}  // namespace quicer::recovery

@@ -1,0 +1,42 @@
+#include "recovery/rtt_estimator.h"
+
+#include <algorithm>
+
+namespace quicer::recovery {
+
+void RttEstimator::AddSample(sim::Duration latest, sim::Duration ack_delay) {
+  latest_ = latest;
+  ++sample_count_;
+
+  if (!has_sample_) {
+    has_sample_ = true;
+    min_rtt_ = latest;
+    smoothed_ = latest;
+    rttvar_ = latest / 2;
+    return;
+  }
+
+  min_rtt_ = std::min(min_rtt_, latest);
+
+  // Adjust for the peer's ack delay, but never below min_rtt (RFC 9002 §5.3).
+  sim::Duration adjusted = latest;
+  if (ack_delay > 0 && latest - ack_delay >= min_rtt_) {
+    adjusted = latest - ack_delay;
+  }
+
+  const sim::Duration deviation_sample =
+      formula_ == RttVarFormula::kAioquicLegacy ? latest : adjusted;
+  rttvar_ = (3 * rttvar_ + std::abs(smoothed_ - deviation_sample)) / 4;
+  smoothed_ = (7 * smoothed_ + adjusted) / 8;
+}
+
+void RttEstimator::OverrideFirstSample(sim::Duration smoothed, sim::Duration rttvar) {
+  has_sample_ = true;
+  sample_count_ = std::max(sample_count_, 1);
+  smoothed_ = smoothed;
+  rttvar_ = rttvar;
+  if (min_rtt_ == 0 || smoothed < min_rtt_) min_rtt_ = smoothed;
+  latest_ = smoothed;
+}
+
+}  // namespace quicer::recovery

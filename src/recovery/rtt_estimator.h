@@ -1,0 +1,59 @@
+// RTT estimation per RFC 9002 §5.
+//
+// This is the mechanism at the heart of the paper: the client's first RTT
+// sample initialises smoothed_rtt = sample and rttvar = sample/2, so the
+// first PTO is ~3x the first sample. Under WFC the first sample includes the
+// certificate-fetch delay Δt, inflating the first PTO by 3Δt — exactly what
+// instant ACK avoids (Fig 2, Fig 4).
+//
+// Two documented implementation deviations are modelled:
+//  * aioquic computes rttvar from the unadjusted sample (Appendix E);
+//  * go-x-net sometimes mis-initialises smoothed_rtt (e.g. 90 ms while the
+//    real RTT is 33 ms — §4.1), modelled via OverrideFirstSample.
+#pragma once
+
+#include <cstdlib>
+
+#include "sim/time.h"
+
+namespace quicer::recovery {
+
+/// Which rttvar update formula to use.
+enum class RttVarFormula {
+  kRfc9002,        // rttvar <- 3/4 rttvar + 1/4 |smoothed - adjusted|
+  kAioquicLegacy,  // uses the unadjusted latest sample in the deviation term
+};
+
+/// Exponentially-weighted RTT state.
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttVarFormula formula = RttVarFormula::kRfc9002)
+      : formula_(formula) {}
+
+  /// Feeds one RTT sample. `ack_delay` is the peer-reported acknowledgment
+  /// delay *after* the caller applied RFC rules (ignore in Initial space,
+  /// cap at max_ack_delay post-handshake); pass 0 to skip adjustment.
+  void AddSample(sim::Duration latest, sim::Duration ack_delay);
+
+  /// go-x-net quirk: forces the first-sample state to the given values.
+  /// Subsequent samples update from this (wrong) starting point.
+  void OverrideFirstSample(sim::Duration smoothed, sim::Duration rttvar);
+
+  bool has_sample() const { return has_sample_; }
+  sim::Duration smoothed() const { return smoothed_; }
+  sim::Duration rttvar() const { return rttvar_; }
+  sim::Duration min_rtt() const { return min_rtt_; }
+  sim::Duration latest() const { return latest_; }
+  int sample_count() const { return sample_count_; }
+
+ private:
+  RttVarFormula formula_;
+  bool has_sample_ = false;
+  sim::Duration smoothed_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration min_rtt_ = 0;
+  sim::Duration latest_ = 0;
+  int sample_count_ = 0;
+};
+
+}  // namespace quicer::recovery

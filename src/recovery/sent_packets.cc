@@ -1,0 +1,105 @@
+#include "recovery/sent_packets.h"
+
+#include <algorithm>
+
+namespace quicer::recovery {
+
+void SentPacketLedger::OnPacketSent(SentPacket packet) {
+  if (packet.in_flight) bytes_in_flight_ += packet.bytes;
+  unacked_.emplace(packet.packet_number, std::move(packet));
+}
+
+AckResult SentPacketLedger::OnAckReceived(const quic::AckFrame& ack, sim::Time now) {
+  AckResult result;
+  if (!largest_acked_ || ack.largest_acked > *largest_acked_) {
+    largest_acked_ = ack.largest_acked;
+  }
+
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    if (ack.Acks(it->first)) {
+      SentPacket packet = std::move(it->second);
+      if (packet.in_flight) bytes_in_flight_ -= packet.bytes;
+      result.newly_acked_bytes += packet.bytes;
+      if (packet.ack_eliciting) result.any_ack_eliciting_newly_acked = true;
+      if (packet.packet_number == ack.largest_acked) {
+        result.largest_newly_acked = packet;
+        if (packet.ack_eliciting) {
+          result.rtt_sample_available = true;
+          result.latest_rtt = now - packet.sent_time;
+        }
+      }
+      result.newly_acked.push_back(std::move(packet));
+      it = unacked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return result;
+}
+
+std::vector<SentPacket> SentPacketLedger::DetectLoss(sim::Time now, sim::Duration loss_delay) {
+  std::vector<SentPacket> lost;
+  loss_time_ = sim::kNever;
+  if (!largest_acked_) return lost;
+
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    const SentPacket& packet = it->second;
+    if (packet.packet_number >= *largest_acked_) break;  // map is ordered
+
+    const bool lost_by_packets = *largest_acked_ - packet.packet_number >= kPacketThreshold;
+    const sim::Time lost_after = packet.sent_time + loss_delay;
+    const bool lost_by_time = lost_after <= now;
+
+    if (lost_by_packets || lost_by_time) {
+      SentPacket out = std::move(it->second);
+      if (out.in_flight) bytes_in_flight_ -= out.bytes;
+      lost.push_back(std::move(out));
+      it = unacked_.erase(it);
+    } else {
+      loss_time_ = std::min(loss_time_, lost_after);
+      ++it;
+    }
+  }
+  return lost;
+}
+
+bool SentPacketLedger::HasAckElicitingInFlight() const {
+  for (const auto& [pn, packet] : unacked_) {
+    if (packet.ack_eliciting && packet.in_flight) return true;
+  }
+  return false;
+}
+
+std::optional<sim::Time> SentPacketLedger::LastAckElicitingSentTime() const {
+  std::optional<sim::Time> latest;
+  for (const auto& [pn, packet] : unacked_) {
+    if (packet.ack_eliciting) {
+      if (!latest || packet.sent_time > *latest) latest = packet.sent_time;
+    }
+  }
+  return latest;
+}
+
+std::vector<quic::Frame> SentPacketLedger::OutstandingRetransmittable() const {
+  std::vector<quic::Frame> frames;
+  for (const auto& [pn, packet] : unacked_) {
+    frames.insert(frames.end(), packet.retransmittable.begin(), packet.retransmittable.end());
+  }
+  return frames;
+}
+
+std::vector<std::uint64_t> SentPacketLedger::OutstandingPns() const {
+  std::vector<std::uint64_t> pns;
+  pns.reserve(unacked_.size());
+  for (const auto& [pn, packet] : unacked_) pns.push_back(pn);
+  return pns;
+}
+
+void SentPacketLedger::Clear() {
+  unacked_.clear();
+  bytes_in_flight_ = 0;
+  loss_time_ = sim::kNever;
+  // largest_acked_ intentionally retained: packet numbers never reset.
+}
+
+}  // namespace quicer::recovery

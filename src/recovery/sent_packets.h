@@ -1,0 +1,96 @@
+// Sent-packet ledger and loss detection (RFC 9002 §6.1).
+//
+// One ledger per packet number space. It remembers every ack-eliciting or
+// in-flight packet until acknowledged or declared lost, provides the RTT
+// sample on ack receipt (only when the *largest newly acked* packet is
+// ack-eliciting — the rule that makes the server blind after an instant ACK,
+// Fig 6), and implements packet-threshold + time-threshold loss detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "quic/frame.h"
+#include "quic/types.h"
+#include "sim/time.h"
+
+namespace quicer::recovery {
+
+/// Metadata for one sent packet.
+struct SentPacket {
+  std::uint64_t packet_number = 0;
+  sim::Time sent_time = 0;
+  std::size_t bytes = 0;
+  bool ack_eliciting = false;
+  bool in_flight = false;
+  /// Frames to replay if the packet is declared lost.
+  std::vector<quic::Frame> retransmittable;
+};
+
+/// Outcome of processing one ACK frame.
+struct AckResult {
+  std::vector<SentPacket> newly_acked;
+  /// Set when the largest acked packet is among the newly acked.
+  std::optional<SentPacket> largest_newly_acked;
+  /// True when a valid RTT sample is available: largest newly acked is
+  /// ack-eliciting (RFC 9002 §5.1).
+  bool rtt_sample_available = false;
+  sim::Duration latest_rtt = 0;
+  std::size_t newly_acked_bytes = 0;
+  bool any_ack_eliciting_newly_acked = false;
+};
+
+/// Packet reordering threshold (RFC 9002 kPacketThreshold).
+inline constexpr std::uint64_t kPacketThreshold = 3;
+
+/// Per-space ledger of unacknowledged packets.
+class SentPacketLedger {
+ public:
+  void OnPacketSent(SentPacket packet);
+
+  /// Processes an ACK received at `now`.
+  AckResult OnAckReceived(const quic::AckFrame& ack, sim::Time now);
+
+  /// Declares packets lost per time/packet thresholds; removes and returns
+  /// them. `loss_delay` is 9/8 * max(smoothed, latest) (computed by caller).
+  std::vector<SentPacket> DetectLoss(sim::Time now, sim::Duration loss_delay);
+
+  /// Earliest time at which an unacked packet will cross the time threshold,
+  /// or kNever. Valid after a call to DetectLoss.
+  sim::Time loss_time() const { return loss_time_; }
+
+  bool HasAckElicitingInFlight() const;
+  std::size_t bytes_in_flight() const { return bytes_in_flight_; }
+
+  /// Time the most recent ack-eliciting packet was sent (for PTO base).
+  std::optional<sim::Time> LastAckElicitingSentTime() const;
+
+  /// Largest packet number acknowledged so far.
+  std::optional<std::uint64_t> largest_acked() const { return largest_acked_; }
+
+  /// Unacked packets' retransmittable frames (oldest first) — used by PTO
+  /// probes that bundle outstanding data.
+  std::vector<quic::Frame> OutstandingRetransmittable() const;
+
+  /// Packet numbers still outstanding (ascending).
+  std::vector<std::uint64_t> OutstandingPns() const;
+
+  /// Discards the space entirely (key discard, RFC 9002 §6.4). In-flight
+  /// bytes are released.
+  void Clear();
+
+  std::size_t unacked_count() const { return unacked_.size(); }
+
+  /// True if `pn` is still outstanding.
+  bool IsOutstanding(std::uint64_t pn) const { return unacked_.count(pn) != 0; }
+
+ private:
+  std::map<std::uint64_t, SentPacket> unacked_;
+  std::optional<std::uint64_t> largest_acked_;
+  std::size_t bytes_in_flight_ = 0;
+  sim::Time loss_time_ = sim::kNever;
+};
+
+}  // namespace quicer::recovery

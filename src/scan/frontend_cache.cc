@@ -1,0 +1,56 @@
+#include "scan/frontend_cache.h"
+
+#include <algorithm>
+
+namespace quicer::scan {
+
+void FrontendCertCache::EvictExpired(sim::Time now) {
+  while (!lru_.empty() && lru_.back().last_touch + config_.ttl < now) {
+    entries_.erase(lru_.back().domain);
+    lru_.pop_back();
+  }
+}
+
+bool FrontendCertCache::OnConnection(const std::string& domain, sim::Time now) {
+  EvictExpired(now);
+
+  const int frontend =
+      static_cast<int>(rng_.UniformInt(0, std::max(1, config_.frontends_per_cluster) - 1));
+
+  auto it = entries_.find(domain);
+  if (it != entries_.end()) {
+    Entry entry = std::move(*it->second);
+    lru_.erase(it->second);
+    const sim::Time machine_touch =
+        entry.machine_touch[static_cast<std::size_t>(frontend)];
+    const bool hot = machine_touch >= 0 && machine_touch + config_.ttl >= now;
+    entry.machine_touch[static_cast<std::size_t>(frontend)] = now;
+    entry.last_touch = now;
+    lru_.push_front(std::move(entry));
+    entries_[domain] = lru_.begin();
+    if (hot) {
+      ++hits_;
+      return true;
+    }
+    // The cluster knows the domain but this machine fetched the certificate.
+    ++misses_;
+    return false;
+  }
+
+  ++misses_;
+  Entry entry;
+  entry.domain = domain;
+  entry.last_touch = now;
+  entry.machine_touch.assign(static_cast<std::size_t>(config_.frontends_per_cluster), -1);
+  entry.machine_touch[static_cast<std::size_t>(frontend)] = now;
+  lru_.push_front(std::move(entry));
+  entries_[domain] = lru_.begin();
+
+  if (entries_.size() > config_.capacity) {
+    entries_.erase(lru_.back().domain);
+    lru_.pop_back();
+  }
+  return false;
+}
+
+}  // namespace quicer::scan

@@ -1,0 +1,81 @@
+#include "scan/prober.h"
+
+#include <algorithm>
+
+namespace quicer::scan {
+
+std::string_view Name(Vantage vantage) {
+  switch (vantage) {
+    case Vantage::kHamburg: return "Hamburg, DE";
+    case Vantage::kLosAngeles: return "Los Angeles, US";
+    case Vantage::kSaoPaulo: return "Sao Paulo, BR";
+    case Vantage::kHongKong: return "Hong Kong, HK";
+  }
+  return "?";
+}
+
+double MedianRttMs(Vantage vantage, Cdn cdn) {
+  // Anycast CDNs answer from nearby PoPs; "Others" are often origin-hosted
+  // and farther away. Google's IACK-enabled frontends are significantly
+  // reachable only from São Paulo (Appendix G / Fig 14).
+  double base = 0.0;
+  switch (vantage) {
+    case Vantage::kHamburg: base = 6.0; break;
+    case Vantage::kLosAngeles: base = 7.0; break;
+    case Vantage::kSaoPaulo: base = 8.0; break;
+    case Vantage::kHongKong: base = 9.0; break;
+  }
+  switch (cdn) {
+    case Cdn::kCloudflare: return base * 0.3;  // same-city anycast (~2 ms)
+    case Cdn::kFastly: return base * 0.6;
+    case Cdn::kAkamai: return base * 0.8;
+    case Cdn::kAmazon: return base * 1.2;
+    case Cdn::kGoogle: return vantage == Vantage::kSaoPaulo ? base * 0.9 : base * 2.5;
+    case Cdn::kMeta: return base * 0.9;
+    case Cdn::kMicrosoft: return base * 1.4;
+    case Cdn::kOthers: return base * 6.0;
+  }
+  return base;
+}
+
+ProbeResult Prober::Probe(const Domain& domain, Vantage vantage, std::uint64_t day) const {
+  ProbeResult result;
+  if (!domain.speaks_quic) return result;
+
+  sim::Rng rng(seed_ ^ (static_cast<std::uint64_t>(domain.rank) * 0x2545f4914f6cdd1dULL) ^
+               (static_cast<std::uint64_t>(vantage) * 0x9e3779b97f4a7c15ULL) ^
+               (day * 0xd6e8feb86659fd93ULL));
+
+  const CdnProfile& profile = GetCdnProfile(domain.cdn);
+  result.success = true;
+  result.cdn = domain.cdn;
+  const double rtt_median = MedianRttMs(vantage, domain.cdn);
+  result.rtt_ms = std::max(0.3, rng.Normal(rtt_median, rtt_median * 0.15));
+
+  const bool frontend_iack = ObservedIackState(domain, day, static_cast<std::uint64_t>(vantage),
+                                               seed_);
+  if (!frontend_iack) {
+    // WFC frontend (or cached cert): the client sees ACK+SH coalesced.
+    result.coalesced = true;
+    result.reported_ack_delay_ms =
+        SampleReportedAckDelayMs(profile, result.rtt_ms, rng, /*coalesced=*/true);
+    return result;
+  }
+
+  // IACK frontend: cached certificates still coalesce (the Fig 9 signal).
+  const bool cached = rng.Bernoulli(domain.cache_probability);
+  if (cached) {
+    result.coalesced = true;
+    result.reported_ack_delay_ms =
+        SampleReportedAckDelayMs(profile, result.rtt_ms, rng, /*coalesced=*/true);
+    return result;
+  }
+
+  result.iack_observed = true;
+  result.ack_sh_delay_ms = SampleAckShDelayMs(profile, rng, /*coalesced=*/false);
+  result.reported_ack_delay_ms =
+      SampleReportedAckDelayMs(profile, result.rtt_ms, rng, /*coalesced=*/false);
+  return result;
+}
+
+}  // namespace quicer::scan

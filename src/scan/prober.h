@@ -1,0 +1,55 @@
+// QScanner-style prober and vantage points.
+//
+// One probe = one QUIC handshake + HTTP/3 HEAD request to a domain from a
+// vantage point; the classifier mirrors the paper's: "instant ACK" means the
+// ClientHello is followed by a separate server ACK preceding the TLS
+// ServerHello; an ACK coalesced with the ServerHello counts as non-IACK
+// (or as the cached fast path in the Cloudflare study).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "scan/cdn_model.h"
+#include "scan/population.h"
+#include "sim/rng.h"
+
+namespace quicer::scan {
+
+/// Measurement locations (§3: Hamburg, Los Angeles, São Paulo, Hong Kong).
+enum class Vantage { kHamburg, kLosAngeles, kSaoPaulo, kHongKong };
+
+inline constexpr std::array<Vantage, 4> kAllVantages = {
+    Vantage::kHamburg, Vantage::kLosAngeles, Vantage::kSaoPaulo, Vantage::kHongKong};
+
+std::string_view Name(Vantage vantage);
+
+/// Median RTT [ms] from a vantage to a CDN's nearest frontend. Same-city
+/// anycast keeps these low; Google's IACK deployment is mostly reachable
+/// from São Paulo (Appendix G).
+double MedianRttMs(Vantage vantage, Cdn cdn);
+
+/// Outcome of one probe.
+struct ProbeResult {
+  bool success = false;        // domain answered over QUIC
+  bool iack_observed = false;  // separate ACK preceding the ServerHello
+  bool coalesced = false;      // ACK arrived coalesced with the ServerHello
+  double rtt_ms = 0.0;
+  double ack_sh_delay_ms = 0.0;       // Fig 8 metric (0 when coalesced)
+  double reported_ack_delay_ms = 0.0; // Fig 10 metric
+  Cdn cdn = Cdn::kOthers;
+};
+
+/// Stateless prober; deterministic in (seed, domain, vantage, day).
+class Prober {
+ public:
+  explicit Prober(std::uint64_t seed) : seed_(seed) {}
+
+  ProbeResult Probe(const Domain& domain, Vantage vantage, std::uint64_t day) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace quicer::scan

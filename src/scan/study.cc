@@ -1,0 +1,104 @@
+#include "scan/study.h"
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "stats/stats.h"
+
+namespace quicer::scan {
+
+double DiurnalFactor(int hour_of_day, double amplitude) {
+  // Load ramps up from ~07:00, peaks mid-afternoon, falls off by ~19:00.
+  if (hour_of_day < 7 || hour_of_day > 19) return 1.0;
+  const double phase = (static_cast<double>(hour_of_day) - 7.0) / 12.0;  // 0..1
+  return 1.0 + amplitude * std::sin(phase * M_PI);
+}
+
+std::vector<HourlyPoint> RunCloudflareStudy(const CloudflareStudyConfig& config) {
+  std::vector<HourlyPoint> points;
+  points.reserve(static_cast<std::size_t>(config.hours));
+  sim::Rng rng(config.seed);
+  const double rtt_ms = MedianRttMs(config.vantage, Cdn::kCloudflare);
+
+  for (int hour = 0; hour < config.hours; ++hour) {
+    std::vector<double> ack_times;
+    std::vector<double> sh_times;
+    std::vector<double> coalesced_times;
+
+    const double factor = DiurnalFactor(hour % 24, config.diurnal_amplitude);
+
+    for (int s = 0; s < config.samples_per_hour; ++s) {
+      core::ExperimentConfig experiment;
+      experiment.client = clients::ClientImpl::kQuicGo;  // QScanner is quic-go based
+      experiment.http = http::Version::kHttp3;
+      experiment.behavior = quic::ServerBehavior::kInstantAck;
+      experiment.rtt = sim::Millis(std::max(0.4, rng.Normal(rtt_ms, rtt_ms * 0.1)));
+      experiment.certificate_bytes = tls::kSmallCertificateBytes;
+      experiment.cert_cached = rng.Bernoulli(config.cache_probability);
+      const double delay_ms =
+          rng.LogNormal(std::log(config.base_cert_delay_ms * factor), 0.35);
+      experiment.cert_fetch_delay = sim::Millis(delay_ms);
+      experiment.signing = tls::SigningModel{sim::Millis(0.6), 0.2};  // tuned frontends
+      experiment.response_body_bytes = 1024;  // HEAD-like exchange
+      experiment.seed = rng.Next();
+      experiment.time_limit = sim::Seconds(5);
+
+      const core::ExperimentResult result = core::RunExperiment(experiment);
+      if (result.client.first_ack_received < 0) continue;  // packet loss filter (§3)
+
+      const double ack_ms = sim::ToMillis(result.client.first_ack_received);
+      const double sh_ms = result.client.first_crypto_received < 0
+                               ? -1.0
+                               : sim::ToMillis(result.client.first_crypto_received);
+      const bool coalesced =
+          sh_ms >= 0 && std::abs(sh_ms - ack_ms) < 0.1;  // same-datagram arrival
+      if (coalesced) {
+        coalesced_times.push_back(ack_ms);
+      } else {
+        ack_times.push_back(ack_ms);
+        if (sh_ms >= 0) sh_times.push_back(sh_ms);
+      }
+    }
+
+    HourlyPoint point;
+    point.hour = hour;
+    if (!ack_times.empty()) {
+      point.median_ack_ms = stats::Median(ack_times);
+      point.p25_ack_ms = stats::Percentile(ack_times, 25.0);
+      point.p75_ack_ms = stats::Percentile(ack_times, 75.0);
+    }
+    if (!sh_times.empty()) point.median_sh_ms = stats::Median(sh_times);
+    if (!coalesced_times.empty()) point.median_coalesced_ms = stats::Median(coalesced_times);
+    point.ack_samples = static_cast<int>(ack_times.size());
+    point.coalesced_samples = static_cast<int>(coalesced_times.size());
+    points.push_back(point);
+  }
+  return points;
+}
+
+StudySummary SummarizeStudy(const std::vector<HourlyPoint>& points) {
+  StudySummary summary;
+  std::vector<double> acks;
+  std::vector<double> shs;
+  std::vector<double> gaps;
+  int ack_total = 0;
+  int coalesced_total = 0;
+  for (const HourlyPoint& point : points) {
+    if (point.median_ack_ms >= 0) acks.push_back(point.median_ack_ms);
+    if (point.median_sh_ms >= 0) shs.push_back(point.median_sh_ms);
+    if (point.median_ack_ms >= 0 && point.median_sh_ms >= 0) {
+      gaps.push_back(point.median_sh_ms - point.median_ack_ms);
+    }
+    ack_total += point.ack_samples;
+    coalesced_total += point.coalesced_samples;
+  }
+  summary.median_ack_ms = stats::Median(acks);
+  summary.median_sh_ms = stats::Median(shs);
+  summary.median_gap_ms = stats::Median(gaps);
+  summary.avoided_pto_inflation_ms = 3.0 * summary.median_gap_ms;
+  const int total = ack_total + coalesced_total;
+  summary.coalesced_share = total > 0 ? static_cast<double>(coalesced_total) / total : 0.0;
+  return summary;
+}
+
+}  // namespace quicer::scan

@@ -1,0 +1,80 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace quicer::sim {
+
+EventQueue::Handle EventQueue::Schedule(Duration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventQueue::Handle EventQueue::ScheduleAt(Time at, Callback cb) {
+  if (at < now_) at = now_;
+  Event event;
+  event.at = at;
+  event.seq = next_seq_++;
+  event.id = next_id_++;
+  event.cb = std::move(cb);
+  const Handle handle{event.id};
+  heap_.push(std::move(event));
+  return handle;
+}
+
+void EventQueue::Cancel(Handle handle) {
+  if (handle.valid()) cancelled_.insert(handle.id);
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = event.at;
+    ++executed_;
+    event.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void EventQueue::RunUntil(Time deadline) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    RunOne();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Timer::SetDeadline(Time at) {
+  Cancel();
+  if (at == kNever) return;
+  deadline_ = at;
+  handle_ = queue_.ScheduleAt(at, [this] {
+    deadline_ = kNever;
+    handle_ = {};
+    on_fire_();
+  });
+}
+
+void Timer::Cancel() {
+  if (handle_.valid()) queue_.Cancel(handle_);
+  handle_ = {};
+  deadline_ = kNever;
+}
+
+}  // namespace quicer::sim

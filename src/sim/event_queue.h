@@ -1,0 +1,109 @@
+// Discrete-event scheduler.
+//
+// The simulator is single-threaded: every network delivery, timer expiry and
+// endpoint action is a callback scheduled at an absolute time. Events at the
+// same time run in insertion order, which keeps runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace quicer::sim {
+
+/// Min-heap driven event loop with cancellable events.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle identifying a scheduled event; used for cancellation.
+  struct Handle {
+    std::uint64_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  /// Current simulation time. Advances only while events run.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` from now (clamped to >= 0).
+  Handle Schedule(Duration delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (clamped to >= now).
+  Handle ScheduleAt(Time at, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-run or invalid handle is
+  /// a no-op.
+  void Cancel(Handle handle);
+
+  /// Runs the earliest pending event. Returns false if the queue is empty.
+  bool RunOne();
+
+  /// Runs events until the queue is empty.
+  void RunUntilIdle();
+
+  /// Runs all events with time <= deadline; afterwards now() == deadline
+  /// (unless the queue emptied earlier, in which case now() is the later of
+  /// the last event time and the previous now()).
+  void RunUntil(Time deadline);
+
+  /// Number of pending (non-cancelled) events. Cancelled ids that were never
+  /// scheduled are ignored.
+  std::size_t PendingCount() const {
+    return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
+  }
+
+  /// Total number of events executed so far.
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among equal times
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// A single re-armable timer on top of EventQueue, as used for PTO and
+/// delayed-ACK deadlines. Re-arming cancels the previous deadline.
+class Timer {
+ public:
+  Timer(EventQueue& queue, EventQueue::Callback on_fire)
+      : queue_(queue), on_fire_(std::move(on_fire)) {}
+
+  /// Arms (or re-arms) the timer at absolute time `at`. `kNever` disarms.
+  void SetDeadline(Time at);
+
+  /// Disarms the timer if armed.
+  void Cancel();
+
+  /// Absolute expiry time, or kNever when disarmed.
+  Time deadline() const { return deadline_; }
+
+  bool armed() const { return deadline_ != kNever; }
+
+ private:
+  EventQueue& queue_;
+  EventQueue::Callback on_fire_;
+  EventQueue::Handle handle_{};
+  Time deadline_ = kNever;
+};
+
+}  // namespace quicer::sim

@@ -1,0 +1,44 @@
+#include "sim/link.h"
+
+#include <utility>
+
+namespace quicer::sim {
+
+Link::Link(EventQueue& queue, Config config, Rng rng)
+    : queue_(queue), config_(config), rng_(rng) {}
+
+Duration Link::SerialisationDelay(std::size_t bytes) const {
+  const double bits = static_cast<double>(bytes + config_.header_overhead_bytes) * 8.0;
+  return static_cast<Duration>(bits / config_.bandwidth_bps * static_cast<double>(kSecond));
+}
+
+std::uint64_t Link::Send(Direction direction, std::size_t bytes, std::function<void()> deliver) {
+  const int dir = static_cast<int>(direction);
+  const std::uint64_t index = next_index_[dir]++;
+  auto& stats = stats_[dir];
+  ++stats.datagrams_sent;
+  stats.bytes_sent += bytes;
+
+  if (loss_.ShouldDrop(direction, index, queue_.now(), rng_)) {
+    ++stats.datagrams_dropped;
+    return index;
+  }
+
+  // The transmitter serialises datagrams back to back; a datagram queued while
+  // the transmitter is busy waits for the line to free up.
+  const Time start = std::max(queue_.now(), tx_free_[dir]);
+  const Time serialised = start + SerialisationDelay(bytes);
+  tx_free_[dir] = serialised;
+  Time arrival = serialised + config_.one_way_delay;
+  if (config_.jitter > 0) {
+    arrival += static_cast<Duration>(rng_.Uniform(0.0, static_cast<double>(config_.jitter)));
+  }
+
+  queue_.ScheduleAt(arrival, [this, dir, deliver = std::move(deliver)] {
+    ++stats_[dir].datagrams_delivered;
+    deliver();
+  });
+  return index;
+}
+
+}  // namespace quicer::sim

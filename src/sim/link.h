@@ -1,0 +1,76 @@
+// Emulated bidirectional network path.
+//
+// Mirrors the QUIC Interop Runner setup the paper uses: symmetric one-way
+// delay, a configurable bottleneck bandwidth (10 Mbit/s in all paper
+// experiments), and a deterministic datagram-loss pattern. Payloads are
+// opaque: the sender passes the datagram size plus a delivery closure, so the
+// link has no dependency on the QUIC layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/loss.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace quicer::sim {
+
+/// Point-to-point path between a client and a server.
+class Link {
+ public:
+  struct Config {
+    /// Symmetric one-way delay (paper: 0.5 ms .. 150 ms).
+    Duration one_way_delay = Millis(4.5);
+    /// Bottleneck bandwidth in bits per second (paper: 10 Mbit/s).
+    double bandwidth_bps = 10e6;
+    /// Fixed per-datagram overhead added to serialisation (IP+UDP headers).
+    std::size_t header_overhead_bytes = 28;
+    /// Uniform per-datagram extra delay in [0, jitter]; values above the
+    /// inter-datagram spacing reorder deliveries (robustness testing).
+    Duration jitter = 0;
+  };
+
+  struct DirectionStats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_dropped = 0;
+    std::uint64_t datagrams_delivered = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  Link(EventQueue& queue, Config config, Rng rng);
+
+  /// Installs the loss pattern applied to subsequent sends.
+  void set_loss_pattern(LossPattern pattern) { loss_ = std::move(pattern); }
+
+  /// Round trip time implied by the configured one-way delay.
+  Duration rtt() const { return 2 * config_.one_way_delay; }
+
+  const Config& config() const { return config_; }
+
+  /// Transmits a datagram of `bytes` payload bytes in `direction`. On
+  /// successful delivery, `deliver` runs at the arrival time. Returns the
+  /// 1-based per-direction datagram index (assigned whether or not the
+  /// datagram is dropped, matching how the paper counts datagrams).
+  std::uint64_t Send(Direction direction, std::size_t bytes, std::function<void()> deliver);
+
+  const DirectionStats& stats(Direction direction) const {
+    return stats_[static_cast<int>(direction)];
+  }
+
+ private:
+  Duration SerialisationDelay(std::size_t bytes) const;
+
+  EventQueue& queue_;
+  Config config_;
+  Rng rng_;
+  LossPattern loss_;
+  // Earliest time the transmitter in each direction is free again; models the
+  // bottleneck queue.
+  Time tx_free_[2] = {0, 0};
+  std::uint64_t next_index_[2] = {1, 1};
+  DirectionStats stats_[2];
+};
+
+}  // namespace quicer::sim

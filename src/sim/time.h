@@ -1,0 +1,38 @@
+// Time representation for the discrete-event simulator.
+//
+// All simulation time is an integer count of microseconds since the start of
+// the simulation. Integer time keeps the simulator deterministic across
+// platforms and makes event ordering exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace quicer::sim {
+
+/// Absolute simulation time in microseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulation time in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1'000;
+inline constexpr Duration kSecond = 1'000'000;
+
+/// Sentinel for "no deadline" / "never fires".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+/// Builds a duration from (possibly fractional) milliseconds.
+constexpr Duration Millis(double ms) { return static_cast<Duration>(ms * 1000.0); }
+
+/// Builds a duration from whole seconds.
+constexpr Duration Seconds(std::int64_t s) { return s * kSecond; }
+
+}  // namespace quicer::sim

@@ -1,0 +1,48 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace quicer::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::Add(double value) {
+  std::ptrdiff_t bin = static_cast<std::ptrdiff_t>((value - lo_) / bin_width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::BinLow(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+std::string Histogram::Render(std::size_t width) const {
+  std::uint64_t max_count = 0;
+  for (std::uint64_t c : counts_) max_count = std::max(max_count, c);
+  if (max_count == 0) return "(empty histogram)\n";
+
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::size_t bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+                                 static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "%10.3f | %-*s %llu\n", BinLow(i), static_cast<int>(width),
+                  std::string(bar, '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace quicer::stats

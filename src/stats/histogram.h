@@ -1,0 +1,39 @@
+// Fixed-bin histogram used for latency distributions in reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace quicer::stats {
+
+/// Linear-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so no sample is silently discarded.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double value);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+
+  /// Midpoint of a bin (for plotting).
+  double BinCenter(std::size_t bin) const;
+
+  /// Lower edge of a bin.
+  double BinLow(std::size_t bin) const;
+
+  /// Renders a fixed-width ASCII bar chart, one row per non-empty bin.
+  std::string Render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace quicer::stats

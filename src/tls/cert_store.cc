@@ -1,0 +1,28 @@
+#include "tls/cert_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace quicer::tls {
+
+CertStore::CertStore(sim::EventQueue& queue, Config config, sim::Rng rng)
+    : queue_(queue), config_(config), rng_(rng) {}
+
+void CertStore::Fetch(std::function<void(const Result&)> done) {
+  ++fetch_count_;
+  sim::Duration delay = 0;
+  if (!config_.cached) {
+    delay = config_.fetch_delay;
+    if (config_.fetch_jitter > 0) {
+      const double jittered = rng_.Normal(static_cast<double>(delay),
+                                          static_cast<double>(config_.fetch_jitter));
+      delay = std::max<sim::Duration>(0, static_cast<sim::Duration>(jittered));
+    }
+  }
+  Result result;
+  result.certificate_bytes = config_.certificate_bytes;
+  result.delay = delay;
+  queue_.Schedule(delay, [done = std::move(done), result] { done(result); });
+}
+
+}  // namespace quicer::tls

@@ -1,0 +1,60 @@
+// Certificate store model.
+//
+// In the CDN deployments the paper studies (Fig 1), the frontend server must
+// fetch the customer's TLS certificate from a backend certificate store
+// before it can send the ServerHello flight. The fetch delay Δt is the core
+// parameter of the whole study. A cached certificate resolves (nearly)
+// immediately — this is what the paper observes for popular Cloudflare
+// domains, which receive *coalesced* ACK+ServerHello.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace quicer::tls {
+
+/// Asynchronous certificate provider with a configurable fetch delay.
+class CertStore {
+ public:
+  struct Config {
+    /// Backend fetch delay Δt (frontend -> certificate store -> frontend).
+    sim::Duration fetch_delay = 0;
+    /// Jitter standard deviation applied to the fetch delay (normal, >= 0
+    /// after clamping).
+    sim::Duration fetch_jitter = 0;
+    /// Certificate chain size in bytes as it appears in the CRYPTO stream.
+    std::size_t certificate_bytes = 1212;
+    /// When true, the certificate is already present on the frontend: the
+    /// fetch resolves with zero delay regardless of `fetch_delay`.
+    bool cached = false;
+  };
+
+  struct Result {
+    std::size_t certificate_bytes = 0;
+    /// The actual delay this fetch took (after jitter/caching).
+    sim::Duration delay = 0;
+  };
+
+  CertStore(sim::EventQueue& queue, Config config, sim::Rng rng);
+
+  /// Requests the certificate; `done` runs when it is available.
+  void Fetch(std::function<void(const Result&)> done);
+
+  const Config& config() const { return config_; }
+
+  /// Number of fetches issued (frontends re-fetch per connection unless
+  /// caching is modelled).
+  std::uint64_t fetch_count() const { return fetch_count_; }
+
+ private:
+  sim::EventQueue& queue_;
+  Config config_;
+  sim::Rng rng_;
+  std::uint64_t fetch_count_ = 0;
+};
+
+}  // namespace quicer::tls

@@ -1,0 +1,38 @@
+#include "tls/messages.h"
+
+#include <cmath>
+
+namespace quicer::tls {
+
+std::string_view ToString(MessageType type) {
+  switch (type) {
+    case MessageType::kClientHello: return "ClientHello";
+    case MessageType::kServerHello: return "ServerHello";
+    case MessageType::kEncryptedExtensions: return "EncryptedExtensions";
+    case MessageType::kCertificate: return "Certificate";
+    case MessageType::kCertificateVerify: return "CertificateVerify";
+    case MessageType::kFinished: return "Finished";
+  }
+  return "?";
+}
+
+std::size_t HandshakeSizes::SizeOf(MessageType type) const {
+  switch (type) {
+    case MessageType::kClientHello: return client_hello;
+    case MessageType::kServerHello: return server_hello;
+    case MessageType::kEncryptedExtensions: return encrypted_extensions;
+    case MessageType::kCertificate: return certificate;
+    case MessageType::kCertificateVerify: return certificate_verify;
+    case MessageType::kFinished: return finished;
+  }
+  return 0;
+}
+
+sim::Duration SigningModel::Sample(sim::Rng& rng) const {
+  if (sigma <= 0.0 || median <= 0) return median;
+  const double mu = std::log(static_cast<double>(median));
+  const double value = rng.LogNormal(mu, sigma);
+  return static_cast<sim::Duration>(value);
+}
+
+}  // namespace quicer::tls

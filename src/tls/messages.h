@@ -1,0 +1,70 @@
+// Size-accurate TLS 1.3 handshake message emulation.
+//
+// The experiments never need cryptographic content — only (a) how many bytes
+// each handshake message contributes to CRYPTO frames (which determines
+// whether the first server flight exceeds the QUIC anti-amplification limit)
+// and (b) how long the server takes to produce them (certificate fetch delay
+// Δt plus signing time). Sizes follow the paper's setup: a 1,212 B
+// certificate chain that permits a 1-RTT handshake and a 5,113 B chain that
+// exceeds the amplification limit.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace quicer::tls {
+
+/// TLS handshake messages carried in QUIC CRYPTO frames.
+enum class MessageType {
+  kClientHello,
+  kServerHello,
+  kEncryptedExtensions,
+  kCertificate,
+  kCertificateVerify,
+  kFinished,
+};
+
+std::string_view ToString(MessageType type);
+
+/// Certificate chain used by the paper's server that fits within the
+/// amplification budget of a single padded client Initial.
+inline constexpr std::size_t kSmallCertificateBytes = 1212;
+
+/// Certificate chain used by the paper's server that exceeds the
+/// anti-amplification limit (3 x 1200 B).
+inline constexpr std::size_t kLargeCertificateBytes = 5113;
+
+/// Byte sizes of the handshake messages as they appear in CRYPTO frames.
+struct HandshakeSizes {
+  std::size_t client_hello = 280;
+  std::size_t server_hello = 123;
+  std::size_t encrypted_extensions = 98;
+  std::size_t certificate = kSmallCertificateBytes;
+  std::size_t certificate_verify = 304;  // ~ECDSA P-256 sig + transcript framing
+  std::size_t finished = 36;
+
+  std::size_t SizeOf(MessageType type) const;
+
+  /// Total CRYPTO bytes the server must deliver in its first flight
+  /// (ServerHello .. Finished).
+  std::size_t ServerFlightBytes() const {
+    return server_hello + encrypted_extensions + certificate + certificate_verify + finished;
+  }
+};
+
+/// Latency model for the server-side asymmetric signing operation — the
+/// paper's profiling found signature calculation to be the single most
+/// CPU-consuming function of the handshake (§4.1).
+struct SigningModel {
+  /// Median signing latency.
+  sim::Duration median = sim::Millis(2.5);
+  /// Log-normal sigma; 0 makes the delay deterministic.
+  double sigma = 0.25;
+
+  sim::Duration Sample(sim::Rng& rng) const;
+};
+
+}  // namespace quicer::tls

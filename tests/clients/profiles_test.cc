@@ -1,0 +1,138 @@
+#include "clients/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "clients/server_profiles.h"
+
+namespace quicer::clients {
+namespace {
+
+TEST(Profiles, Table4DefaultPtos) {
+  EXPECT_EQ(DefaultPto(ClientImpl::kAioquic), sim::Millis(200));
+  EXPECT_EQ(DefaultPto(ClientImpl::kGoXNet), sim::Millis(999));
+  EXPECT_EQ(DefaultPto(ClientImpl::kMvfst), sim::Millis(100));
+  EXPECT_EQ(DefaultPto(ClientImpl::kNeqo), sim::Millis(300));
+  EXPECT_EQ(DefaultPto(ClientImpl::kNgtcp2), sim::Millis(300));
+  EXPECT_EQ(DefaultPto(ClientImpl::kPicoquic), sim::Millis(250));
+  EXPECT_EQ(DefaultPto(ClientImpl::kQuicGo), sim::Millis(200));
+  EXPECT_EQ(DefaultPto(ClientImpl::kQuiche), sim::Millis(999));
+}
+
+TEST(Profiles, Table4SecondFlightDatagrams) {
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kAioquic), 3);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kGoXNet), 3);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kMvfst), 3);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kNeqo), 2);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kNgtcp2), 3);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kPicoquic), 4);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kQuicGo), 3);
+  EXPECT_EQ(SecondFlightDatagrams(ClientImpl::kQuiche), 1);
+}
+
+TEST(Profiles, OnlyGoXNetLacksHttp3) {
+  for (ClientImpl impl : kAllClients) {
+    EXPECT_EQ(SupportsHttp3(impl), impl != ClientImpl::kGoXNet) << Name(impl);
+  }
+}
+
+TEST(Profiles, PicoquicIgnoresInitialRttSamples) {
+  const auto config = MakeClientConfig(ClientImpl::kPicoquic, http::Version::kHttp1);
+  EXPECT_FALSE(config.use_initial_space_rtt_samples);
+  EXPECT_FALSE(config.rearm_pto_on_empty_inflight);
+  EXPECT_FALSE(config.coalesce_acks);
+}
+
+TEST(Profiles, MvfstDoesNotProbeOnInstantAck) {
+  const auto config = MakeClientConfig(ClientImpl::kMvfst, http::Version::kHttp1);
+  EXPECT_FALSE(config.rearm_pto_on_empty_inflight);
+  EXPECT_TRUE(config.use_initial_space_rtt_samples);
+}
+
+TEST(Profiles, GoXNetMisinitialisesSmoothedRtt) {
+  const auto config = MakeClientConfig(ClientImpl::kGoXNet, http::Version::kHttp1);
+  ASSERT_TRUE(config.wrong_first_srtt.has_value());
+  EXPECT_EQ(*config.wrong_first_srtt, sim::Millis(90));
+  EXPECT_GT(config.wrong_first_srtt_probability, 0.0);
+  EXPECT_GT(config.processing_jitter, sim::Millis(10));
+}
+
+TEST(Profiles, QuicheQuirksGatedToHttp1) {
+  const auto h1 = MakeClientConfig(ClientImpl::kQuiche, http::Version::kHttp1);
+  EXPECT_TRUE(h1.drop_coalesced_ping_reply);
+  EXPECT_TRUE(h1.abort_on_duplicate_cid_retirement);
+  EXPECT_TRUE(h1.defer_acks_until_flight);
+  const auto h3 = MakeClientConfig(ClientImpl::kQuiche, http::Version::kHttp3);
+  EXPECT_FALSE(h3.drop_coalesced_ping_reply);
+  EXPECT_FALSE(h3.abort_on_duplicate_cid_retirement);
+  EXPECT_TRUE(h3.defer_acks_until_flight);
+}
+
+TEST(Profiles, AioquicUsesLegacyRttVarFormula) {
+  const auto config = MakeClientConfig(ClientImpl::kAioquic, http::Version::kHttp1);
+  EXPECT_EQ(config.rttvar_formula, recovery::RttVarFormula::kAioquicLegacy);
+}
+
+TEST(Profiles, AppendixERttVarLogging) {
+  // neqo, mvfst and picoquic do not log the RTT variance.
+  for (ClientImpl impl : kAllClients) {
+    const auto config = MakeClientConfig(impl, http::Version::kHttp1);
+    const bool expects_no_rttvar = impl == ClientImpl::kNeqo || impl == ClientImpl::kMvfst ||
+                                   impl == ClientImpl::kPicoquic;
+    EXPECT_EQ(config.trace.logs_rttvar, !expects_no_rttvar) << Name(impl);
+  }
+}
+
+TEST(Profiles, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (ClientImpl impl : kAllClients) names.insert(Name(impl));
+  EXPECT_EQ(names.size(), kAllClients.size());
+}
+
+TEST(ServerProfiles, Table3Values) {
+  const auto& aioquic = GetServerAckDelayProfile(ServerImpl::kAioquic);
+  ASSERT_TRUE(aioquic.initial_ack_delay.has_value());
+  EXPECT_EQ(*aioquic.initial_ack_delay, sim::Millis(3.3));
+  EXPECT_FALSE(aioquic.handshake_ack_delay.has_value());
+
+  const auto& msquic = GetServerAckDelayProfile(ServerImpl::kMsquic);
+  EXPECT_FALSE(msquic.initial_ack_delay.has_value());
+
+  const auto& s2n = GetServerAckDelayProfile(ServerImpl::kS2nQuic);
+  ASSERT_TRUE(s2n.initial_ack_delay.has_value());
+  EXPECT_GT(*s2n.initial_ack_delay, sim::Millis(10));  // exceeds typical RTTs
+
+  const auto& lsquic = GetServerAckDelayProfile(ServerImpl::kLsquic);
+  ASSERT_TRUE(lsquic.handshake_ack_delay.has_value());
+  EXPECT_EQ(*lsquic.handshake_ack_delay, sim::Millis(0.2));
+}
+
+TEST(ServerProfiles, SixteenImplementations) {
+  EXPECT_EQ(kAllServers.size(), 16u);
+  std::set<std::string_view> names;
+  for (ServerImpl impl : kAllServers) names.insert(Name(impl));
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(ServerProfiles, ZeroReportersCountMatchesPaper) {
+  // Table 3: 6 implementations report 0 ms in the first Initial ACK
+  // (go-x-net, kwik, neqo, nginx, ngtcp2, quic-go).
+  int zero_reporters = 0;
+  for (ServerImpl impl : kAllServers) {
+    const auto& profile = GetServerAckDelayProfile(impl);
+    if (profile.initial_ack_delay.has_value() && *profile.initial_ack_delay == 0) {
+      ++zero_reporters;
+    }
+  }
+  EXPECT_EQ(zero_reporters, 6);
+}
+
+TEST(ServerProfiles, MakeAckPolicyReflectsReportedDelay) {
+  const auto zero = MakeAckPolicy(ServerImpl::kQuicGo);
+  EXPECT_EQ(zero.report_mode, quic::AckDelayReportMode::kZero);
+  const auto fixed = MakeAckPolicy(ServerImpl::kS2nQuic);
+  EXPECT_EQ(fixed.report_mode, quic::AckDelayReportMode::kFixed);
+  EXPECT_GT(fixed.fixed_report_value, 0);
+}
+
+}  // namespace
+}  // namespace quicer::clients

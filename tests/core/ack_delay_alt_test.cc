@@ -1,0 +1,71 @@
+#include "core/ack_delay_alt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pto_model.h"
+
+namespace quicer::core {
+namespace {
+
+AckDelayAltScenario Scenario(double rtt_ms, double delta_ms, double reported_ms) {
+  AckDelayAltScenario scenario;
+  scenario.rtt = sim::Millis(rtt_ms);
+  scenario.delta_t = sim::Millis(delta_ms);
+  scenario.reported_ack_delay = sim::Millis(reported_ms);
+  return scenario;
+}
+
+TEST(AckDelayAlt, RfcStandardIgnoresReportedDelay) {
+  // Reason 1 of Appendix D: PTO initialisation ignores the ack delay.
+  const auto result = EvaluateStrategy(AckDelayStrategy::kRfcStandard, Scenario(9, 4, 4));
+  EXPECT_EQ(result.first_pto_wfc, FirstPto(sim::Millis(13)));
+  EXPECT_EQ(result.first_pto_iack, FirstPto(sim::Millis(9)));
+  EXPECT_GT(result.first_pto_wfc, result.first_pto_iack);
+}
+
+TEST(AckDelayAlt, HonestReportingWouldRecoverIackPto) {
+  // If the server honestly reported Δt and the client applied it at init,
+  // the WFC PTO would equal the IACK PTO.
+  const auto result = EvaluateStrategy(AckDelayStrategy::kApplyAtInit, Scenario(9, 4, 4));
+  EXPECT_EQ(result.first_pto_wfc, result.first_pto_iack);
+  EXPECT_FALSE(result.clamped_to_min_rtt);
+}
+
+TEST(AckDelayAlt, ZeroReportingMakesApplyAtInitUseless) {
+  // Reason 2: many servers report 0 (Table 3) — nothing to subtract.
+  const auto result = EvaluateStrategy(AckDelayStrategy::kApplyAtInit, Scenario(9, 4, 0));
+  EXPECT_EQ(result.first_pto_wfc, FirstPto(sim::Millis(13)));
+}
+
+TEST(AckDelayAlt, OverReportedDelayClampsToMinRtt) {
+  // Reason 3: CDNs report delays exceeding the RTT (Fig 10); the client may
+  // not push the sample below min_rtt.
+  const auto result = EvaluateStrategy(AckDelayStrategy::kApplyAtInit, Scenario(9, 4, 50));
+  EXPECT_TRUE(result.clamped_to_min_rtt);
+  EXPECT_EQ(result.first_pto_wfc, FirstPto(sim::Millis(9)));
+}
+
+TEST(AckDelayAlt, ReinitOnSecondSampleHelpsOnlyLater) {
+  const auto result = EvaluateStrategy(AckDelayStrategy::kReinitOnSecond, Scenario(9, 4, 0));
+  // The PTO that becomes effective from the second exchange equals the IACK
+  // one — but the handshake already paid the inflated first PTO.
+  EXPECT_EQ(result.first_pto_wfc, result.first_pto_iack);
+}
+
+class AckDelayAltSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AckDelayAltSweep, StandardAlwaysInflatedByThreeDelta) {
+  const auto [rtt_ms, delta_ms] = GetParam();
+  const auto result =
+      EvaluateStrategy(AckDelayStrategy::kRfcStandard, Scenario(rtt_ms, delta_ms, 0));
+  EXPECT_EQ(result.first_pto_wfc - result.first_pto_iack,
+            3 * sim::Millis(delta_ms));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AckDelayAltSweep,
+                         ::testing::Combine(::testing::Values(1.0, 9.0, 25.0, 100.0),
+                                            ::testing::Values(1.0, 4.0, 9.0, 25.0)));
+
+}  // namespace
+}  // namespace quicer::core

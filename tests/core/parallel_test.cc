@@ -1,0 +1,70 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+
+namespace quicer::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.rtt = sim::Millis(9);
+  config.response_body_bytes = 4096;
+  return config;
+}
+
+double Ttfb(const ExperimentResult& result) { return result.TtfbMs(); }
+
+TEST(Parallel, MatchesSerialRepetitionsExactly) {
+  ExperimentConfig config = SmallConfig();
+  config.seed = 77;
+  const auto serial = RunRepetitions(config, 16, Ttfb);
+  const auto parallel = RunRepetitionsParallel(config, 16, Ttfb);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+TEST(Parallel, SingleThreadWorks) {
+  const auto values = RunRepetitionsParallel(SmallConfig(), 4, Ttfb, /*threads=*/1);
+  ASSERT_EQ(values.size(), 4u);
+  for (double v : values) EXPECT_GT(v, 0.0);
+}
+
+TEST(Parallel, MoreThreadsThanJobsWorks) {
+  const auto values = RunRepetitionsParallel(SmallConfig(), 2, Ttfb, /*threads=*/16);
+  EXPECT_EQ(values.size(), 2u);
+}
+
+TEST(Parallel, ZeroRepetitionsEmpty) {
+  EXPECT_TRUE(RunRepetitionsParallel(SmallConfig(), 0, Ttfb).empty());
+}
+
+TEST(Parallel, ExperimentsParallelPreservesOrder) {
+  std::vector<ExperimentConfig> configs;
+  for (double rtt_ms : {5.0, 10.0, 20.0, 40.0}) {
+    ExperimentConfig config = SmallConfig();
+    config.rtt = sim::Millis(rtt_ms);
+    configs.push_back(config);
+  }
+  const auto results = RunExperimentsParallel(configs);
+  ASSERT_EQ(results.size(), 4u);
+  // TTFB grows with RTT, so order is verifiable.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GT(results[i].TtfbMs(), results[i - 1].TtfbMs());
+  }
+}
+
+TEST(Parallel, DeterministicAcrossThreadCounts) {
+  ExperimentConfig config = SmallConfig();
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  const auto a = RunRepetitionsParallel(config, 12, Ttfb, 2);
+  const auto b = RunRepetitionsParallel(config, 12, Ttfb, 8);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace quicer::core

@@ -1,0 +1,104 @@
+#include "core/pto_model.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::core {
+namespace {
+
+TEST(PtoModel, FirstPtoIsThreeTimesSample) {
+  EXPECT_EQ(FirstPto(sim::Millis(9)), sim::Millis(27));
+  EXPECT_EQ(FirstPto(sim::Millis(100)), sim::Millis(300));
+}
+
+TEST(PtoModel, EvolutionStartsWith3DeltaGap) {
+  // Fig 2: the first PTO gap between WFC and IACK is 3Δt.
+  const auto points = ComputePtoEvolution(sim::Millis(9), sim::Millis(4), 50);
+  ASSERT_EQ(points.size(), 50u);
+  EXPECT_EQ(points[0].pto_wfc - points[0].pto_iack, 3 * sim::Millis(4));
+}
+
+TEST(PtoModel, WfcConvergesTowardsIack) {
+  const auto points = ComputePtoEvolution(sim::Millis(9), sim::Millis(4), 50);
+  // WFC is never better than IACK (the gap may transiently grow while the
+  // inflated first sample raises the variance term — visible as the bump in
+  // Fig 2) and converges to (almost) nothing within 50 new ACKs.
+  for (const auto& point : points) {
+    EXPECT_GE(point.pto_wfc, point.pto_iack);
+  }
+  const sim::Duration final_gap = points.back().pto_wfc - points.back().pto_iack;
+  EXPECT_LT(final_gap, sim::Millis(1));
+}
+
+TEST(PtoModel, IackPtoIsFlatInStaticSetting) {
+  const auto points = ComputePtoEvolution(sim::Millis(25), sim::Millis(4), 50);
+  // All IACK samples equal the RTT; the PTO declines as variance decays but
+  // never drops below smoothed + granularity.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].pto_iack, points[i - 1].pto_iack);
+    EXPECT_GE(points[i].pto_iack, sim::Millis(25));
+  }
+}
+
+TEST(PtoModel, ReductionInRttUnitsIs3DeltaOverRtt) {
+  // Fig 4's y-value: (PTO_WFC - PTO_IACK)/RTT = 3Δt/RTT.
+  const auto point = FirstPtoReduction(sim::Millis(10), sim::Millis(9));
+  EXPECT_NEAR(point.reduction_rtts, 2.7, 0.01);
+}
+
+TEST(PtoModel, ReductionShrinksWithRtt) {
+  // "Relative to the RTT, lower latency connections profit more."
+  const double low = FirstPtoReduction(sim::Millis(5), sim::Millis(9)).reduction_rtts;
+  const double high = FirstPtoReduction(sim::Millis(100), sim::Millis(9)).reduction_rtts;
+  EXPECT_GT(low, high);
+}
+
+TEST(PtoModel, SpuriousZoneBoundaryAt3Rtt) {
+  // Spurious retransmits iff Δt > client PTO = 3 x RTT.
+  EXPECT_FALSE(FirstPtoReduction(sim::Millis(10), sim::Millis(29)).spurious_retransmissions);
+  EXPECT_TRUE(FirstPtoReduction(sim::Millis(10), sim::Millis(31)).spurious_retransmissions);
+  EXPECT_EQ(SpuriousBoundary(sim::Millis(10)), sim::Millis(30));
+}
+
+TEST(PtoModel, StateAddSampleMatchesRfcFormulae) {
+  PtoState state;
+  state.AddSample(sim::Millis(100));
+  EXPECT_EQ(state.smoothed, sim::Millis(100));
+  EXPECT_EQ(state.rttvar, sim::Millis(50));
+  state.AddSample(sim::Millis(60));
+  // rttvar = 3/4*50 + 1/4*|100-60| = 47.5; smoothed = 7/8*100 + 1/8*60 = 95.
+  EXPECT_EQ(state.rttvar, sim::Millis(47.5));
+  EXPECT_EQ(state.smoothed, sim::Millis(95));
+}
+
+TEST(PtoModel, GranularityFloor) {
+  PtoState state;
+  for (int i = 0; i < 500; ++i) state.AddSample(sim::Millis(10));
+  EXPECT_EQ(state.Pto(), sim::Millis(11));  // smoothed + 1 ms floor
+}
+
+// Property sweep over the Fig 4 grid.
+struct SweetSpotCase {
+  int rtt_ms;
+  int delta_ms;
+};
+
+class SweetSpotGrid : public ::testing::TestWithParam<SweetSpotCase> {};
+
+TEST_P(SweetSpotGrid, ReductionFormulaAndSpuriousRule) {
+  const auto& param = GetParam();
+  const auto point = FirstPtoReduction(sim::Millis(static_cast<double>(param.rtt_ms)),
+                                       sim::Millis(static_cast<double>(param.delta_ms)));
+  EXPECT_NEAR(point.reduction_rtts, 3.0 * param.delta_ms / param.rtt_ms, 0.05);
+  EXPECT_EQ(point.spurious_retransmissions, param.delta_ms > 3 * param.rtt_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig4Grid, SweetSpotGrid,
+                         ::testing::Values(SweetSpotCase{5, 1}, SweetSpotCase{5, 25},
+                                           SweetSpotCase{10, 1}, SweetSpotCase{10, 9},
+                                           SweetSpotCase{10, 25}, SweetSpotCase{20, 9},
+                                           SweetSpotCase{50, 25}, SweetSpotCase{100, 1},
+                                           SweetSpotCase{100, 9}, SweetSpotCase{100, 25},
+                                           SweetSpotCase{2, 25}, SweetSpotCase{1, 9}));
+
+}  // namespace
+}  // namespace quicer::core

@@ -1,0 +1,50 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::core {
+namespace {
+
+TEST(Report, FormatMs) {
+  EXPECT_EQ(FormatMs(sim::Millis(9.0)), "9.0");
+  EXPECT_EQ(FormatMs(sim::Millis(123.46)), "123.5");
+}
+
+TEST(Report, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(10.0, 0), "10");
+}
+
+TEST(Report, ScatterEmptyIsBlank) {
+  const std::string strip = RenderScatter({}, 0, 100, 20);
+  EXPECT_EQ(strip, std::string(20, ' '));
+}
+
+TEST(Report, ScatterMarksMedian) {
+  const std::string strip = RenderScatter({50, 50, 50}, 0, 100, 21);
+  EXPECT_EQ(strip[10], '|');
+}
+
+TEST(Report, ScatterClampsOutOfRangeValues) {
+  const std::string strip = RenderScatter({-100, 500}, 0, 100, 10);
+  EXPECT_NE(strip[0], ' ');
+  EXPECT_NE(strip[9], ' ');
+}
+
+TEST(Report, ScatterDensityLevels) {
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(10.0);
+  values.push_back(90.0);
+  const std::string strip = RenderScatter(values, 0, 100, 10);
+  // Heavy stack at the left, light dot to the right (90/100 -> cell 8 of 10).
+  EXPECT_TRUE(strip[1] == '#' || strip[1] == '|' || strip[0] == '#' || strip[0] == '|');
+  EXPECT_EQ(strip[8], '.');
+}
+
+TEST(Report, ScatterDegenerateRange) {
+  const std::string strip = RenderScatter({5.0}, 10, 10, 10);
+  EXPECT_EQ(strip, std::string(10, ' '));
+}
+
+}  // namespace
+}  // namespace quicer::core

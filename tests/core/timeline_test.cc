@@ -1,0 +1,114 @@
+// Timeline utility tests + Fig 3 conformance: the engine's lossless 1-RTT
+// handshake must follow the paper's packet choreography.
+#include "core/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace quicer::core {
+namespace {
+
+std::vector<TimelineEntry> RunAndBuild(quic::ServerBehavior behavior,
+                                       sim::Duration delta = sim::Millis(20)) {
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.behavior = behavior;
+  config.rtt = sim::Millis(9);
+  config.cert_fetch_delay = delta;
+  config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+  config.response_body_bytes = 4096;
+  std::vector<TimelineEntry> timeline;
+  RunExperiment(config, [&](const quic::ClientConnection& client,
+                            const quic::ServerConnection& server) {
+    timeline = BuildTimeline(client.trace(), server.trace());
+  });
+  return timeline;
+}
+
+TEST(Timeline, ChronologicallyOrdered) {
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kWaitForCertificate);
+  ASSERT_FALSE(timeline.empty());
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].time, timeline[i - 1].time);
+  }
+}
+
+TEST(Timeline, FirstEventIsClientHello) {
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kWaitForCertificate);
+  ASSERT_FALSE(timeline.empty());
+  const TimelineEntry& first = timeline.front();
+  EXPECT_EQ(first.actor, "client");
+  EXPECT_EQ(first.kind, "send");
+  EXPECT_EQ(first.space, quic::PacketNumberSpace::kInitial);
+  EXPECT_GE(first.size, quic::kMinInitialDatagramSize);
+}
+
+TEST(Timeline, Fig3WfcChoreography) {
+  // WFC: client CH -> server first flight (Initial ACK+SH coalesced with
+  // Handshake) -> client second flight (Initial ACK, HS FIN, 1-RTT request)
+  // -> server second flight (HANDSHAKE_DONE + response).
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kWaitForCertificate);
+  const auto server_sends = SendsOf(timeline, "server");
+  ASSERT_GE(server_sends.size(), 3u);
+  // The server's first packet is the coalesced Initial (ACK+SH) — it is
+  // ack-eliciting (CRYPTO) and precedes any server Handshake packet.
+  EXPECT_EQ(server_sends[0].space, quic::PacketNumberSpace::kInitial);
+  EXPECT_TRUE(server_sends[0].ack_eliciting);
+  EXPECT_EQ(server_sends[1].space, quic::PacketNumberSpace::kHandshake);
+
+  const auto client_sends = SendsOf(timeline, "client");
+  ASSERT_GE(client_sends.size(), 4u);
+  // Flight 2: Initial ACK (non-eliciting), then HS (FIN), then 1-RTT.
+  EXPECT_EQ(client_sends[1].space, quic::PacketNumberSpace::kInitial);
+  EXPECT_FALSE(client_sends[1].ack_eliciting);
+  bool saw_hs = false;
+  bool saw_app_after_hs = false;
+  for (std::size_t i = 2; i < client_sends.size(); ++i) {
+    if (client_sends[i].space == quic::PacketNumberSpace::kHandshake) saw_hs = true;
+    if (saw_hs && client_sends[i].space == quic::PacketNumberSpace::kAppData) {
+      saw_app_after_hs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_hs);
+  EXPECT_TRUE(saw_app_after_hs);
+}
+
+TEST(Timeline, Fig3IackChoreography) {
+  // IACK: the server's first send is a standalone non-eliciting Initial ACK,
+  // Δt before the ServerHello flight.
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kInstantAck);
+  const auto server_sends = SendsOf(timeline, "server");
+  ASSERT_GE(server_sends.size(), 3u);
+  EXPECT_EQ(server_sends[0].space, quic::PacketNumberSpace::kInitial);
+  EXPECT_FALSE(server_sends[0].ack_eliciting);
+  EXPECT_LT(server_sends[0].size, 100u);
+  // The SH flight follows at least Δt later.
+  EXPECT_GE(server_sends[1].time - server_sends[0].time, sim::Millis(20));
+}
+
+TEST(Timeline, RenderContainsKeyEvents) {
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kInstantAck);
+  const std::string text = RenderTimeline(timeline);
+  EXPECT_NE(text.find("client"), std::string::npos);
+  EXPECT_NE(text.find("server"), std::string::npos);
+  EXPECT_NE(text.find("Initial"), std::string::npos);
+  EXPECT_NE(text.find("1-RTT"), std::string::npos);
+  EXPECT_NE(text.find("instant ACK sent"), std::string::npos);
+  EXPECT_NE(text.find("[non-eliciting]"), std::string::npos);
+}
+
+TEST(Timeline, NotesInterleaved) {
+  const auto timeline = RunAndBuild(quic::ServerBehavior::kInstantAck);
+  bool found_note = false;
+  for (const TimelineEntry& entry : timeline) {
+    if (entry.kind == "note" && entry.detail.find("certificate ready") != std::string::npos) {
+      found_note = true;
+    }
+  }
+  EXPECT_TRUE(found_note);
+}
+
+}  // namespace
+}  // namespace quicer::core

@@ -1,0 +1,40 @@
+#include "http/http.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::http {
+namespace {
+
+TEST(Http, StreamIdConventions) {
+  EXPECT_EQ(kRequestStreamId, 0u);
+  EXPECT_EQ(kClientControlStreamId, 2u);
+  EXPECT_EQ(kServerControlStreamId, 3u);
+}
+
+TEST(Http, PaperFileSizes) {
+  EXPECT_EQ(kSmallFileBytes, 10u * 1024u);
+  EXPECT_EQ(kLargeFileBytes, 10u * 1024u * 1024u);
+}
+
+TEST(Http, RequestFitsInOnePacket) {
+  EXPECT_LT(RequestBytes(Version::kHttp1), 200u);
+  EXPECT_LT(RequestBytes(Version::kHttp3), 200u);
+}
+
+TEST(Http, H3RequestSmallerThanH1) {
+  // QPACK compression beats the textual request line.
+  EXPECT_LT(RequestBytes(Version::kHttp3), RequestBytes(Version::kHttp1));
+}
+
+TEST(Http, ResponseHeadNonZero) {
+  EXPECT_GT(ResponseHeadBytes(Version::kHttp1), 0u);
+  EXPECT_GT(ResponseHeadBytes(Version::kHttp3), 0u);
+}
+
+TEST(Http, ToStringNames) {
+  EXPECT_EQ(ToString(Version::kHttp1), "HTTP/1.1");
+  EXPECT_EQ(ToString(Version::kHttp3), "HTTP/3");
+}
+
+}  // namespace
+}  // namespace quicer::http

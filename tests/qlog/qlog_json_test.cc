@@ -1,0 +1,112 @@
+#include "qlog/qlog_json.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace quicer::qlog {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.RecordPacket(PacketEvent{sim::Millis(1), true, quic::PacketNumberSpace::kInitial, 0,
+                                 1200, true});
+  trace.RecordPacket(PacketEvent{sim::Millis(10), false, quic::PacketNumberSpace::kInitial, 0,
+                                 50, false});
+  MetricsUpdate update;
+  update.time = sim::Millis(10);
+  update.smoothed_rtt = sim::Millis(9);
+  update.rtt_var = sim::Millis(4.5);
+  update.latest_rtt = sim::Millis(9);
+  update.min_rtt = sim::Millis(9);
+  trace.RecordMetrics(update);
+  trace.RecordNote(sim::Millis(12), "recovery", "PTO \"expired\"");
+  return trace;
+}
+
+TEST(QlogJson, HeaderFirstLine) {
+  const std::string out = ToJsonSeq(MakeTrace());
+  const std::string first = out.substr(0, out.find('\n'));
+  EXPECT_NE(first.find("\"qlog_version\":\"0.3\""), std::string::npos);
+  EXPECT_NE(first.find("\"event_count\":4"), std::string::npos);
+}
+
+TEST(QlogJson, OneLinePerEvent) {
+  const std::string out = ToJsonSeq(MakeTrace());
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);  // header + 4 events
+}
+
+TEST(QlogJson, EventsSortedByTime) {
+  const std::string out = ToJsonSeq(MakeTrace());
+  const std::size_t sent = out.find("packet_sent");
+  const std::size_t received = out.find("packet_received");
+  const std::size_t metrics = out.find("metrics_updated");
+  const std::size_t note = out.find("internal:note");
+  ASSERT_NE(sent, std::string::npos);
+  ASSERT_NE(received, std::string::npos);
+  ASSERT_NE(metrics, std::string::npos);
+  ASSERT_NE(note, std::string::npos);
+  EXPECT_LT(sent, received);
+  EXPECT_LT(received, metrics);  // same time, insertion order preserved
+  EXPECT_LT(metrics, note);
+}
+
+TEST(QlogJson, QuotesEscapedInNotes) {
+  const std::string out = ToJsonSeq(MakeTrace());
+  EXPECT_NE(out.find("PTO \\\"expired\\\""), std::string::npos);
+}
+
+TEST(QlogJson, FiltersRespectOptions) {
+  JsonOptions options;
+  options.include_packets = false;
+  options.include_notes = false;
+  const std::string out = ToJsonSeq(MakeTrace(), options);
+  EXPECT_EQ(out.find("packet_sent"), std::string::npos);
+  EXPECT_EQ(out.find("internal:note"), std::string::npos);
+  EXPECT_NE(out.find("metrics_updated"), std::string::npos);
+}
+
+TEST(QlogJson, OmitsVarianceWhenNotLogged) {
+  TraceConfig config;
+  config.logs_rttvar = false;
+  Trace trace(config, sim::Rng(1));
+  MetricsUpdate update;
+  update.time = sim::Millis(5);
+  update.smoothed_rtt = sim::Millis(9);
+  update.rtt_var = sim::Millis(4);
+  update.latest_rtt = sim::Millis(9);
+  trace.RecordMetrics(update);
+  const std::string out = ToJsonSeq(trace);
+  EXPECT_EQ(out.find("rtt_variance"), std::string::npos);
+  EXPECT_NE(out.find("smoothed_rtt"), std::string::npos);
+}
+
+TEST(QlogJson, EndToEndTraceSerialises) {
+  core::ExperimentConfig config;
+  config.rtt = sim::Millis(9);
+  config.response_body_bytes = 4096;
+  std::string json;
+  core::RunExperiment(config, [&](const quic::ClientConnection& client,
+                                  const quic::ServerConnection&) {
+    json = ToJsonSeq(client.trace());
+  });
+  EXPECT_NE(json.find("packet_sent"), std::string::npos);
+  EXPECT_NE(json.find("metrics_updated"), std::string::npos);
+  // Every line after the header parses as a JSON object (cheap check:
+  // starts with '{' and ends with '}').
+  std::size_t start = 0;
+  while (start < json.size()) {
+    const std::size_t end = json.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(json[start], '{');
+    EXPECT_EQ(json[end - 1], '}');
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace quicer::qlog

@@ -1,0 +1,82 @@
+#include "qlog/qlog.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::qlog {
+namespace {
+
+MetricsUpdate Update(sim::Time t, sim::Duration smoothed, sim::Duration var) {
+  MetricsUpdate update;
+  update.time = t;
+  update.smoothed_rtt = smoothed;
+  update.rtt_var = var;
+  update.latest_rtt = smoothed;
+  return update;
+}
+
+TEST(Trace, RecordsMetrics) {
+  Trace trace;
+  trace.RecordMetrics(Update(1, sim::Millis(10), sim::Millis(5)));
+  ASSERT_EQ(trace.metrics().size(), 1u);
+  EXPECT_EQ(trace.metrics()[0].smoothed_rtt, sim::Millis(10));
+  ASSERT_TRUE(trace.FirstMetrics().has_value());
+}
+
+TEST(Trace, DeduplicatesConsecutiveIdenticalUpdates) {
+  // Mirrors the paper's post-processing (Appendix E).
+  Trace trace;
+  trace.RecordMetrics(Update(1, sim::Millis(10), sim::Millis(5)));
+  trace.RecordMetrics(Update(2, sim::Millis(10), sim::Millis(5)));
+  trace.RecordMetrics(Update(3, sim::Millis(12), sim::Millis(5)));
+  EXPECT_EQ(trace.metrics().size(), 2u);
+}
+
+TEST(Trace, ExposureSuppressesShareOfUpdates) {
+  TraceConfig config;
+  config.metrics_exposure = 0.3;
+  Trace trace(config, sim::Rng(5));
+  for (int i = 0; i < 10000; ++i) {
+    trace.RecordMetrics(Update(i, sim::Millis(i + 1), sim::Millis(1)));
+  }
+  const double exposed = static_cast<double>(trace.metrics().size()) / 10000.0;
+  EXPECT_NEAR(exposed, 0.3, 0.03);
+  EXPECT_GT(trace.suppressed_metrics_updates(), 0u);
+}
+
+TEST(Trace, RttVarOmittedWhenNotLogged) {
+  // neqo/mvfst/picoquic do not log the RTT variance (Appendix E).
+  TraceConfig config;
+  config.logs_rttvar = false;
+  Trace trace(config, sim::Rng(1));
+  trace.RecordMetrics(Update(1, sim::Millis(10), sim::Millis(5)));
+  ASSERT_EQ(trace.metrics().size(), 1u);
+  EXPECT_EQ(trace.metrics()[0].rtt_var, 0);
+  EXPECT_FALSE(trace.metrics()[0].rtt_var_logged);
+}
+
+TEST(Trace, PacketCaptureCanBeDisabled) {
+  TraceConfig config;
+  config.capture_packets = false;
+  Trace trace(config, sim::Rng(1));
+  trace.RecordPacket(PacketEvent{1, true, quic::PacketNumberSpace::kInitial, 0, 1200, true});
+  EXPECT_TRUE(trace.packets().empty());
+}
+
+TEST(Trace, NotesAndNewAckCounter) {
+  Trace trace;
+  trace.RecordNote(5, "recovery", "PTO expired");
+  ASSERT_EQ(trace.notes().size(), 1u);
+  EXPECT_EQ(trace.notes()[0].category, "recovery");
+  EXPECT_EQ(trace.packets_with_new_acks(), 0u);
+  trace.CountNewAckPacket();
+  trace.CountNewAckPacket();
+  EXPECT_EQ(trace.packets_with_new_acks(), 2u);
+}
+
+TEST(Trace, FirstMetricsEmptyInitially) {
+  Trace trace;
+  EXPECT_FALSE(trace.FirstMetrics().has_value());
+}
+
+}  // namespace
+}  // namespace quicer::qlog

@@ -1,0 +1,88 @@
+#include "quic/amplification.h"
+
+#include <gtest/gtest.h>
+
+#include "quic/types.h"
+
+namespace quicer::quic {
+namespace {
+
+TEST(Amplification, ClientIsNeverLimited) {
+  AmplificationLimiter amp(/*enforced=*/false);
+  EXPECT_TRUE(amp.validated());
+  EXPECT_TRUE(amp.CanSend(1'000'000));
+}
+
+TEST(Amplification, ServerStartsWithZeroBudget) {
+  AmplificationLimiter amp(/*enforced=*/true);
+  EXPECT_EQ(amp.Budget(), 0u);
+  EXPECT_FALSE(amp.CanSend(1));
+}
+
+TEST(Amplification, BudgetIsThreeTimesReceived) {
+  AmplificationLimiter amp(true);
+  amp.OnBytesReceived(1200);
+  EXPECT_EQ(amp.Budget(), 3600u);
+  EXPECT_TRUE(amp.CanSend(3600));
+  EXPECT_FALSE(amp.CanSend(3601));
+}
+
+TEST(Amplification, SendingConsumesBudget) {
+  AmplificationLimiter amp(true);
+  amp.OnBytesReceived(1200);
+  amp.OnBytesSent(2400);
+  EXPECT_EQ(amp.Budget(), 1200u);
+  amp.OnBytesSent(1200);
+  EXPECT_EQ(amp.Budget(), 0u);
+}
+
+TEST(Amplification, PaddedClientInitialFundsPartialLargeCertFlight) {
+  // The paper's large certificate (5,113 B) flight exceeds one padded
+  // Initial's budget — the Fig 5 blocking scenario.
+  AmplificationLimiter amp(true);
+  amp.OnBytesReceived(kMinInitialDatagramSize);
+  const std::size_t flight = 5113 + 123 + 98 + 304 + 36 + 200;
+  EXPECT_LT(amp.Budget(), flight);
+  // The small certificate flight fits.
+  const std::size_t small_flight = 1212 + 123 + 98 + 304 + 36 + 200;
+  EXPECT_GE(amp.Budget(), small_flight);
+}
+
+TEST(Amplification, ValidationLiftsTheLimit) {
+  AmplificationLimiter amp(true);
+  amp.OnBytesReceived(10);
+  amp.OnAddressValidated();
+  EXPECT_TRUE(amp.validated());
+  EXPECT_TRUE(amp.CanSend(1'000'000'000));
+}
+
+TEST(Amplification, MoreDataIncreasesBudget) {
+  AmplificationLimiter amp(true);
+  amp.OnBytesReceived(1200);
+  amp.OnBytesSent(3600);
+  EXPECT_EQ(amp.Budget(), 0u);
+  amp.OnBytesReceived(1200);  // client PTO probe, padded
+  EXPECT_EQ(amp.Budget(), 3600u);
+}
+
+TEST(Amplification, BlockedBookkeeping) {
+  AmplificationLimiter amp(true);
+  amp.NoteBlocked(sim::Millis(10));
+  amp.NoteBlocked(sim::Millis(12));  // still blocked: no second event
+  EXPECT_EQ(amp.blocked_events(), 1u);
+  EXPECT_EQ(amp.total_blocked_time(sim::Millis(20)), sim::Millis(10));
+  amp.NoteUnblocked(sim::Millis(25));
+  EXPECT_EQ(amp.total_blocked_time(sim::Millis(100)), sim::Millis(15));
+  amp.NoteBlocked(sim::Millis(30));
+  EXPECT_EQ(amp.blocked_events(), 2u);
+}
+
+TEST(Amplification, UnblockedWithoutBlockIsNoop) {
+  AmplificationLimiter amp(true);
+  amp.NoteUnblocked(sim::Millis(5));
+  EXPECT_EQ(amp.blocked_events(), 0u);
+  EXPECT_EQ(amp.total_blocked_time(sim::Millis(10)), 0);
+}
+
+}  // namespace
+}  // namespace quicer::quic

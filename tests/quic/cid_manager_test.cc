@@ -1,0 +1,52 @@
+#include "quic/cid_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::quic {
+namespace {
+
+TEST(CidManager, StartsWithHandshakeCid) {
+  CidManager manager;
+  EXPECT_EQ(manager.active_count(), 1u);
+  EXPECT_EQ(manager.retirement_count(), 0u);
+}
+
+TEST(CidManager, NewCidWithoutRetirePriorToAddsOnly) {
+  CidManager manager;
+  const auto result = manager.OnNewConnectionId(NewConnectionIdFrame{1, 0});
+  EXPECT_TRUE(result.retirements.empty());
+  EXPECT_FALSE(result.duplicate_retirement);
+  EXPECT_EQ(manager.active_count(), 2u);
+}
+
+TEST(CidManager, RetirePriorToRetiresOlderSequences) {
+  CidManager manager;
+  const auto result = manager.OnNewConnectionId(NewConnectionIdFrame{1, 1});
+  ASSERT_EQ(result.retirements.size(), 1u);
+  EXPECT_EQ(result.retirements[0].sequence, 0u);
+  EXPECT_FALSE(result.duplicate_retirement);
+  EXPECT_EQ(manager.active_count(), 1u);
+  EXPECT_EQ(manager.retirement_count(), 1u);
+}
+
+TEST(CidManager, DuplicateFrameTriggersDuplicateRetirement) {
+  // The quiche Fig 6 anomaly: a retransmitted NEW_CONNECTION_ID asks the
+  // receiver to retire an already-retired CID.
+  CidManager manager;
+  const auto first = manager.OnNewConnectionId(NewConnectionIdFrame{1, 1});
+  EXPECT_FALSE(first.duplicate_retirement);
+  const auto second = manager.OnNewConnectionId(NewConnectionIdFrame{1, 1});
+  EXPECT_TRUE(second.duplicate_retirement);
+  EXPECT_TRUE(second.retirements.empty());
+}
+
+TEST(CidManager, ProgressingSequencesNeverDuplicate) {
+  CidManager manager;
+  EXPECT_FALSE(manager.OnNewConnectionId(NewConnectionIdFrame{1, 1}).duplicate_retirement);
+  EXPECT_FALSE(manager.OnNewConnectionId(NewConnectionIdFrame{2, 2}).duplicate_retirement);
+  EXPECT_FALSE(manager.OnNewConnectionId(NewConnectionIdFrame{3, 3}).duplicate_retirement);
+  EXPECT_EQ(manager.retirement_count(), 3u);
+}
+
+}  // namespace
+}  // namespace quicer::quic

@@ -1,0 +1,211 @@
+// White-box tests of the connection machinery, wiring ClientConnection and
+// ServerConnection directly over a Link (no experiment harness).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quic/client_connection.h"
+#include "quic/server_connection.h"
+#include "sim/link.h"
+
+namespace quicer::quic {
+namespace {
+
+/// Minimal two-endpoint harness.
+class Harness {
+ public:
+  explicit Harness(sim::Duration rtt = sim::Millis(10),
+                   ServerBehavior behavior = ServerBehavior::kWaitForCertificate) {
+    sim::Link::Config link_config;
+    link_config.one_way_delay = rtt / 2;
+    link_ = std::make_unique<sim::Link>(queue_, link_config, sim::Rng(1));
+
+    ClientConfig client_config;
+    client_config.base.tls.certificate = tls::kSmallCertificateBytes;
+    client_ = std::make_unique<ClientConnection>(queue_, client_config, sim::Rng(2));
+
+    ServerConfig server_config;
+    server_config.behavior = behavior;
+    server_config.base.tls.certificate = tls::kSmallCertificateBytes;
+    server_config.cert_store.certificate_bytes = tls::kSmallCertificateBytes;
+    server_config.signing = tls::SigningModel{sim::Millis(2.0), 0.0};
+    server_config.response_body_bytes = 4096;
+    server_ = std::make_unique<ServerConnection>(queue_, server_config, sim::Rng(3));
+
+    client_->set_send_function([this](Datagram&& datagram) {
+      auto shared = std::make_shared<Datagram>(std::move(datagram));
+      link_->Send(sim::Direction::kClientToServer, shared->WireSize(),
+                  [this, shared] { server_->OnDatagramReceived(*shared); });
+    });
+    server_->set_send_function([this](Datagram&& datagram) {
+      auto shared = std::make_shared<Datagram>(std::move(datagram));
+      link_->Send(sim::Direction::kServerToClient, shared->WireSize(),
+                  [this, shared] { client_->OnDatagramReceived(*shared); });
+    });
+  }
+
+  void Run(sim::Duration limit = sim::Seconds(10)) {
+    while (queue_.PendingCount() > 0 && queue_.now() <= limit) {
+      if (client_->response_complete()) break;
+      queue_.RunOne();
+    }
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Link> link_;
+  std::unique_ptr<ClientConnection> client_;
+  std::unique_ptr<ServerConnection> server_;
+};
+
+TEST(ConnectionInternals, DirectWiringCompletesExchange) {
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  EXPECT_TRUE(harness.client_->response_complete());
+  EXPECT_TRUE(harness.server_->handshake_confirmed());
+}
+
+TEST(ConnectionInternals, ClientHelloPaddedTo1200) {
+  Harness harness;
+  harness.client_->Start();
+  const auto& packets = harness.client_->trace().packets();
+  ASSERT_FALSE(packets.empty());
+  EXPECT_GE(packets.front().size, kMinInitialDatagramSize);
+  EXPECT_TRUE(packets.front().ack_eliciting);
+}
+
+TEST(ConnectionInternals, ServerFlightPacksIntoTwoDatagramsForSmallCert) {
+  // The Fig 3 shape: Initial(ACK+SH) + Handshake head, then the rest —
+  // exactly two datagrams for the 1,212 B certificate (CRYPTO frames split
+  // at the datagram boundary).
+  Harness harness;
+  harness.client_->Start();
+  // Flight is built at ~owd + processing + signing ≈ 7.3 ms and flushed
+  // immediately; stop before the client's ACKs arrive back (~13 ms).
+  harness.queue_.RunUntil(sim::Millis(11));
+  EXPECT_TRUE(harness.server_->flight_built());
+  EXPECT_EQ(harness.server_->metrics().datagrams_sent, 2u);
+}
+
+TEST(ConnectionInternals, WfcServerSuppressesInitialAckUntilFlight) {
+  Harness harness(sim::Millis(10), ServerBehavior::kWaitForCertificate);
+  harness.client_->Start();
+  // Run until just after the CH reaches the server but before signing done.
+  harness.queue_.RunUntil(sim::Millis(6));
+  EXPECT_EQ(harness.server_->metrics().datagrams_sent, 0u)
+      << "WFC server must not ack before the certificate flight";
+  harness.Run();
+  EXPECT_TRUE(harness.client_->response_complete());
+}
+
+TEST(ConnectionInternals, IackServerAcksBeforeFlight) {
+  Harness harness(sim::Millis(10), ServerBehavior::kInstantAck);
+  harness.client_->Start();
+  harness.queue_.RunUntil(sim::Millis(6));
+  EXPECT_EQ(harness.server_->metrics().datagrams_sent, 1u)
+      << "IACK server sends exactly the instant ACK before the flight";
+  EXPECT_FALSE(harness.server_->flight_built());
+}
+
+TEST(ConnectionInternals, InstantAckDatagramIsSmallAndNotAckEliciting) {
+  Harness harness(sim::Millis(10), ServerBehavior::kInstantAck);
+  harness.client_->Start();
+  harness.queue_.RunUntil(sim::Millis(6));
+  const qlog::PacketEvent* iack = nullptr;
+  for (const auto& event : harness.server_->trace().packets()) {
+    if (event.sent) {
+      iack = &event;
+      break;
+    }
+  }
+  ASSERT_NE(iack, nullptr);
+  EXPECT_EQ(iack->space, PacketNumberSpace::kInitial);
+  EXPECT_FALSE(iack->ack_eliciting);
+  EXPECT_LT(iack->size, 100u);
+}
+
+TEST(ConnectionInternals, ClientDiscardsInitialSpaceAfterSecondFlight) {
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  // After handshake completion, a late Initial-space event must be inert;
+  // verified indirectly: the client's trace shows no Initial packets after
+  // its second flight.
+  sim::Time flight2_time = -1;
+  for (const auto& event : harness.client_->trace().packets()) {
+    if (event.sent && event.space == PacketNumberSpace::kHandshake) {
+      flight2_time = event.time;
+      break;
+    }
+  }
+  ASSERT_GE(flight2_time, 0);
+  for (const auto& event : harness.client_->trace().packets()) {
+    if (event.sent && event.space == PacketNumberSpace::kInitial) {
+      EXPECT_LE(event.time, flight2_time);
+    }
+  }
+}
+
+TEST(ConnectionInternals, HandshakeSpaceDiscardedOnConfirmation) {
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  // HANDSHAKE_DONE confirmed the client; all Handshake packets predate it.
+  const sim::Time confirmed = harness.client_->metrics().handshake_confirmed;
+  ASSERT_GE(confirmed, 0);
+  for (const auto& event : harness.client_->trace().packets()) {
+    if (event.sent && event.space == PacketNumberSpace::kHandshake) {
+      EXPECT_LE(event.time, confirmed);
+    }
+  }
+}
+
+TEST(ConnectionInternals, ServerAcksRequestWithResponse) {
+  // The request's ACK rides in the first response datagram (Flush bundles
+  // pending ACKs with payload) — no standalone ack datagram.
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  const auto& events = harness.server_->trace().packets();
+  // Find first sent AppData packet after the request arrived.
+  sim::Time request_time = -1;
+  for (const auto& event : events) {
+    if (!event.sent && event.space == PacketNumberSpace::kAppData) {
+      request_time = event.time;
+      break;
+    }
+  }
+  ASSERT_GE(request_time, 0);
+  for (const auto& event : events) {
+    if (event.sent && event.space == PacketNumberSpace::kAppData &&
+        event.time >= request_time) {
+      // Response data packet: ack-eliciting (carries STREAM).
+      EXPECT_TRUE(event.ack_eliciting);
+      break;
+    }
+  }
+}
+
+TEST(ConnectionInternals, MetricsTimelineOrdered) {
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  const auto& m = harness.client_->metrics();
+  EXPECT_LE(m.start_time, m.first_ack_received);
+  EXPECT_LE(m.first_ack_received, m.handshake_complete);
+  EXPECT_LE(m.handshake_complete, m.handshake_confirmed);
+  EXPECT_LE(m.first_stream_byte, m.response_complete);
+}
+
+TEST(ConnectionInternals, StreamBytesAccounting) {
+  Harness harness;
+  harness.client_->Start();
+  harness.Run();
+  EXPECT_EQ(harness.client_->metrics().stream_bytes_received,
+            4096u + http::ResponseHeadBytes(http::Version::kHttp1));
+  EXPECT_EQ(harness.server_->metrics().stream_bytes_received,
+            http::RequestBytes(http::Version::kHttp1));
+}
+
+}  // namespace
+}  // namespace quicer::quic

@@ -1,0 +1,111 @@
+#include "quic/crypto_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::quic {
+namespace {
+
+CryptoFrame Chunk(std::uint64_t offset, std::uint32_t length,
+                  tls::MessageType type = tls::MessageType::kCertificate) {
+  return CryptoFrame{offset, length, type};
+}
+
+TEST(CryptoBuffer, SingleMessageCompletesWithOneFrame) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kClientHello, 280);
+  EXPECT_FALSE(buffer.IsComplete(tls::MessageType::kClientHello));
+  buffer.OnFrame(Chunk(0, 280, tls::MessageType::kClientHello));
+  EXPECT_TRUE(buffer.IsComplete(tls::MessageType::kClientHello));
+  EXPECT_TRUE(buffer.AllComplete());
+}
+
+TEST(CryptoBuffer, MessagesOccupyConsecutiveRanges) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kServerHello, 123);
+  buffer.ExpectMessage(tls::MessageType::kEncryptedExtensions, 98);
+  EXPECT_EQ(buffer.RangeOf(tls::MessageType::kServerHello), (std::pair<std::uint64_t, std::uint64_t>{0, 123}));
+  EXPECT_EQ(buffer.RangeOf(tls::MessageType::kEncryptedExtensions),
+            (std::pair<std::uint64_t, std::uint64_t>{123, 221}));
+  EXPECT_EQ(buffer.TotalExpected(), 221u);
+}
+
+TEST(CryptoBuffer, PartialMessageIncomplete) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kCertificate, 1212);
+  buffer.OnFrame(Chunk(0, 1000));
+  EXPECT_FALSE(buffer.IsComplete(tls::MessageType::kCertificate));
+  buffer.OnFrame(Chunk(1000, 212));
+  EXPECT_TRUE(buffer.IsComplete(tls::MessageType::kCertificate));
+}
+
+TEST(CryptoBuffer, OutOfOrderChunksReassemble) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kCertificate, 300);
+  buffer.OnFrame(Chunk(200, 100));
+  buffer.OnFrame(Chunk(0, 100));
+  EXPECT_FALSE(buffer.IsComplete(tls::MessageType::kCertificate));
+  buffer.OnFrame(Chunk(100, 100));
+  EXPECT_TRUE(buffer.IsComplete(tls::MessageType::kCertificate));
+}
+
+TEST(CryptoBuffer, DuplicateAndOverlappingChunksAreIdempotent) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kCertificate, 200);
+  buffer.OnFrame(Chunk(0, 150));
+  buffer.OnFrame(Chunk(0, 150));    // exact duplicate (retransmission)
+  buffer.OnFrame(Chunk(100, 100));  // overlapping tail
+  EXPECT_TRUE(buffer.IsComplete(tls::MessageType::kCertificate));
+  EXPECT_EQ(buffer.ContiguousReceived(), 200u);
+}
+
+TEST(CryptoBuffer, CompletionPerMessageIsIndependent) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kServerHello, 100);
+  buffer.ExpectMessage(tls::MessageType::kCertificate, 100);
+  // Receive only the second message's range.
+  buffer.OnFrame(Chunk(100, 100));
+  EXPECT_FALSE(buffer.IsComplete(tls::MessageType::kServerHello));
+  EXPECT_TRUE(buffer.IsComplete(tls::MessageType::kCertificate));
+  EXPECT_FALSE(buffer.AllComplete());
+  EXPECT_EQ(buffer.ContiguousReceived(), 0u);
+}
+
+TEST(CryptoBuffer, AllCompleteRequiresEverything) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kEncryptedExtensions, 98);
+  buffer.ExpectMessage(tls::MessageType::kCertificate, 1212);
+  buffer.ExpectMessage(tls::MessageType::kCertificateVerify, 304);
+  buffer.ExpectMessage(tls::MessageType::kFinished, 36);
+  std::uint64_t offset = 0;
+  const std::uint64_t total = buffer.TotalExpected();
+  while (offset < total) {
+    EXPECT_FALSE(buffer.AllComplete());
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(500, total - offset));
+    buffer.OnFrame(Chunk(offset, chunk));
+    offset += chunk;
+  }
+  EXPECT_TRUE(buffer.AllComplete());
+}
+
+TEST(CryptoBuffer, UndeclaredMessageNeverComplete) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kServerHello, 100);
+  EXPECT_FALSE(buffer.IsComplete(tls::MessageType::kFinished));
+  EXPECT_EQ(buffer.RangeOf(tls::MessageType::kFinished),
+            (std::pair<std::uint64_t, std::uint64_t>{0, 0}));
+}
+
+TEST(CryptoBuffer, EmptyBufferNotAllComplete) {
+  CryptoBuffer buffer;
+  EXPECT_FALSE(buffer.AllComplete());  // nothing expected yet
+}
+
+TEST(CryptoBuffer, ZeroLengthFrameIgnored) {
+  CryptoBuffer buffer;
+  buffer.ExpectMessage(tls::MessageType::kServerHello, 10);
+  buffer.OnFrame(Chunk(0, 0));
+  EXPECT_EQ(buffer.ContiguousReceived(), 0u);
+}
+
+}  // namespace
+}  // namespace quicer::quic

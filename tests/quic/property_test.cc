@@ -1,0 +1,172 @@
+// Parameterized property sweeps over the full engine: the paper's core
+// identities must hold across the whole (RTT x Δt x client) grid, and the
+// protocol invariants must survive every configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.h"
+#include "core/pto_model.h"
+#include "stats/stats.h"
+
+namespace quicer::core {
+namespace {
+
+// ---------- first-PTO identities across the RTT x Δt grid ----------
+
+class PtoIdentityGrid : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PtoIdentityGrid, IackFirstPtoTracksPathRtt) {
+  const auto [rtt_ms, delta_ms] = GetParam();
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  config.rtt = sim::Millis(rtt_ms);
+  config.cert_fetch_delay = sim::Millis(delta_ms);
+  config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+  config.response_body_bytes = 4096;
+  config.time_limit = sim::Seconds(60);
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.completed) << "rtt=" << rtt_ms << " delta=" << delta_ms;
+  // IACK first sample ~ path RTT + server initial processing (0.3 ms);
+  // definitely independent of Δt.
+  EXPECT_GE(result.client.first_rtt_sample, sim::Millis(rtt_ms));
+  EXPECT_LE(result.client.first_rtt_sample, sim::Millis(rtt_ms + 2.0));
+  // First PTO = 3x first sample.
+  EXPECT_EQ(result.client.first_pto_period, 3 * result.client.first_rtt_sample);
+}
+
+TEST_P(PtoIdentityGrid, WfcFirstPtoInflatedByThreeDelta) {
+  const auto [rtt_ms, delta_ms] = GetParam();
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.rtt = sim::Millis(rtt_ms);
+  config.cert_fetch_delay = sim::Millis(delta_ms);
+  config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+  config.response_body_bytes = 4096;
+  config.time_limit = sim::Seconds(60);
+
+  config.behavior = quic::ServerBehavior::kWaitForCertificate;
+  const ExperimentResult wfc = RunExperiment(config);
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  const ExperimentResult iack = RunExperiment(config);
+  ASSERT_TRUE(wfc.completed && iack.completed);
+
+  // WFC's first sample also absorbs the signing time (2.8 ms here); the
+  // instant ACK goes out before the certificate fetch and signing begin.
+  const double expected_gap_ms = 3.0 * (delta_ms + 2.8);
+  const double gap_ms =
+      sim::ToMillis(wfc.client.first_pto_period - iack.client.first_pto_period);
+  // Allow slack for serialization differences; the 3(Δt+signing) structure
+  // must show.
+  EXPECT_NEAR(gap_ms, expected_gap_ms, 0.2 * expected_gap_ms + 3.0)
+      << "rtt=" << rtt_ms << " delta=" << delta_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(RttDeltaGrid, PtoIdentityGrid,
+                         ::testing::Combine(::testing::Values(1.0, 9.0, 25.0, 100.0),
+                                            ::testing::Values(5.0, 10.0, 25.0, 50.0)));
+
+// ---------- invariants across all clients and both modes ----------
+
+struct ClientModeCase {
+  clients::ClientImpl client;
+  quic::ServerBehavior behavior;
+  http::Version http;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<ClientModeCase> {};
+
+TEST_P(InvariantSweep, HandshakeCompletesAndInvariantsHold) {
+  const ClientModeCase& param = GetParam();
+  ExperimentConfig config;
+  config.client = param.client;
+  config.behavior = param.behavior;
+  config.http = param.http;
+  config.rtt = sim::Millis(9);
+  config.response_body_bytes = 10 * 1024;
+  const ExperimentResult result = RunExperiment(
+      config, [&](const quic::ClientConnection& client, const quic::ServerConnection& server) {
+        // Amplification safety: until validation the server sent at most 3x
+        // what it received; afterwards the flag is set.
+        EXPECT_TRUE(server.amplification().validated());
+        // Both sides confirmed.
+        EXPECT_TRUE(client.handshake_confirmed());
+        EXPECT_TRUE(server.handshake_confirmed());
+        // Packet numbers in the trace are strictly increasing per space.
+        std::uint64_t last_pn[quic::kNumSpaces] = {0, 0, 0};
+        bool seen[quic::kNumSpaces] = {false, false, false};
+        for (const auto& event : client.trace().packets()) {
+          if (!event.sent) continue;
+          const int idx = quic::SpaceIndex(event.space);
+          if (seen[idx]) {
+            EXPECT_GT(event.packet_number, last_pn[idx]);
+          }
+          last_pn[idx] = event.packet_number;
+          seen[idx] = true;
+        }
+      });
+  ASSERT_TRUE(result.completed)
+      << clients::Name(param.client) << "/" << ToString(param.behavior);
+  // Timing sanity: ordered milestones.
+  EXPECT_LE(result.client.first_ack_received, result.client.first_stream_byte);
+  EXPECT_LE(result.client.first_stream_byte, result.client.response_complete);
+  // All stream bytes arrived exactly once (high-watermark equals response).
+  EXPECT_EQ(result.client.stream_bytes_received,
+            10 * 1024 + http::ResponseHeadBytes(param.http) +
+                (param.http == http::Version::kHttp3 ? http::kH3SettingsBytes : 0));
+}
+
+std::vector<ClientModeCase> AllCases() {
+  std::vector<ClientModeCase> cases;
+  for (clients::ClientImpl impl : clients::kAllClients) {
+    for (quic::ServerBehavior behavior :
+         {quic::ServerBehavior::kWaitForCertificate, quic::ServerBehavior::kInstantAck}) {
+      cases.push_back({impl, behavior, http::Version::kHttp1});
+      if (clients::SupportsHttp3(impl)) {
+        cases.push_back({impl, behavior, http::Version::kHttp3});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<ClientModeCase>& info) {
+  std::string name(clients::Name(info.param.client));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += info.param.behavior == quic::ServerBehavior::kInstantAck ? "_iack" : "_wfc";
+  name += info.param.http == http::Version::kHttp3 ? "_h3" : "_h1";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClientsModes, InvariantSweep, ::testing::ValuesIn(AllCases()),
+                         CaseName);
+
+// ---------- TTFB monotonicity in Δt ----------
+
+class DeltaMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaMonotonicity, TtfbNonDecreasingInDelta) {
+  const double rtt_ms = static_cast<double>(GetParam());
+  double previous = 0.0;
+  for (double delta_ms : {0.0, 10.0, 50.0, 150.0}) {
+    ExperimentConfig config;
+    config.client = clients::ClientImpl::kQuicGo;
+    config.behavior = quic::ServerBehavior::kWaitForCertificate;
+    config.rtt = sim::Millis(rtt_ms);
+    config.cert_fetch_delay = sim::Millis(delta_ms);
+    config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+    config.response_body_bytes = 4096;
+    const ExperimentResult result = RunExperiment(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_GE(result.TtfbMs() + 0.01, previous) << "delta=" << delta_ms;
+    previous = result.TtfbMs();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, DeltaMonotonicity, ::testing::Values(1, 9, 25, 100));
+
+}  // namespace
+}  // namespace quicer::core

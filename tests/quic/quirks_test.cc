@@ -1,0 +1,173 @@
+// Integration tests for the documented implementation quirks (§4.1/§4.2):
+// each quirk must change end-to-end behaviour the way the paper observed.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/loss_scenarios.h"
+#include "stats/stats.h"
+
+namespace quicer::core {
+namespace {
+
+ExperimentConfig BaseConfig(clients::ClientImpl impl) {
+  ExperimentConfig config;
+  config.client = impl;
+  config.http = http::Version::kHttp1;
+  config.rtt = sim::Millis(9);
+  config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+  config.response_body_bytes = 10 * 1024;
+  return config;
+}
+
+// --- quiche: drops a coalesced datagram acking its PING probes (Fig 5) ---
+
+TEST(QuicheQuirks, DropsCoalescedPingReplyUnderAmplificationScenario) {
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kQuiche);
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  config.certificate_bytes = tls::kLargeCertificateBytes;
+  config.cert_fetch_delay = sim::Millis(200);
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.client.datagrams_dropped_by_quirk, 0)
+      << "quiche must discard the flight datagram that acks its PING probe";
+}
+
+TEST(QuicheQuirks, DropMakesIackWorseThanWfc) {
+  // The paper: "we observe negative effects when IACK is enabled".
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kQuiche);
+  config.certificate_bytes = tls::kLargeCertificateBytes;
+  config.cert_fetch_delay = sim::Millis(200);
+  config.behavior = quic::ServerBehavior::kWaitForCertificate;
+  const double wfc = stats::Median(CollectTtfbMs(config, 10));
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  const double iack = stats::Median(CollectTtfbMs(config, 10));
+  EXPECT_GT(iack, wfc + 20.0) << "wfc=" << wfc << " iack=" << iack;
+}
+
+TEST(QuicheQuirks, NoDropInHttp3) {
+  // "In our HTTP/3 measurements, we do not encounter this case."
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kQuiche);
+  config.http = http::Version::kHttp3;
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  config.certificate_bytes = tls::kLargeCertificateBytes;
+  config.cert_fetch_delay = sim::Millis(200);
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.client.datagrams_dropped_by_quirk, 0);
+}
+
+TEST(QuicheQuirks, SingleDatagramSecondFlight) {
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kQuiche);
+  config.behavior = quic::ServerBehavior::kWaitForCertificate;
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.completed);
+  // CH + single coalesced second flight + post-handshake acks; a
+  // three-datagram client (quic-go) sends at least two more pre-handshake.
+  ExperimentConfig reference = BaseConfig(clients::ClientImpl::kQuicGo);
+  reference.behavior = quic::ServerBehavior::kWaitForCertificate;
+  const ExperimentResult ref = RunExperiment(reference);
+  EXPECT_LT(result.client.datagrams_sent, ref.client.datagrams_sent);
+}
+
+// --- go-x-net: erroneous smoothed-RTT initialisation ---
+
+TEST(GoXNetQuirks, SometimesInitialisesSmoothedRttTo90Ms) {
+  int wrong = 0;
+  const int runs = 40;
+  for (int i = 0; i < runs; ++i) {
+    ExperimentConfig config = BaseConfig(clients::ClientImpl::kGoXNet);
+    config.behavior = quic::ServerBehavior::kInstantAck;
+    config.seed = 1000 + static_cast<std::uint64_t>(i);
+    const ExperimentResult result = RunExperiment(config);
+    if (!result.client_metric_updates.empty() &&
+        result.client_metric_updates.front().smoothed_rtt == sim::Millis(90)) {
+      ++wrong;
+    }
+  }
+  // Profile probability is 0.4: expect a healthy share of both outcomes.
+  EXPECT_GT(wrong, runs / 8);
+  EXPECT_LT(wrong, runs * 7 / 8);
+}
+
+TEST(GoXNetQuirks, ReportedLatestRttStaysCorrectDespiteWrongSmoothed) {
+  // §4.1: "reported RTT 33 ms, but smoothed RTT is initialized at 90 ms".
+  for (int i = 0; i < 40; ++i) {
+    ExperimentConfig config = BaseConfig(clients::ClientImpl::kGoXNet);
+    config.behavior = quic::ServerBehavior::kInstantAck;
+    config.seed = 2000 + static_cast<std::uint64_t>(i);
+    const ExperimentResult result = RunExperiment(config);
+    if (result.client_metric_updates.empty()) continue;
+    const auto& first = result.client_metric_updates.front();
+    if (first.smoothed_rtt == sim::Millis(90)) {
+      EXPECT_LT(first.latest_rtt, sim::Millis(40));
+      return;  // found the case the paper describes
+    }
+  }
+  GTEST_SKIP() << "quirk did not fire in 40 seeds (probabilistic)";
+}
+
+// --- mvfst / picoquic: no probes in response to an instant ACK ---
+
+TEST(MvfstQuirks, NoEarlyProbeAfterInstantAck) {
+  // mvfst's first probe runs on its *default* PTO (100 ms), not on the
+  // IACK-derived 27 ms PTO; ngtcp2 re-arms from the sample and probes early.
+  auto first_probe_time = [](clients::ClientImpl impl) {
+    ExperimentConfig config;
+    config.client = impl;
+    config.behavior = quic::ServerBehavior::kInstantAck;
+    config.rtt = sim::Millis(9);
+    config.signing = tls::SigningModel{sim::Millis(2.8), 0.0};
+    config.certificate_bytes = tls::kLargeCertificateBytes;
+    config.cert_fetch_delay = sim::Millis(200);
+    config.response_body_bytes = 10 * 1024;
+    sim::Time first = -1;
+    const ExperimentResult result = RunExperiment(
+        config, [&](const quic::ClientConnection& client, const quic::ServerConnection&) {
+          for (const auto& note : client.trace().notes()) {
+            if (note.category == "recovery" && note.detail.find("PTO expired") == 0) {
+              first = note.time;
+              break;
+            }
+          }
+        });
+    EXPECT_TRUE(result.completed) << clients::Name(impl);
+    return first;
+  };
+  const sim::Time mvfst = first_probe_time(clients::ClientImpl::kMvfst);
+  const sim::Time ngtcp2 = first_probe_time(clients::ClientImpl::kNgtcp2);
+  ASSERT_GE(mvfst, 0);
+  ASSERT_GE(ngtcp2, 0);
+  EXPECT_GE(mvfst, sim::Millis(95));  // default-PTO-driven
+  EXPECT_LE(ngtcp2, sim::Millis(60));  // sample-driven (3 x 9 ms + epsilon)
+}
+
+TEST(PicoquicQuirks, IgnoresInitialSpaceRttSample) {
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kPicoquic);
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  const ExperimentResult result = RunExperiment(
+      config, [](const quic::ClientConnection& client, const quic::ServerConnection&) {
+        // The client finished the handshake; its estimator must not have
+        // consumed the Initial-space (instant ACK) sample.
+        EXPECT_EQ(client.metrics().rtt_samples, client.rtt().sample_count());
+      });
+  ASSERT_TRUE(result.completed);
+  // first_rtt_sample is only recorded for consumed samples; the IACK one
+  // (9 ms-ish, arriving first) must have been skipped.
+  EXPECT_TRUE(result.client.first_rtt_sample < 0 ||
+              result.client.first_rtt_sample > sim::Millis(9));
+}
+
+// --- aioquic: legacy rttvar formula shows up in exposed metrics ---
+
+TEST(AioquicQuirks, RttVarDiffersFromRfcUnderAckDelay) {
+  // Indirect check: the estimator formula flag is honoured end-to-end.
+  ExperimentConfig config = BaseConfig(clients::ClientImpl::kAioquic);
+  config.behavior = quic::ServerBehavior::kWaitForCertificate;
+  config.response_body_bytes = 256 * 1024;  // enough acks to matter
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.client.rtt_samples, 2);
+}
+
+}  // namespace
+}  // namespace quicer::core

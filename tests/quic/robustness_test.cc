@@ -1,0 +1,172 @@
+// Robustness features: path jitter/reordering, persistent congestion, and
+// the HTTP/3 variants of the paper's loss scenarios (Appendix F: "Similar
+// behavior is observed for HTTP/3").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.h"
+#include "core/loss_scenarios.h"
+#include "recovery/congestion.h"
+#include "stats/stats.h"
+
+namespace quicer::core {
+namespace {
+
+// ---------- path jitter ----------
+
+TEST(PathJitter, HandshakeSurvivesReordering) {
+  for (double jitter_ms : {0.5, 2.0, 5.0}) {
+    ExperimentConfig config;
+    config.rtt = sim::Millis(9);
+    config.path_jitter = sim::Millis(jitter_ms);
+    config.response_body_bytes = 10 * 1024;
+    config.seed = 11;
+    const ExperimentResult result = RunExperiment(config);
+    EXPECT_TRUE(result.completed) << "jitter " << jitter_ms;
+  }
+}
+
+TEST(PathJitter, BulkTransferSurvivesReordering) {
+  ExperimentConfig config;
+  config.rtt = sim::Millis(20);
+  config.path_jitter = sim::Millis(1.5);  // > inter-datagram spacing: reorders
+  config.response_body_bytes = 512 * 1024;
+  config.time_limit = sim::Seconds(60);
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_TRUE(result.completed);
+  // Reordering may cause some spurious loss detection, but the transfer
+  // finishes in reasonable time (not PTO-bound).
+  EXPECT_LT(sim::ToMillis(result.client.response_complete), 5000.0);
+}
+
+TEST(PathJitter, LinkJitterSpreadsArrivalTimes) {
+  // Link-level check (the engine's end-to-end rttvar is dominated by the
+  // bottleneck queue, so measure the path model directly): with jitter,
+  // arrival spacing varies and can reorder.
+  sim::EventQueue queue;
+  sim::Link::Config config;
+  config.one_way_delay = sim::Millis(10);
+  config.bandwidth_bps = 1e9;  // no serialisation influence
+  config.jitter = sim::Millis(5);
+  sim::Link link(queue, config, sim::Rng(3));
+  std::vector<sim::Time> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    queue.Schedule(i * sim::Millis(1.0), [&link, &arrivals, &queue] {
+      link.Send(sim::Direction::kClientToServer, 100,
+                [&arrivals, &queue] { arrivals.push_back(queue.now()); });
+    });
+  }
+  queue.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 200u);
+  bool reordered = false;
+  sim::Duration min_delay = sim::kNever;
+  sim::Duration max_delay = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (i > 0 && arrivals[i] < arrivals[i - 1]) reordered = true;
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const sim::Duration delay = arrivals[i] - static_cast<sim::Time>(i) * sim::Millis(1.0);
+    min_delay = std::min(min_delay, delay);
+    max_delay = std::max(max_delay, delay);
+  }
+  // Delivery callbacks fire in time order, so the sorted arrival list shows
+  // the jitter spread; with 5 ms jitter over 1 ms spacing the raw per-send
+  // delays must span most of [10, 15] ms.
+  EXPECT_GE(max_delay - min_delay, sim::Millis(3));
+  (void)reordered;  // reordering manifests as non-monotonic delivery order
+}
+
+// ---------- persistent congestion ----------
+
+TEST(PersistentCongestion, UnitCollapseToMinimumWindow) {
+  recovery::NewRenoCongestion cc;
+  cc.OnPacketSent(12000);
+  cc.OnPersistentCongestion();
+  EXPECT_EQ(cc.congestion_window(), 2u * 1200u);
+  EXPECT_FALSE(cc.InSlowStart());  // ssthresh == cwnd
+}
+
+TEST(PersistentCongestion, DurationIsThreePtoPeriods) {
+  EXPECT_EQ(recovery::NewRenoCongestion::PersistentCongestionDuration(sim::Millis(30)),
+            sim::Millis(90));
+}
+
+TEST(PersistentCongestion, LongBlackoutTriggersDeclaration) {
+  // Black out the path for 1.2 s mid-transfer: every packet and probe in
+  // the window is lost, so the loss span far exceeds the persistent-
+  // congestion duration (3x PTO).
+  ExperimentConfig config;
+  config.rtt = sim::Millis(10);
+  config.response_body_bytes = 256 * 1024;
+  config.time_limit = sim::Seconds(60);
+  sim::LossPattern pattern;
+  pattern.DropWindow(sim::Direction::kServerToClient, sim::Millis(100), sim::Millis(1300));
+  pattern.DropWindow(sim::Direction::kClientToServer, sim::Millis(100), sim::Millis(1300));
+  config.loss = pattern;
+  bool declared = false;
+  const ExperimentResult result = RunExperiment(
+      config, [&](const quic::ClientConnection&, const quic::ServerConnection& server) {
+        for (const auto& note : server.trace().notes()) {
+          if (note.detail.find("persistent congestion") != std::string::npos) declared = true;
+        }
+      });
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(declared);
+}
+
+// ---------- HTTP/3 variants of the loss scenarios ----------
+
+TEST(Http3Scenarios, ServerFlightLossPenaltyHoldsUnderH3) {
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuicGo;
+  config.http = http::Version::kHttp3;
+  config.rtt = sim::Millis(9);
+  config.response_body_bytes = 10 * 1024;
+
+  ExperimentConfig wfc = config;
+  wfc.behavior = quic::ServerBehavior::kWaitForCertificate;
+  wfc.loss = FirstServerFlightTailLoss(wfc.behavior, config.certificate_bytes, config.http);
+  ExperimentConfig iack = config;
+  iack.behavior = quic::ServerBehavior::kInstantAck;
+  iack.loss = FirstServerFlightTailLoss(iack.behavior, config.certificate_bytes, config.http);
+
+  const double t_wfc = stats::Median(CollectResponseTtfbMs(wfc, 10));
+  const double t_iack = stats::Median(CollectResponseTtfbMs(iack, 10));
+  EXPECT_GT(t_iack - t_wfc, 120.0);
+}
+
+TEST(Http3Scenarios, ClientFlightLossImprovementHoldsUnderH3) {
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kNeqo;
+  config.http = http::Version::kHttp3;
+  config.rtt = sim::Millis(9);
+  config.response_body_bytes = 10 * 1024;
+  config.loss = SecondClientFlightLoss(config.client);
+  config.behavior = quic::ServerBehavior::kWaitForCertificate;
+  const double wfc = stats::Median(CollectResponseTtfbMs(config, 10));
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  const double iack = stats::Median(CollectResponseTtfbMs(config, 10));
+  EXPECT_GT(wfc - iack, 3.0);
+}
+
+TEST(Http3Scenarios, QuicheBehavesLikeOthersUnderH3) {
+  // §4.2: "In our HTTP/3 measurements ... quiche behaves like all other
+  // implementations" — no aborts, no quirk drops.
+  ExperimentConfig config;
+  config.client = clients::ClientImpl::kQuiche;
+  config.http = http::Version::kHttp3;
+  config.rtt = sim::Millis(9);
+  config.behavior = quic::ServerBehavior::kInstantAck;
+  config.response_body_bytes = 10 * 1024;
+  config.loss = FirstServerFlightTailLoss(config.behavior, config.certificate_bytes,
+                                          config.http);
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.client.aborted);
+  EXPECT_EQ(result.client.datagrams_dropped_by_quirk, 0);
+}
+
+}  // namespace
+}  // namespace quicer::core

@@ -1,0 +1,93 @@
+#include "recovery/congestion.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::recovery {
+namespace {
+
+TEST(NewReno, InitialWindowIsTenPackets) {
+  NewRenoCongestion cc;
+  EXPECT_EQ(cc.congestion_window(), 12000u);
+  EXPECT_TRUE(cc.InSlowStart());
+}
+
+TEST(NewReno, SendConsumesWindow) {
+  NewRenoCongestion cc;
+  EXPECT_TRUE(cc.CanSend(12000));
+  cc.OnPacketSent(12000);
+  EXPECT_FALSE(cc.CanSend(1));
+  EXPECT_EQ(cc.AvailableWindow(), 0u);
+}
+
+TEST(NewReno, SlowStartGrowsByAckedBytes) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(1200);
+  cc.OnPacketAcked(1200, sim::Millis(1));
+  EXPECT_EQ(cc.congestion_window(), 13200u);
+  EXPECT_EQ(cc.bytes_in_flight(), 0u);
+}
+
+TEST(NewReno, LossHalvesWindowAndExitsSlowStart) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(12000);
+  cc.OnPacketsLost(1200, sim::Millis(5), sim::Millis(10));
+  EXPECT_EQ(cc.congestion_window(), 6000u);
+  EXPECT_FALSE(cc.InSlowStart());
+  EXPECT_EQ(cc.slow_start_threshold(), 6000u);
+}
+
+TEST(NewReno, OnlyOneReductionPerRecoveryPeriod) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(12000);
+  cc.OnPacketsLost(1200, sim::Millis(5), sim::Millis(10));
+  const std::size_t after_first = cc.congestion_window();
+  // Second loss of a packet sent *before* recovery began: no new reduction.
+  cc.OnPacketsLost(1200, sim::Millis(7), sim::Millis(12));
+  EXPECT_EQ(cc.congestion_window(), after_first);
+  // Loss of a packet sent after recovery start does reduce again.
+  cc.OnPacketsLost(1200, sim::Millis(11), sim::Millis(20));
+  EXPECT_LT(cc.congestion_window(), after_first);
+}
+
+TEST(NewReno, WindowNeverBelowMinimum) {
+  NewRenoCongestion cc;
+  for (int i = 0; i < 20; ++i) {
+    cc.OnPacketSent(1200);
+    cc.OnPacketsLost(1200, sim::Millis(100 + i * 10), sim::Millis(100 + i * 10));
+  }
+  EXPECT_GE(cc.congestion_window(), 2u * 1200u);
+}
+
+TEST(NewReno, CongestionAvoidanceGrowsSlower) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(2400);
+  cc.OnPacketsLost(1200, sim::Millis(1), sim::Millis(2));  // exit slow start
+  const std::size_t window = cc.congestion_window();
+  cc.OnPacketSent(1200);
+  cc.OnPacketAcked(1200, sim::Millis(10));  // after recovery_start
+  const std::size_t growth = cc.congestion_window() - window;
+  EXPECT_GT(growth, 0u);
+  EXPECT_LT(growth, 1200u);  // sub-linear growth per ack
+}
+
+TEST(NewReno, AcksDuringRecoveryDoNotGrowWindow) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(2400);
+  cc.OnPacketsLost(1200, sim::Millis(5), sim::Millis(10));
+  const std::size_t window = cc.congestion_window();
+  // Packet sent at t=4 (before recovery start at t=10).
+  cc.OnPacketAcked(1200, sim::Millis(4));
+  EXPECT_EQ(cc.congestion_window(), window);
+}
+
+TEST(NewReno, DiscardReleasesBytesWithoutGrowth) {
+  NewRenoCongestion cc;
+  cc.OnPacketSent(2400);
+  const std::size_t window = cc.congestion_window();
+  cc.OnPacketDiscarded(2400);
+  EXPECT_EQ(cc.bytes_in_flight(), 0u);
+  EXPECT_EQ(cc.congestion_window(), window);
+}
+
+}  // namespace
+}  // namespace quicer::recovery

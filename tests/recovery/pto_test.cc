@@ -1,0 +1,79 @@
+#include "recovery/pto.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::recovery {
+namespace {
+
+TEST(Pto, DefaultPtoBeforeFirstSample) {
+  RttEstimator rtt;
+  PtoConfig config;
+  config.default_pto = sim::Millis(200);
+  EXPECT_EQ(PtoPeriod(rtt, config, quic::PacketNumberSpace::kInitial, false), sim::Millis(200));
+}
+
+TEST(Pto, RfcDefaultIs999Ms) {
+  PtoConfig config;
+  EXPECT_EQ(config.default_pto, sim::Millis(999));
+}
+
+TEST(Pto, SampleBasedPtoIsSmoothedPlus4Var) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(10), 0);
+  PtoConfig config;
+  EXPECT_EQ(PtoPeriod(rtt, config, quic::PacketNumberSpace::kHandshake, false), sim::Millis(30));
+}
+
+TEST(Pto, GranularityFloorsTheVarianceTerm) {
+  RttEstimator rtt;
+  for (int i = 0; i < 200; ++i) rtt.AddSample(sim::Millis(10), 0);
+  // Variance has decayed to ~0; the 1 ms granularity floor applies.
+  PtoConfig config;
+  const sim::Duration pto = PtoPeriod(rtt, config, quic::PacketNumberSpace::kHandshake, false);
+  EXPECT_GE(pto, rtt.smoothed() + kGranularity);
+}
+
+TEST(Pto, MaxAckDelayOnlyInConfirmedAppSpace) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(10), 0);
+  PtoConfig config;
+  config.peer_max_ack_delay = sim::Millis(25);
+  const sim::Duration hs = PtoPeriod(rtt, config, quic::PacketNumberSpace::kHandshake, true);
+  const sim::Duration app_unconfirmed =
+      PtoPeriod(rtt, config, quic::PacketNumberSpace::kAppData, false);
+  const sim::Duration app_confirmed =
+      PtoPeriod(rtt, config, quic::PacketNumberSpace::kAppData, true);
+  EXPECT_EQ(app_unconfirmed, hs);
+  EXPECT_EQ(app_confirmed, hs + sim::Millis(25));
+}
+
+TEST(Pto, BackoffDoublesPerExpiry) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(10), 0);
+  PtoConfig config;
+  const sim::Duration base =
+      PtoPeriodWithBackoff(rtt, config, quic::PacketNumberSpace::kHandshake, false, 0);
+  EXPECT_EQ(PtoPeriodWithBackoff(rtt, config, quic::PacketNumberSpace::kHandshake, false, 1),
+            2 * base);
+  EXPECT_EQ(PtoPeriodWithBackoff(rtt, config, quic::PacketNumberSpace::kHandshake, false, 3),
+            8 * base);
+}
+
+TEST(Pto, BackoffAppliesToDefaultPtoToo) {
+  RttEstimator rtt;
+  PtoConfig config;
+  config.default_pto = sim::Millis(100);
+  EXPECT_EQ(PtoPeriodWithBackoff(rtt, config, quic::PacketNumberSpace::kInitial, false, 2),
+            sim::Millis(400));
+}
+
+TEST(Pto, BackoffIsCapped) {
+  RttEstimator rtt;
+  PtoConfig config;
+  const sim::Duration huge =
+      PtoPeriodWithBackoff(rtt, config, quic::PacketNumberSpace::kInitial, false, 60);
+  EXPECT_LT(huge, 2 * sim::Seconds(60));
+}
+
+}  // namespace
+}  // namespace quicer::recovery

@@ -1,0 +1,114 @@
+#include "recovery/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::recovery {
+namespace {
+
+TEST(RttEstimator, NoSampleInitially) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_EQ(rtt.sample_count(), 0);
+}
+
+TEST(RttEstimator, FirstSampleInitialisesPerRfc9002) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(100), 0);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.smoothed(), sim::Millis(100));
+  EXPECT_EQ(rtt.rttvar(), sim::Millis(50));
+  EXPECT_EQ(rtt.min_rtt(), sim::Millis(100));
+  EXPECT_EQ(rtt.latest(), sim::Millis(100));
+}
+
+TEST(RttEstimator, EwmaConvergesTowardsConstantSamples) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(100), 0);
+  for (int i = 0; i < 100; ++i) rtt.AddSample(sim::Millis(40), 0);
+  EXPECT_NEAR(static_cast<double>(rtt.smoothed()), static_cast<double>(sim::Millis(40)),
+              static_cast<double>(sim::Millis(1)));
+  EXPECT_LT(rtt.rttvar(), sim::Millis(2));
+}
+
+TEST(RttEstimator, MinRttTracksMinimum) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(50), 0);
+  rtt.AddSample(sim::Millis(30), 0);
+  rtt.AddSample(sim::Millis(70), 0);
+  EXPECT_EQ(rtt.min_rtt(), sim::Millis(30));
+}
+
+TEST(RttEstimator, AckDelaySubtractedWhenAboveMinRtt) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(50), 0);  // min_rtt = 50
+  // 80 - 20 = 60 >= min_rtt -> adjusted to 60.
+  rtt.AddSample(sim::Millis(80), sim::Millis(20));
+  // smoothed = 7/8*50 + 1/8*60 = 51.25
+  EXPECT_EQ(rtt.smoothed(), sim::Millis(51.25));
+}
+
+TEST(RttEstimator, AckDelayIgnoredWhenItWouldUndershootMinRtt) {
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(50), 0);
+  // 55 - 20 = 35 < min_rtt(50): use the raw sample.
+  rtt.AddSample(sim::Millis(55), sim::Millis(20));
+  // smoothed = 7/8*50 + 1/8*55 = 50.625
+  EXPECT_EQ(rtt.smoothed(), sim::Millis(50.625));
+}
+
+TEST(RttEstimator, FirstPtoIsThreeTimesFirstSample) {
+  // The paper's central identity: smoothed + 4*var = s + 4*(s/2) = 3s.
+  RttEstimator rtt;
+  rtt.AddSample(sim::Millis(9), 0);
+  EXPECT_EQ(rtt.smoothed() + 4 * rtt.rttvar(), 3 * sim::Millis(9));
+}
+
+TEST(RttEstimator, AioquicVarianceFormulaDiffersUnderAckDelay) {
+  RttEstimator rfc(RttVarFormula::kRfc9002);
+  RttEstimator aioquic(RttVarFormula::kAioquicLegacy);
+  for (RttEstimator* rtt : {&rfc, &aioquic}) {
+    rtt->AddSample(sim::Millis(50), 0);
+    rtt->AddSample(sim::Millis(90), sim::Millis(30));
+  }
+  // Same smoothed (adjusted sample identical) but different rttvar: aioquic
+  // uses the unadjusted sample for the deviation.
+  EXPECT_EQ(rfc.smoothed(), aioquic.smoothed());
+  EXPECT_NE(rfc.rttvar(), aioquic.rttvar());
+  EXPECT_GT(aioquic.rttvar(), rfc.rttvar());
+}
+
+TEST(RttEstimator, OverrideFirstSampleSetsWrongState) {
+  // go-x-net quirk: smoothed forced to 90 ms regardless of the real path.
+  RttEstimator rtt;
+  rtt.OverrideFirstSample(sim::Millis(90), sim::Millis(45));
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.smoothed(), sim::Millis(90));
+  EXPECT_EQ(rtt.rttvar(), sim::Millis(45));
+  // Subsequent correct samples slowly repair the estimate.
+  for (int i = 0; i < 50; ++i) rtt.AddSample(sim::Millis(33), 0);
+  EXPECT_LT(rtt.smoothed(), sim::Millis(40));
+}
+
+TEST(RttEstimator, SampleCountIncrements) {
+  RttEstimator rtt;
+  for (int i = 1; i <= 5; ++i) {
+    rtt.AddSample(sim::Millis(10), 0);
+    EXPECT_EQ(rtt.sample_count(), i);
+  }
+}
+
+// Property sweep: first PTO identity holds across the paper's RTT range.
+class FirstPtoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FirstPtoSweep, FirstPtoEqualsThreeSamples) {
+  const sim::Duration rtt_value = sim::Millis(static_cast<double>(GetParam()));
+  RttEstimator rtt;
+  rtt.AddSample(rtt_value, 0);
+  EXPECT_EQ(rtt.smoothed() + 4 * rtt.rttvar(), 3 * rtt_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRtts, FirstPtoSweep,
+                         ::testing::Values(1, 9, 20, 25, 50, 100, 150, 200, 300));
+
+}  // namespace
+}  // namespace quicer::recovery

@@ -1,0 +1,91 @@
+// Fig 14 / Appendix G invariants: per-vantage behaviour of the macroscopic
+// measurement.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scan/population.h"
+#include "scan/prober.h"
+#include "stats/stats.h"
+
+namespace quicer::scan {
+namespace {
+
+class VantageSweep : public ::testing::TestWithParam<Vantage> {};
+
+TEST_P(VantageSweep, CloudflareIackShareHighEverywhere) {
+  TrancoPopulation population(30000, 1);
+  Prober prober(5);
+  int total = 0;
+  int iack = 0;
+  for (const Domain& domain : population.domains()) {
+    if (!domain.speaks_quic || domain.cdn != Cdn::kCloudflare) continue;
+    const ProbeResult result = prober.Probe(domain, GetParam(), 0);
+    if (!result.success) continue;
+    ++total;
+    if (result.iack_observed) ++iack;
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_GT(static_cast<double>(iack) / total, 0.95) << Name(GetParam());
+}
+
+TEST_P(VantageSweep, CloudflareAckShDelayMedianStable) {
+  // Fig 14: IACK latency similar across locations (the delay is a frontend
+  // property, not a path property).
+  TrancoPopulation population(30000, 1);
+  Prober prober(5);
+  std::vector<double> delays;
+  for (const Domain& domain : population.domains()) {
+    if (!domain.speaks_quic || domain.cdn != Cdn::kCloudflare) continue;
+    const ProbeResult result = prober.Probe(domain, GetParam(), 0);
+    if (result.iack_observed) delays.push_back(result.ack_sh_delay_ms);
+  }
+  ASSERT_GT(delays.size(), 500u);
+  EXPECT_NEAR(stats::Median(delays), 3.2, 0.8) << Name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVantages, VantageSweep, ::testing::ValuesIn(kAllVantages),
+                         [](const ::testing::TestParamInfo<Vantage>& info) {
+                           switch (info.param) {
+                             case Vantage::kHamburg: return "Hamburg";
+                             case Vantage::kLosAngeles: return "LosAngeles";
+                             case Vantage::kSaoPaulo: return "SaoPaulo";
+                             case Vantage::kHongKong: return "HongKong";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(VantageEffects, GoogleIackVisibleMainlyFromSaoPaulo) {
+  TrancoPopulation population(100000, 1);
+  Prober prober(5);
+  std::map<Vantage, std::pair<int, int>> counts;  // {iack, total}
+  for (const Domain& domain : population.domains()) {
+    if (!domain.speaks_quic || domain.cdn != Cdn::kGoogle) continue;
+    for (Vantage vantage : kAllVantages) {
+      const ProbeResult result = prober.Probe(domain, vantage, 0);
+      auto& [iack, total] = counts[vantage];
+      ++total;
+      if (result.iack_observed) ++iack;
+    }
+  }
+  const auto share = [&](Vantage v) {
+    return static_cast<double>(counts[v].first) / std::max(1, counts[v].second);
+  };
+  EXPECT_GT(share(Vantage::kSaoPaulo), 0.08);
+  for (Vantage far : {Vantage::kHamburg, Vantage::kLosAngeles, Vantage::kHongKong}) {
+    EXPECT_LT(share(far), share(Vantage::kSaoPaulo) / 2) << Name(far);
+  }
+}
+
+TEST(VantageEffects, OthersAreFarFromEveryVantage) {
+  // Origin-hosted domains are not anycast: RTTs are much larger than to the
+  // big CDNs from every location.
+  for (Vantage vantage : kAllVantages) {
+    EXPECT_GT(MedianRttMs(vantage, Cdn::kOthers),
+              4 * MedianRttMs(vantage, Cdn::kCloudflare))
+        << Name(vantage);
+  }
+}
+
+}  // namespace
+}  // namespace quicer::scan

@@ -1,0 +1,163 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace quicer::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero) {
+  EventQueue queue;
+  EXPECT_EQ(queue.now(), 0);
+  EXPECT_EQ(queue.PendingCount(), 0u);
+}
+
+TEST(EventQueue, RunsEventAtScheduledTime) {
+  EventQueue queue;
+  Time fired_at = -1;
+  queue.Schedule(Millis(5), [&] { fired_at = queue.now(); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired_at, Millis(5));
+  EXPECT_EQ(queue.now(), Millis(5));
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(Millis(10), [&] { order.push_back(2); });
+  queue.Schedule(Millis(5), [&] { order.push_back(1); });
+  queue.Schedule(Millis(20), [&] { order.push_back(3); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsRunFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(Millis(7), [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NegativeDelayClampsToNow) {
+  EventQueue queue;
+  Time fired_at = -1;
+  queue.Schedule(Millis(3), [&] {
+    queue.Schedule(-Millis(100), [&] { fired_at = queue.now(); });
+  });
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired_at, Millis(3));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  auto handle = queue.Schedule(Millis(1), [&] { fired = true; });
+  queue.Cancel(handle);
+  queue.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelInvalidHandleIsNoop) {
+  EventQueue queue;
+  queue.Cancel(EventQueue::Handle{});
+  queue.Cancel(EventQueue::Handle{12345});
+  EXPECT_EQ(queue.PendingCount(), 0u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(Millis(5), [&] { ++fired; });
+  queue.Schedule(Millis(15), [&] { ++fired; });
+  queue.RunUntil(Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), Millis(10));
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) queue.Schedule(Millis(1), recurse);
+  };
+  queue.Schedule(Millis(1), recurse);
+  queue.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(queue.now(), Millis(5));
+}
+
+TEST(EventQueue, PendingCountExcludesCancelled) {
+  EventQueue queue;
+  queue.Schedule(Millis(1), [] {});
+  auto handle = queue.Schedule(Millis(2), [] {});
+  EXPECT_EQ(queue.PendingCount(), 2u);
+  queue.Cancel(handle);
+  EXPECT_EQ(queue.PendingCount(), 1u);
+}
+
+TEST(Timer, FiresAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  Timer timer(queue, [&] { ++fired; });
+  timer.SetDeadline(Millis(10));
+  EXPECT_TRUE(timer.armed());
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, RearmCancelsPreviousDeadline) {
+  EventQueue queue;
+  std::vector<Time> fire_times;
+  Timer timer(queue, [&] { fire_times.push_back(queue.now()); });
+  timer.SetDeadline(Millis(10));
+  timer.SetDeadline(Millis(20));
+  queue.RunUntilIdle();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], Millis(20));
+}
+
+TEST(Timer, CancelDisarms) {
+  EventQueue queue;
+  bool fired = false;
+  Timer timer(queue, [&] { fired = true; });
+  timer.SetDeadline(Millis(10));
+  timer.Cancel();
+  EXPECT_FALSE(timer.armed());
+  EXPECT_EQ(timer.deadline(), kNever);
+  queue.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, SetNeverDisarms) {
+  EventQueue queue;
+  bool fired = false;
+  Timer timer(queue, [&] { fired = true; });
+  timer.SetDeadline(Millis(5));
+  timer.SetDeadline(kNever);
+  queue.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, CanRearmFromCallback) {
+  EventQueue queue;
+  int fires = 0;
+  Timer* timer_ptr = nullptr;
+  Timer timer(queue, [&] {
+    if (++fires < 3) timer_ptr->SetDeadline(queue.now() + Millis(5));
+  });
+  timer_ptr = &timer;
+  timer.SetDeadline(Millis(5));
+  queue.RunUntilIdle();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(queue.now(), Millis(15));
+}
+
+}  // namespace
+}  // namespace quicer::sim

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "stats/stats.h"
+
+namespace quicer::stats {
+namespace {
+
+TEST(Bootstrap, EmptyInputYieldsZeroInterval) {
+  const Interval ci = BootstrapMedianCI({});
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);
+}
+
+TEST(Bootstrap, SingleValueDegenerate) {
+  const Interval ci = BootstrapMedianCI({42.0});
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+}
+
+TEST(Bootstrap, IntervalContainsSampleMedian) {
+  std::vector<double> values;
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Normal(50.0, 5.0));
+  const double median = Median(values);
+  const Interval ci = BootstrapMedianCI(values, 0.95);
+  EXPECT_LE(ci.lo, median);
+  EXPECT_GE(ci.hi, median);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  std::vector<double> values;
+  sim::Rng rng(5);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Normal(10.0, 2.0));
+  const Interval narrow = BootstrapMedianCI(values, 0.5);
+  const Interval wide = BootstrapMedianCI(values, 0.99);
+  EXPECT_LE(wide.lo, narrow.lo);
+  EXPECT_GE(wide.hi, narrow.hi);
+}
+
+TEST(Bootstrap, ShrinksWithSampleSize) {
+  sim::Rng rng(7);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 20; ++i) small.push_back(rng.Normal(10.0, 2.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(rng.Normal(10.0, 2.0));
+  const Interval ci_small = BootstrapMedianCI(small);
+  const Interval ci_large = BootstrapMedianCI(large);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  std::vector<double> values{1, 5, 3, 8, 2, 9, 4, 7, 6};
+  const Interval a = BootstrapMedianCI(values, 0.9, 300, 11);
+  const Interval b = BootstrapMedianCI(values, 0.9, 300, 11);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, CoversTrueMedianMostOfTheTime) {
+  // Coverage check: for Normal(0,1) samples of size 60, the 90 % CI should
+  // contain the true median (0) in clearly more than half the trials.
+  sim::Rng rng(13);
+  int covered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> values;
+    for (int i = 0; i < 60; ++i) values.push_back(rng.StandardNormal());
+    const Interval ci = BootstrapMedianCI(values, 0.9, 300,
+                                          static_cast<std::uint64_t>(t) + 1);
+    if (ci.lo <= 0.0 && 0.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 75);
+}
+
+}  // namespace
+}  // namespace quicer::stats

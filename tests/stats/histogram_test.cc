@@ -1,0 +1,50 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace quicer::stats {
+namespace {
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(5.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 11.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 18.0);
+}
+
+TEST(Histogram, RenderEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.Render(), "(empty histogram)\n");
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 20; ++i) h.Add(2.5);
+  h.Add(7.5);
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+  EXPECT_NE(out.find("7.000"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicer::stats

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "tls/cert_store.h"
+#include "tls/messages.h"
+
+namespace quicer::tls {
+namespace {
+
+TEST(HandshakeSizes, PaperCertificateSizes) {
+  EXPECT_EQ(kSmallCertificateBytes, 1212u);
+  EXPECT_EQ(kLargeCertificateBytes, 5113u);
+}
+
+TEST(HandshakeSizes, ServerFlightBytesSumsMessages) {
+  HandshakeSizes sizes;
+  sizes.certificate = kSmallCertificateBytes;
+  EXPECT_EQ(sizes.ServerFlightBytes(), sizes.server_hello + sizes.encrypted_extensions +
+                                           kSmallCertificateBytes + sizes.certificate_verify +
+                                           sizes.finished);
+}
+
+TEST(HandshakeSizes, SmallCertFlightWithinAmplificationBudget) {
+  HandshakeSizes sizes;
+  sizes.certificate = kSmallCertificateBytes;
+  EXPECT_LE(sizes.ServerFlightBytes(), 3u * 1200u);
+}
+
+TEST(HandshakeSizes, LargeCertFlightExceedsAmplificationBudget) {
+  HandshakeSizes sizes;
+  sizes.certificate = kLargeCertificateBytes;
+  EXPECT_GT(sizes.ServerFlightBytes(), 3u * 1200u);
+}
+
+TEST(HandshakeSizes, SizeOfDispatch) {
+  HandshakeSizes sizes;
+  EXPECT_EQ(sizes.SizeOf(MessageType::kClientHello), sizes.client_hello);
+  EXPECT_EQ(sizes.SizeOf(MessageType::kServerHello), sizes.server_hello);
+  EXPECT_EQ(sizes.SizeOf(MessageType::kEncryptedExtensions), sizes.encrypted_extensions);
+  EXPECT_EQ(sizes.SizeOf(MessageType::kCertificate), sizes.certificate);
+  EXPECT_EQ(sizes.SizeOf(MessageType::kCertificateVerify), sizes.certificate_verify);
+  EXPECT_EQ(sizes.SizeOf(MessageType::kFinished), sizes.finished);
+}
+
+TEST(SigningModel, DeterministicWhenSigmaZero) {
+  SigningModel model{sim::Millis(2.5), 0.0};
+  sim::Rng rng(1);
+  EXPECT_EQ(model.Sample(rng), sim::Millis(2.5));
+  EXPECT_EQ(model.Sample(rng), sim::Millis(2.5));
+}
+
+TEST(SigningModel, MedianApproximatesConfiguredValue) {
+  SigningModel model{sim::Millis(3.0), 0.3};
+  sim::Rng rng(7);
+  std::vector<sim::Duration> samples;
+  for (int i = 0; i < 10001; ++i) samples.push_back(model.Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  EXPECT_NEAR(static_cast<double>(samples[samples.size() / 2]),
+              static_cast<double>(sim::Millis(3.0)), static_cast<double>(sim::Millis(0.3)));
+}
+
+TEST(CertStore, FetchResolvesAfterConfiguredDelay) {
+  sim::EventQueue queue;
+  CertStore::Config config;
+  config.fetch_delay = sim::Millis(20);
+  config.certificate_bytes = 1212;
+  CertStore store(queue, config, sim::Rng(1));
+  sim::Time done_at = -1;
+  std::size_t bytes = 0;
+  store.Fetch([&](const CertStore::Result& result) {
+    done_at = queue.now();
+    bytes = result.certificate_bytes;
+  });
+  queue.RunUntilIdle();
+  EXPECT_EQ(done_at, sim::Millis(20));
+  EXPECT_EQ(bytes, 1212u);
+  EXPECT_EQ(store.fetch_count(), 1u);
+}
+
+TEST(CertStore, CachedFetchResolvesImmediately) {
+  sim::EventQueue queue;
+  CertStore::Config config;
+  config.fetch_delay = sim::Millis(50);
+  config.cached = true;
+  CertStore store(queue, config, sim::Rng(1));
+  sim::Time done_at = -1;
+  store.Fetch([&](const CertStore::Result& result) {
+    done_at = queue.now();
+    EXPECT_EQ(result.delay, 0);
+  });
+  queue.RunUntilIdle();
+  EXPECT_EQ(done_at, 0);
+}
+
+TEST(CertStore, JitterVariesDelayButStaysNonNegative) {
+  sim::EventQueue queue;
+  CertStore::Config config;
+  config.fetch_delay = sim::Millis(5);
+  config.fetch_jitter = sim::Millis(3);
+  CertStore store(queue, config, sim::Rng(3));
+  std::vector<sim::Duration> delays;
+  for (int i = 0; i < 50; ++i) {
+    store.Fetch([&](const CertStore::Result& result) { delays.push_back(result.delay); });
+  }
+  queue.RunUntilIdle();
+  ASSERT_EQ(delays.size(), 50u);
+  bool varied = false;
+  for (sim::Duration d : delays) {
+    EXPECT_GE(d, 0);
+    if (d != delays[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace quicer::tls
