@@ -6,74 +6,97 @@
 // partially cancel, which is exactly why the paper's per-scenario analysis
 // is needed.
 #include "bench_common.h"
+#include "core/sweep.h"
+#include "registry.h"
 
 namespace {
 
 using namespace quicer;
 
-struct Outcome {
-  double median_ms = -1.0;
-  double p90_ms = -1.0;
-  double completion = 0.0;
-};
-
-Outcome Run(quic::ServerBehavior behavior, double rate, sim::Direction direction,
-            bool both = false) {
-  core::ExperimentConfig config;
-  config.client = clients::ClientImpl::kQuicGo;
-  config.behavior = behavior;
-  config.rtt = sim::Millis(9);
-  config.response_body_bytes = http::kSmallFileBytes;
-  config.time_limit = sim::Seconds(30);
-  sim::LossPattern pattern;
-  if (both) {
-    pattern.DropRandom(sim::Direction::kClientToServer, rate);
-    pattern.DropRandom(sim::Direction::kServerToClient, rate);
-  } else {
-    pattern.DropRandom(direction, rate);
-  }
-  config.loss = pattern;
-
-  const int repetitions = 60;
-  std::vector<double> ttfb;
-  int completed = 0;
-  for (int i = 0; i < repetitions; ++i) {
-    config.seed = 500 + static_cast<std::uint64_t>(i) * 101;
-    const core::ExperimentResult result = core::RunExperiment(config);
-    if (result.completed) {
-      ++completed;
-      ttfb.push_back(result.TtfbMs());
+core::SweepLoss RandomLoss(const char* label, double rate, sim::Direction direction,
+                           bool both) {
+  core::SweepLoss loss;
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s %.0f%%", label, rate * 100);
+  loss.label = name;
+  loss.make = [rate, direction, both](const core::ExperimentConfig&) {
+    sim::LossPattern pattern;
+    if (both) {
+      pattern.DropRandom(sim::Direction::kClientToServer, rate);
+      pattern.DropRandom(sim::Direction::kServerToClient, rate);
+    } else {
+      pattern.DropRandom(direction, rate);
     }
-  }
-  Outcome outcome;
-  if (!ttfb.empty()) {
-    outcome.median_ms = stats::Median(ttfb);
-    outcome.p90_ms = stats::Percentile(ttfb, 90);
-  }
-  outcome.completion = 100.0 * completed / repetitions;
-  return outcome;
-}
-
-void Section(const char* title, sim::Direction direction, bool both) {
-  core::PrintHeading(title);
-  std::printf("%10s  %22s  %22s\n", "loss rate", "WFC med/p90 [ms]", "IACK med/p90 [ms]");
-  for (double rate : {0.01, 0.05, 0.10, 0.20}) {
-    const Outcome wfc = Run(quic::ServerBehavior::kWaitForCertificate, rate, direction, both);
-    const Outcome iack = Run(quic::ServerBehavior::kInstantAck, rate, direction, both);
-    std::printf("%9.0f%%  %10.1f / %8.1f  %10.1f / %8.1f\n", rate * 100, wfc.median_ms,
-                wfc.p90_ms, iack.median_ms, iack.p90_ms);
-  }
+    return pattern;
+  };
+  return loss;
 }
 
 }  // namespace
 
-int main() {
+QUICER_BENCH("ablation_random_loss", "Ablation: stochastic loss rates (WFC vs IACK)") {
   core::PrintTitle("Ablation: stochastic loss (the modelling the paper argues against)");
-  Section("random loss server->client", sim::Direction::kServerToClient, false);
-  Section("random loss client->server", sim::Direction::kClientToServer, false);
-  Section("random loss both directions", sim::Direction::kClientToServer, true);
+
+  const double kRates[] = {0.01, 0.05, 0.10, 0.20};
+  struct Section {
+    const char* title;
+    const char* label;
+    sim::Direction direction;
+    bool both;
+  };
+  const Section kSections[] = {
+      {"random loss server->client", "s->c", sim::Direction::kServerToClient, false},
+      {"random loss client->server", "c->s", sim::Direction::kClientToServer, false},
+      {"random loss both directions", "both", sim::Direction::kClientToServer, true},
+  };
+
+  core::SweepSpec spec;
+  spec.name = "ablation_random_loss";
+  spec.base.client = clients::ClientImpl::kQuicGo;
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.base.time_limit = sim::Seconds(30);
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  for (const Section& section : kSections) {
+    for (double rate : kRates) {
+      spec.axes.losses.push_back(RandomLoss(section.label, rate, section.direction,
+                                            section.both));
+    }
+  }
+  spec.repetitions = 60;
+  // The legacy loop's seed schedule (500 + i * 101), completed-only.
+  spec.seed_base = 500;
+  spec.seed_stride = 101;
+  spec.metric = [](const core::ExperimentResult& r) {
+    return r.completed ? r.TtfbMs() : -1.0;
+  };
+  const core::SweepResult result = core::RunSweep(spec);
+
+  for (const Section& section : kSections) {
+    core::PrintHeading(section.title);
+    std::printf("%10s  %22s  %22s\n", "loss rate", "WFC med/p90 [ms]", "IACK med/p90 [ms]");
+    for (double rate : kRates) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s %.0f%%", section.label, rate * 100);
+      auto cell = [&](quic::ServerBehavior behavior) {
+        return result.Find([&](const core::SweepPoint& p) {
+          return p.loss == label && p.config.behavior == behavior;
+        });
+      };
+      const core::PointSummary* wfc = cell(quic::ServerBehavior::kWaitForCertificate);
+      const core::PointSummary* iack = cell(quic::ServerBehavior::kInstantAck);
+      auto p90 = [](const core::PointSummary* s) {
+        return s->all_aborted() ? -1.0 : s->values.Percentile(90);
+      };
+      std::printf("%9.0f%%  %10.1f / %8.1f  %10.1f / %8.1f\n", rate * 100,
+                  wfc->MedianOrNegative(), p90(wfc), iack->MedianOrNegative(), p90(iack));
+    }
+  }
   std::printf("\nShape check: under random loss the WFC/IACK medians blur together — the\n"
               "per-flight deterministic scenarios (Fig 6/7) are what isolate the instant\n"
               "ACK's distinct help/harm mechanisms.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("ablation_random_loss")

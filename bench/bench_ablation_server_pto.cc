@@ -9,52 +9,65 @@
 // spurious retransmissions.
 #include "bench_common.h"
 #include "core/loss_scenarios.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-namespace {
-
-using namespace quicer;
-
-struct Point {
-  double ttfb_ms = -1.0;
-  double spurious = 0.0;
-};
-
-Point Run(double server_pto_ms, bool with_loss) {
-  core::ExperimentConfig config;
-  config.client = clients::ClientImpl::kQuicGo;
-  config.behavior = quic::ServerBehavior::kInstantAck;
-  config.rtt = sim::Millis(9);
-  config.server_default_pto = sim::Millis(server_pto_ms);
-  config.response_body_bytes = http::kSmallFileBytes;
-  if (with_loss) {
-    config.loss = core::FirstServerFlightTailLoss(quic::ServerBehavior::kInstantAck,
-                                                  config.certificate_bytes, config.http);
-  }
-  Point point;
-  const auto ttfb = core::CollectTtfbMs(config, bench::kRepetitions);
-  if (!ttfb.empty()) point.ttfb_ms = stats::Median(ttfb);
-  point.spurious = stats::Median(core::RunRepetitions(
-      config, bench::kRepetitions, [](const core::ExperimentResult& r) {
-        return static_cast<double>(r.client.spurious_retransmits +
-                                   r.server.spurious_retransmits);
-      }));
-  return point;
-}
-
-}  // namespace
-
-int main() {
+QUICER_BENCH("ablation_server_pto", "Ablation: server default PTO trade-off") {
+  using namespace quicer;
   core::PrintTitle("Ablation: server default PTO trade-off (IACK, 9 ms RTT)");
+
+  const double kPtos[] = {25.0, 50.0, 100.0, 200.0, 400.0, 999.0};
+
+  core::SweepSpec spec;
+  spec.name = "ablation_server_pto";
+  spec.base.client = clients::ClientImpl::kQuicGo;
+  spec.base.behavior = quic::ServerBehavior::kInstantAck;
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  for (double pto_ms : kPtos) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "pto=%.0f", pto_ms);
+    spec.axes.variants.push_back(
+        {label, [pto_ms](core::ExperimentConfig& c) { c.server_default_pto = sim::Millis(pto_ms); }});
+  }
+  spec.axes.losses = {{"first-server-flight-tail",
+                       [](const core::ExperimentConfig& c) {
+                         return core::FirstServerFlightTailLoss(quic::ServerBehavior::kInstantAck,
+                                                                c.certificate_bytes, c.http);
+                       }},
+                      {"none", nullptr}};
+  spec.repetitions = bench::kRepetitions;
+  const core::SweepResult ttfb = core::RunSweep(spec);
+
+  core::SweepSpec spurious_spec = spec;
+  spurious_spec.name = "ablation_server_pto_spurious";
+  spurious_spec.exclude_negative = false;  // legacy loops aggregated the raw values
+  spurious_spec.metric = [](const core::ExperimentResult& r) {
+    return static_cast<double>(r.client.spurious_retransmits + r.server.spurious_retransmits);
+  };
+  const core::SweepResult spurious = core::RunSweep(spurious_spec);
+
   std::printf("%16s  %22s  %22s  %10s\n", "server PTO [ms]", "TTFB, flight lost [ms]",
               "TTFB, no loss [ms]", "spurious");
-  for (double pto_ms : {25.0, 50.0, 100.0, 200.0, 400.0, 999.0}) {
-    const Point lossy = Run(pto_ms, true);
-    const Point clean = Run(pto_ms, false);
-    std::printf("%16.0f  %22.1f  %22.1f  %10.0f\n", pto_ms, lossy.ttfb_ms, clean.ttfb_ms,
-                lossy.spurious + clean.spurious);
+  for (double pto_ms : kPtos) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "pto=%.0f", pto_ms);
+    auto cell = [&](const core::SweepResult& result, const char* loss) {
+      return result.Find([&](const core::SweepPoint& p) {
+        return p.variant == label && p.loss == loss;
+      });
+    };
+    std::printf("%16.0f  %22.1f  %22.1f  %10.0f\n", pto_ms,
+                cell(ttfb, "first-server-flight-tail")->MedianOrNegative(),
+                cell(ttfb, "none")->MedianOrNegative(),
+                cell(spurious, "first-server-flight-tail")->values.Median() +
+                    cell(spurious, "none")->values.Median());
   }
   std::printf("\nShape check: lowering the default PTO speeds up recovery roughly linearly\n"
               "(the Fig 6 penalty tracks the default PTO) until it under-runs the true RTT\n"
               "and spurious retransmissions appear.\n");
+  core::MaybeWriteSweepData(ttfb);
+  core::MaybeWriteSweepData(spurious);
   return 0;
 }
+QUICER_BENCH_MAIN("ablation_server_pto")

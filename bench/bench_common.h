@@ -9,6 +9,7 @@
 #include "core/csv.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep.h"
 #include "stats/stats.h"
 
 namespace quicer::bench {
@@ -18,41 +19,51 @@ namespace quicer::bench {
 /// (the simulator's only noise sources are signing jitter and quirk draws).
 inline constexpr int kRepetitions = 25;
 
-/// Runs WFC and IACK for one client config and prints a Fig 5/6/7-style row
-/// pair with an ASCII scatter strip. Returns {median_wfc, median_iack} in ms
-/// (negative when all runs aborted).
+/// WFC/IACK medians of one printed row pair, in ms (negative when all runs
+/// aborted).
 struct RowResult {
   double median_wfc = -1.0;
   double median_iack = -1.0;
 };
 
-inline RowResult PrintClientRow(core::ExperimentConfig config, const std::string& label,
-                                double axis_lo, double axis_hi,
-                                int repetitions = kRepetitions,
-                                bool response_stream_metric = false) {
+/// Prints the Fig 5/6/7-style WFC/IACK row pair from two sweep point
+/// summaries (either may be null / all-aborted). Same format as
+/// PrintClientRow, fed by the sweep engine instead of ad-hoc loops.
+inline RowResult PrintSweepRowPair(const core::PointSummary* wfc,
+                                   const core::PointSummary* iack,
+                                   const std::string& label, double axis_lo,
+                                   double axis_hi) {
   RowResult result;
-  const auto collect = [&](quic::ServerBehavior behavior) {
-    config.behavior = behavior;
-    return response_stream_metric ? core::CollectResponseTtfbMs(config, repetitions)
-                                  : core::CollectTtfbMs(config, repetitions);
-  };
-  const std::vector<double> wfc = collect(quic::ServerBehavior::kWaitForCertificate);
-  const std::vector<double> iack = collect(quic::ServerBehavior::kInstantAck);
+  if (wfc != nullptr) result.median_wfc = wfc->MedianOrNegative();
+  if (iack != nullptr) result.median_iack = iack->MedianOrNegative();
 
-  if (!wfc.empty()) result.median_wfc = stats::Median(wfc);
-  if (!iack.empty()) result.median_iack = stats::Median(iack);
-
-  auto print_one = [&](const char* mode, const std::vector<double>& values, double median) {
-    if (values.empty()) {
+  auto print_one = [&](const char* mode, const core::PointSummary* summary, double median) {
+    if (summary == nullptr || summary->all_aborted()) {
       std::printf("%10s %-5s  %s\n", label.c_str(), mode, "(all runs aborted)");
       return;
     }
     std::printf("%10s %-5s  [%s]  median %8.1f ms  (n=%zu)\n", label.c_str(), mode,
-                core::RenderScatter(values, axis_lo, axis_hi).c_str(), median, values.size());
+                core::RenderAccumulatorScatter(summary->values, axis_lo, axis_hi).c_str(), median,
+                summary->values.count());
   };
   print_one("WFC", wfc, result.median_wfc);
   print_one("IACK", iack, result.median_iack);
   return result;
+}
+
+/// Looks up the (client, http, behavior) pair of a sweep and prints it.
+inline RowResult PrintSweepClientRow(const core::SweepResult& result,
+                                     clients::ClientImpl impl, http::Version version,
+                                     double axis_lo, double axis_hi) {
+  auto find = [&](quic::ServerBehavior behavior) {
+    return result.Find([&](const core::SweepPoint& p) {
+      return p.config.client == impl && p.config.http == version &&
+             p.config.behavior == behavior;
+    });
+  };
+  return PrintSweepRowPair(find(quic::ServerBehavior::kWaitForCertificate),
+                           find(quic::ServerBehavior::kInstantAck),
+                           std::string(clients::Name(impl)), axis_lo, axis_hi);
 }
 
 inline void PrintAxis(double lo, double hi) {

@@ -6,65 +6,67 @@
 // boundary (shifted slightly by the server's processing time, which the
 // closed-form model does not carry).
 #include "bench_common.h"
-#include "core/parallel.h"
-#include "core/pto_model.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-namespace {
+QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface") {
+  using namespace quicer;
+  core::PrintTitle("Figure 4 (engine-measured): first-PTO reduction and spurious probes");
 
-using namespace quicer;
-
-struct CellResult {
-  double reduction_rtts = 0.0;
-  double spurious_probes = 0.0;
-};
-
-CellResult Measure(double rtt_ms, double delta_ms) {
-  core::ExperimentConfig config;
-  config.client = clients::ClientImpl::kNgtcp2;
-  config.rtt = sim::Millis(rtt_ms);
-  config.cert_fetch_delay = sim::Millis(delta_ms);
-  config.signing = tls::SigningModel{sim::Millis(1.0), 0.0};
-  config.response_body_bytes = 4096;
-  config.time_limit = sim::Seconds(60);
-
-  auto first_pto = [](const core::ExperimentResult& r) {
+  core::SweepSpec spec;
+  spec.name = "fig04b";
+  spec.base.client = clients::ClientImpl::kNgtcp2;
+  spec.base.signing = tls::SigningModel{sim::Millis(1.0), 0.0};
+  spec.base.response_body_bytes = 4096;
+  spec.base.time_limit = sim::Seconds(60);
+  spec.axes.rtts = {sim::Millis(2),  sim::Millis(5),  sim::Millis(9), sim::Millis(15),
+                    sim::Millis(25), sim::Millis(50), sim::Millis(100)};
+  spec.axes.cert_fetch_delays = {sim::Millis(1), sim::Millis(9), sim::Millis(25)};
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.repetitions = 9;
+  spec.exclude_negative = false;  // legacy loops aggregated the raw values
+  spec.metric = [](const core::ExperimentResult& r) {
     return sim::ToMillis(r.client.first_pto_period);
   };
-  config.behavior = quic::ServerBehavior::kWaitForCertificate;
-  const double wfc = stats::Median(core::RunRepetitionsParallel(config, 9, first_pto));
-  config.behavior = quic::ServerBehavior::kInstantAck;
-  const double iack = stats::Median(core::RunRepetitionsParallel(config, 9, first_pto));
-  const double probes = stats::Median(core::RunRepetitionsParallel(
-      config, 9, [](const core::ExperimentResult& r) {
-        return static_cast<double>(r.client.pto_expirations);
-      }));
+  const core::SweepResult first_pto = core::RunSweep(spec);
 
-  CellResult cell;
-  cell.reduction_rtts = (wfc - iack) / rtt_ms;
-  cell.spurious_probes = probes;
-  return cell;
-}
+  core::SweepSpec probes_spec = spec;
+  probes_spec.name = "fig04b_probes";
+  probes_spec.axes.behaviors = {quic::ServerBehavior::kInstantAck};
+  probes_spec.metric = [](const core::ExperimentResult& r) {
+    return static_cast<double>(r.client.pto_expirations);
+  };
+  const core::SweepResult probes = core::RunSweep(probes_spec);
 
-}  // namespace
-
-int main() {
-  core::PrintTitle("Figure 4 (engine-measured): first-PTO reduction and spurious probes");
-  const double deltas[] = {1.0, 9.0, 25.0};
   std::printf("%10s", "RTT [ms]");
-  for (double d : deltas) std::printf("   red(d=%4.0f)  spur", d);
+  for (sim::Duration d : spec.axes.cert_fetch_delays) {
+    std::printf("   red(d=%4.0f)  spur", sim::ToMillis(d));
+  }
   std::printf("\n");
-  for (double rtt_ms : {2.0, 5.0, 9.0, 15.0, 25.0, 50.0, 100.0}) {
+  for (sim::Duration rtt : spec.axes.rtts) {
+    const double rtt_ms = sim::ToMillis(rtt);
     std::printf("%10.0f", rtt_ms);
-    for (double delta_ms : deltas) {
-      const CellResult cell = Measure(rtt_ms, delta_ms);
-      const auto model = core::FirstPtoReduction(sim::Millis(rtt_ms), sim::Millis(delta_ms));
-      std::printf("   %10.2f  %4.0f", cell.reduction_rtts, cell.spurious_probes);
-      (void)model;
+    for (sim::Duration delta : spec.axes.cert_fetch_delays) {
+      auto find = [&](const core::SweepResult& result, quic::ServerBehavior behavior) {
+        return result.Find([&](const core::SweepPoint& p) {
+          return p.config.rtt == rtt && p.config.cert_fetch_delay == delta &&
+                 p.config.behavior == behavior;
+        });
+      };
+      const double wfc =
+          find(first_pto, quic::ServerBehavior::kWaitForCertificate)->values.Median();
+      const double iack = find(first_pto, quic::ServerBehavior::kInstantAck)->values.Median();
+      const double spurious = find(probes, quic::ServerBehavior::kInstantAck)->values.Median();
+      std::printf("   %10.2f  %4.0f", (wfc - iack) / rtt_ms, spurious);
     }
     std::printf("\n");
   }
   std::printf("\nShape check: the measured reduction tracks the model's 3*(delta+proc)/RTT\n"
               "surface; spurious client probes appear exactly where delta_t exceeds the\n"
               "client PTO (3 x RTT) — the Fig 4 zone boundary, measured live.\n");
+  core::MaybeWriteSweepData(first_pto);
+  core::MaybeWriteSweepData(probes);
   return 0;
 }
+QUICER_BENCH_MAIN("fig04b")

@@ -8,39 +8,41 @@
 // below HTTP/1.1 because the server's SETTINGS is the first stream byte.
 #include "bench_common.h"
 #include "clients/profiles.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-namespace {
-
-void RunVersion(quicer::http::Version version) {
-  using namespace quicer;
-  core::PrintHeading(std::string(http::ToString(version)));
-  bench::PrintAxis(200, 320);
-  for (clients::ClientImpl impl : clients::kAllClients) {
-    if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) continue;
-    core::ExperimentConfig config;
-    config.client = impl;
-    config.http = version;
-    config.rtt = sim::Millis(9);
-    config.certificate_bytes = tls::kLargeCertificateBytes;
-    config.cert_fetch_delay = sim::Millis(200);
-    config.response_body_bytes = http::kSmallFileBytes;
-    const auto row =
-        bench::PrintClientRow(config, std::string(clients::Name(impl)), 200, 320);
-    if (row.median_wfc > 0 && row.median_iack > 0) {
-      std::printf("%10s  IACK improvement: %+.1f ms\n", "",
-                  row.median_wfc - row.median_iack);
-    }
-  }
-}
-
-}  // namespace
-
-int main() {
+QUICER_BENCH("fig05", "Figure 5: TTFB under the amplification limit, WFC vs IACK") {
   using namespace quicer;
   core::PrintTitle(
       "Figure 5: TTFB, 10 KB @ 9 ms RTT, large certificate (> amplification limit), "
       "delta_t = 200 ms, no loss");
-  RunVersion(http::Version::kHttp1);
-  RunVersion(http::Version::kHttp3);
+
+  core::SweepSpec spec;
+  spec.name = "fig05";
+  spec.base.rtt = sim::Millis(9);
+  spec.base.certificate_bytes = tls::kLargeCertificateBytes;
+  spec.base.cert_fetch_delay = sim::Millis(200);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.repetitions = bench::kRepetitions;
+  const core::SweepResult result = core::RunSweep(spec);
+
+  for (http::Version version : spec.axes.http_versions) {
+    core::PrintHeading(std::string(http::ToString(version)));
+    bench::PrintAxis(200, 320);
+    for (clients::ClientImpl impl : spec.axes.clients) {
+      if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) continue;
+      const auto row = bench::PrintSweepClientRow(result, impl, version, 200, 320);
+      if (row.median_wfc > 0 && row.median_iack > 0) {
+        std::printf("%10s  IACK improvement: %+.1f ms\n", "",
+                    row.median_wfc - row.median_iack);
+      }
+    }
+  }
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig05")

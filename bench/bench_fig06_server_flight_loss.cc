@@ -9,48 +9,55 @@
 #include "bench_common.h"
 #include "clients/profiles.h"
 #include "core/loss_scenarios.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-int main() {
+QUICER_BENCH("fig06", "Figure 6: TTFB under first-server-flight tail loss") {
   using namespace quicer;
   core::PrintTitle(
       "Figure 6: TTFB, 10 KB @ 9 ms RTT, loss of first server flight tail (HTTP/1.1)");
   bench::PrintAxis(40, 320);
-  for (clients::ClientImpl impl : clients::kAllClients) {
-    core::ExperimentConfig config;
-    config.client = impl;
-    config.http = http::Version::kHttp1;
-    config.rtt = sim::Millis(9);
-    config.response_body_bytes = http::kSmallFileBytes;
 
-    core::ExperimentConfig wfc = config;
-    wfc.behavior = quic::ServerBehavior::kWaitForCertificate;
-    wfc.loss = core::FirstServerFlightTailLoss(wfc.behavior, config.certificate_bytes,
-                                               config.http);
-    core::ExperimentConfig iack = config;
-    iack.behavior = quic::ServerBehavior::kInstantAck;
-    iack.loss = core::FirstServerFlightTailLoss(iack.behavior, config.certificate_bytes,
-                                                config.http);
+  core::SweepSpec spec;
+  spec.name = "fig06";
+  spec.base.http = http::Version::kHttp1;
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.axes.losses = {{"first-server-flight-tail", [](const core::ExperimentConfig& c) {
+                         return core::FirstServerFlightTailLoss(c.behavior,
+                                                                c.certificate_bytes, c.http);
+                       }}};
+  spec.repetitions = bench::kRepetitions;
+  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  const core::SweepResult result = core::RunSweep(spec);
 
-    const auto wfc_values = core::CollectResponseTtfbMs(wfc, bench::kRepetitions);
-    const auto iack_values = core::CollectResponseTtfbMs(iack, bench::kRepetitions);
-    const char* name = std::string(clients::Name(impl)).c_str();
-    std::printf("%10s WFC   [%s]  median %8.1f ms\n", std::string(clients::Name(impl)).c_str(),
-                core::RenderScatter(wfc_values, 40, 320).c_str(),
-                wfc_values.empty() ? -1.0 : stats::Median(wfc_values));
-    if (iack_values.empty()) {
+  for (clients::ClientImpl impl : spec.axes.clients) {
+    auto find = [&](quic::ServerBehavior behavior) {
+      return result.Find([&](const core::SweepPoint& p) {
+        return p.config.client == impl && p.config.behavior == behavior;
+      });
+    };
+    const core::PointSummary* wfc = find(quic::ServerBehavior::kWaitForCertificate);
+    const core::PointSummary* iack = find(quic::ServerBehavior::kInstantAck);
+    const std::string name(clients::Name(impl));
+    std::printf("%10s WFC   [%s]  median %8.1f ms\n", name.c_str(),
+                core::RenderAccumulatorScatter(wfc->values, 40, 320).c_str(), wfc->MedianOrNegative());
+    if (iack->all_aborted()) {
       std::printf("%10s IACK  (connections aborted: duplicate CID retirement)\n",
-                  std::string(clients::Name(impl)).c_str());
+                  name.c_str());
     } else {
-      std::printf("%10s IACK  [%s]  median %8.1f ms  (IACK penalty %+.1f ms)\n",
-                  std::string(clients::Name(impl)).c_str(),
-                  core::RenderScatter(iack_values, 40, 320).c_str(),
-                  stats::Median(iack_values),
-                  stats::Median(iack_values) -
-                      (wfc_values.empty() ? 0.0 : stats::Median(wfc_values)));
+      std::printf("%10s IACK  [%s]  median %8.1f ms  (IACK penalty %+.1f ms)\n", name.c_str(),
+                  core::RenderAccumulatorScatter(iack->values, 40, 320).c_str(),
+                  iack->values.Median(),
+                  iack->values.Median() - (wfc->all_aborted() ? 0.0 : wfc->values.Median()));
     }
-    (void)name;
   }
   std::printf("\nShape check: IACK needs on the order of the server default PTO (200 ms)\n"
               "longer than WFC, matching the paper's ~177-188 ms penalty.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig06")

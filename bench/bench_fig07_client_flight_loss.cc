@@ -7,28 +7,39 @@
 #include "bench_common.h"
 #include "clients/profiles.h"
 #include "core/loss_scenarios.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-int main() {
+QUICER_BENCH("fig07", "Figure 7: TTFB under second-client-flight loss") {
   using namespace quicer;
   core::PrintTitle(
       "Figure 7: TTFB, 10 KB @ 9 ms RTT, loss of the entire second client flight (HTTP/1.1)");
   bench::PrintAxis(40, 620);
-  for (clients::ClientImpl impl : clients::kAllClients) {
-    core::ExperimentConfig config;
-    config.client = impl;
-    config.http = http::Version::kHttp1;
-    config.rtt = sim::Millis(9);
-    config.response_body_bytes = http::kSmallFileBytes;
-    config.loss = core::SecondClientFlightLoss(impl);
-    const auto row =
-        bench::PrintClientRow(config, std::string(clients::Name(impl)), 40, 620,
-                              bench::kRepetitions, /*response_stream_metric=*/true);
+
+  core::SweepSpec spec;
+  spec.name = "fig07";
+  spec.base.http = http::Version::kHttp1;
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.axes.losses = {{"second-client-flight", [](const core::ExperimentConfig& c) {
+                         return core::SecondClientFlightLoss(c.client);
+                       }}};
+  spec.repetitions = bench::kRepetitions;
+  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  const core::SweepResult result = core::RunSweep(spec);
+
+  for (clients::ClientImpl impl : spec.axes.clients) {
+    const auto row = bench::PrintSweepClientRow(result, impl, spec.base.http, 40, 620);
     if (row.median_wfc > 0 && row.median_iack > 0) {
-      std::printf("%10s  IACK improvement: %+.1f ms\n", "",
-                  row.median_wfc - row.median_iack);
+      std::printf("%10s  IACK improvement: %+.1f ms\n", "", row.median_wfc - row.median_iack);
     }
   }
   std::printf("\nShape check: IACK saves roughly 3x the server processing delay for every\n"
               "client except picoquic (which ignores the Initial-space RTT sample).\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig07")

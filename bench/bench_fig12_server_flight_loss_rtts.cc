@@ -8,64 +8,70 @@
 #include "bench_common.h"
 #include "clients/profiles.h"
 #include "core/loss_scenarios.h"
+#include "core/sweep.h"
+#include "registry.h"
 
-namespace {
-
-void RunVersion(quicer::http::Version version, quicer::core::CsvWriter* csv) {
-  using namespace quicer;
-  core::PrintHeading(std::string(http::ToString(version)));
-  std::printf("%10s %8s  %12s  %12s  %14s\n", "client", "RTT[ms]", "WFC med[ms]",
-              "IACK med[ms]", "IACK-WFC [ms]");
-  for (double rtt_ms : {1.0, 9.0, 20.0, 100.0, 300.0}) {
-    for (clients::ClientImpl impl : clients::kAllClients) {
-      if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) continue;
-      core::ExperimentConfig config;
-      config.client = impl;
-      config.http = version;
-      config.rtt = sim::Millis(rtt_ms);
-      config.response_body_bytes = http::kSmallFileBytes;
-      config.time_limit = sim::Seconds(30);
-
-      core::ExperimentConfig wfc = config;
-      wfc.behavior = quic::ServerBehavior::kWaitForCertificate;
-      wfc.loss =
-          core::FirstServerFlightTailLoss(wfc.behavior, config.certificate_bytes, version);
-      core::ExperimentConfig iack = config;
-      iack.behavior = quic::ServerBehavior::kInstantAck;
-      iack.loss =
-          core::FirstServerFlightTailLoss(iack.behavior, config.certificate_bytes, version);
-
-      const auto wfc_values = core::CollectResponseTtfbMs(wfc, 10);
-      const auto iack_values = core::CollectResponseTtfbMs(iack, 10);
-      if (wfc_values.empty() || iack_values.empty()) {
-        std::printf("%10s %8.0f  %s\n", std::string(clients::Name(impl)).c_str(), rtt_ms,
-                    "aborted (quiche CID retirement quirk)");
-        continue;
-      }
-      const double wfc_median = stats::Median(wfc_values);
-      const double iack_median = stats::Median(iack_values);
-      std::printf("%10s %8.0f  %12.1f  %12.1f  %+14.1f\n",
-                  std::string(clients::Name(impl)).c_str(), rtt_ms, wfc_median, iack_median,
-                  iack_median - wfc_median);
-      if (csv != nullptr) {
-        csv->TextRow({std::string(clients::Name(impl)),
-                      std::string(http::ToString(version)), std::to_string(rtt_ms),
-                      std::to_string(wfc_median), std::to_string(iack_median)});
-      }
-    }
-    std::printf("\n");
-  }
-}
-
-}  // namespace
-
-int main() {
+QUICER_BENCH("fig12", "Figure 12: first-server-flight loss across RTTs") {
   using namespace quicer;
   core::PrintTitle("Figure 12: first-server-flight loss across RTTs (Fig 6 generalised)");
   auto csv = bench::MaybeCsv("fig12_server_flight_loss",
                              {"client", "http", "rtt_ms", "wfc_ttfb_ms", "iack_ttfb_ms"});
-  RunVersion(http::Version::kHttp1, csv.get());
-  RunVersion(http::Version::kHttp3, csv.get());
+
+  core::SweepSpec spec;
+  spec.name = "fig12";
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.base.time_limit = sim::Seconds(30);
+  spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
+  spec.axes.rtts = {sim::Millis(1), sim::Millis(9), sim::Millis(20), sim::Millis(100),
+                    sim::Millis(300)};
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.axes.losses = {{"first-server-flight-tail", [](const core::ExperimentConfig& c) {
+                         return core::FirstServerFlightTailLoss(c.behavior,
+                                                                c.certificate_bytes, c.http);
+                       }}};
+  spec.repetitions = 10;
+  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  const core::SweepResult result = core::RunSweep(spec);
+
+  for (http::Version version : spec.axes.http_versions) {
+    core::PrintHeading(std::string(http::ToString(version)));
+    std::printf("%10s %8s  %12s  %12s  %14s\n", "client", "RTT[ms]", "WFC med[ms]",
+                "IACK med[ms]", "IACK-WFC [ms]");
+    for (sim::Duration rtt : spec.axes.rtts) {
+      const double rtt_ms = sim::ToMillis(rtt);
+      for (clients::ClientImpl impl : spec.axes.clients) {
+        if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) continue;
+        auto find = [&](quic::ServerBehavior behavior) {
+          return result.Find([&](const core::SweepPoint& p) {
+            return p.config.client == impl && p.config.http == version &&
+                   p.config.rtt == rtt && p.config.behavior == behavior;
+          });
+        };
+        const core::PointSummary* wfc = find(quic::ServerBehavior::kWaitForCertificate);
+        const core::PointSummary* iack = find(quic::ServerBehavior::kInstantAck);
+        if (wfc->all_aborted() || iack->all_aborted()) {
+          std::printf("%10s %8.0f  %s\n", std::string(clients::Name(impl)).c_str(), rtt_ms,
+                      "aborted (quiche CID retirement quirk)");
+          continue;
+        }
+        const double wfc_median = wfc->values.Median();
+        const double iack_median = iack->values.Median();
+        std::printf("%10s %8.0f  %12.1f  %12.1f  %+14.1f\n",
+                    std::string(clients::Name(impl)).c_str(), rtt_ms, wfc_median, iack_median,
+                    iack_median - wfc_median);
+        if (csv != nullptr) {
+          csv->TextRow({std::string(clients::Name(impl)),
+                        std::string(http::ToString(version)), std::to_string(rtt_ms),
+                        std::to_string(wfc_median), std::to_string(iack_median)});
+        }
+      }
+      std::printf("\n");
+    }
+  }
   std::printf("Shape check: positive IACK penalty up to ~100 ms RTT; sign flips by 300 ms.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig12")

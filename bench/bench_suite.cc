@@ -1,0 +1,96 @@
+// bench_suite — runs any subset of the registered figure benches through the
+// sweep engine on the shared persistent thread pool.
+//
+//   bench_suite --list                 # names + descriptions
+//   bench_suite                        # run everything
+//   bench_suite --filter=fig1         # substring-select benches
+//   bench_suite --threads=8            # pool size (QUICER_THREADS also works)
+//   bench_suite --data-dir=out/        # per-sweep CSV + JSON exports
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "registry.h"
+
+namespace {
+
+using quicer::bench::BenchInfo;
+using quicer::bench::Registry;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+int Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--list] [--filter=SUBSTR] [--threads=N] [--data-dir=DIR]\n"
+      "  --list        list registered benches and exit\n"
+      "  --filter=S    run only benches whose name contains S\n"
+      "  --threads=N   size of the shared thread pool (default: hardware)\n"
+      "  --data-dir=D  write per-sweep CSV/JSON into D (sets QUICER_DATA_DIR)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(std::strlen("--filter="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Must be set before the first ThreadPool::Global() use.
+      setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      setenv("QUICER_DATA_DIR", arg.c_str() + std::strlen("--data-dir="), 1);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const std::vector<BenchInfo> selected = Registry::Instance().Match(filter);
+  if (list) {
+    for (const BenchInfo& bench : selected) {
+      std::printf("%-24s %s\n", bench.name.c_str(), bench.description.c_str());
+    }
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no benches match filter '%s'\n", filter.c_str());
+    return 2;
+  }
+
+  struct Timing {
+    std::string name;
+    double seconds;
+    int exit_code;
+  };
+  std::vector<Timing> timings;
+  const auto suite_start = std::chrono::steady_clock::now();
+  int failures = 0;
+  for (const BenchInfo& bench : selected) {
+    const auto start = std::chrono::steady_clock::now();
+    const int code = bench.run();
+    timings.push_back({bench.name, SecondsSince(start), code});
+    if (code != 0) ++failures;
+  }
+
+  std::printf("\n%-24s %10s  %s\n", "bench", "wall [s]", "status");
+  for (const Timing& timing : timings) {
+    std::printf("%-24s %10.2f  %s\n", timing.name.c_str(), timing.seconds,
+                timing.exit_code == 0 ? "ok" : "FAILED");
+  }
+  std::printf("%-24s %10.2f  (%zu benches, pool of %u threads)\n", "total",
+              SecondsSince(suite_start), timings.size(),
+              quicer::core::ThreadPool::Global().size());
+  return failures == 0 ? 0 : 1;
+}

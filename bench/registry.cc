@@ -1,0 +1,50 @@
+#include "registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace quicer::bench {
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // leaked: outlives static dtors
+  return *registry;
+}
+
+void Registry::Add(BenchInfo info) { benches_.push_back(std::move(info)); }
+
+std::vector<BenchInfo> Registry::Benches() const { return Match(""); }
+
+std::vector<BenchInfo> Registry::Match(const std::string& filter) const {
+  std::vector<BenchInfo> out;
+  for (const BenchInfo& bench : benches_) {
+    if (filter.empty() || bench.name.find(filter) != std::string::npos) {
+      out.push_back(bench);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BenchInfo& a, const BenchInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+const BenchInfo* Registry::Find(const std::string& name) const {
+  for (const BenchInfo& bench : benches_) {
+    if (bench.name == name) return &bench;
+  }
+  return nullptr;
+}
+
+Registrar::Registrar(std::string name, std::string description, std::function<int()> run) {
+  Registry::Instance().Add(BenchInfo{std::move(name), std::move(description), std::move(run)});
+}
+
+int RunByName(const std::string& name) {
+  const BenchInfo* bench = Registry::Instance().Find(name);
+  if (bench == nullptr) {
+    std::fprintf(stderr, "unknown bench: %s\n", name.c_str());
+    return 2;
+  }
+  return bench->run();
+}
+
+}  // namespace quicer::bench

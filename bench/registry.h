@@ -1,0 +1,69 @@
+// Bench registry: figure benches register themselves by name so one driver
+// (bench_suite) can list and run any subset of the paper's figures/tables on
+// the shared thread pool.
+//
+// A migrated bench file contains:
+//
+//   QUICER_BENCH("fig05", "Figure 5: TTFB under amplification limits") {
+//     ...            // bench body; returns an int exit code
+//   }
+//   QUICER_BENCH_MAIN("fig05")
+//
+// Compiled standalone, QUICER_BENCH_MAIN stamps a main() so the file still
+// builds as its own binary; compiled with -DQUICER_BENCH_SUITE the macro is
+// empty and the registration is aggregated into bench_suite.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace quicer::bench {
+
+struct BenchInfo {
+  std::string name;         // machine name, e.g. "fig05"
+  std::string description;  // one-line human description
+  std::function<int()> run;
+};
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  void Add(BenchInfo info);
+
+  /// All registered benches, sorted by name.
+  std::vector<BenchInfo> Benches() const;
+
+  /// Benches whose name contains `filter` (empty matches all), sorted.
+  std::vector<BenchInfo> Match(const std::string& filter) const;
+
+  const BenchInfo* Find(const std::string& name) const;
+
+ private:
+  std::vector<BenchInfo> benches_;
+};
+
+struct Registrar {
+  Registrar(std::string name, std::string description, std::function<int()> run);
+};
+
+/// Runs one registered bench by exact name; returns its exit code (2 if the
+/// name is unknown).
+int RunByName(const std::string& name);
+
+#define QUICER_BENCH(name_str, description_str)                                        \
+  static int QuicerBenchBody();                                                        \
+  static const ::quicer::bench::Registrar quicer_bench_registrar_{name_str,            \
+                                                                  description_str,     \
+                                                                  &QuicerBenchBody};   \
+  static int QuicerBenchBody()
+
+#ifdef QUICER_BENCH_SUITE
+#define QUICER_BENCH_MAIN(name_str)
+#else
+#define QUICER_BENCH_MAIN(name_str) \
+  int main() { return ::quicer::bench::RunByName(name_str); }
+#endif
+
+}  // namespace quicer::bench

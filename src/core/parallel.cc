@@ -1,19 +1,14 @@
 #include "core/parallel.h"
 
-#include <atomic>
-#include <thread>
+#include "core/thread_pool.h"
 
 namespace quicer::core {
-namespace {
 
-unsigned WorkerCount(unsigned requested, std::size_t jobs) {
-  unsigned threads = requested != 0 ? requested : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 4;
-  if (threads > jobs) threads = static_cast<unsigned>(jobs);
-  return threads == 0 ? 1 : threads;
-}
-
-}  // namespace
+// Both entry points now run on the persistent shared ThreadPool instead of
+// spawning and joining a fresh set of std::threads per call. `threads` is a
+// concurrency cap (0 = whole pool); results are written into slots keyed by
+// repetition index, so the output is bit-identical to the serial
+// RunRepetitions for every cap value.
 
 std::vector<double> RunRepetitionsParallel(
     ExperimentConfig config, int repetitions,
@@ -21,41 +16,23 @@ std::vector<double> RunRepetitionsParallel(
   if (repetitions <= 0) return {};
   std::vector<double> values(static_cast<std::size_t>(repetitions));
   const std::uint64_t base_seed = config.seed;
-  std::atomic<int> next{0};
-
-  auto worker = [&] {
-    for (int i = next.fetch_add(1); i < repetitions; i = next.fetch_add(1)) {
-      ExperimentConfig run = config;
-      // Same seed schedule as the serial RunRepetitions.
-      run.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
-      values[static_cast<std::size_t>(i)] = extract(RunExperiment(run));
-    }
-  };
-
-  const unsigned count = WorkerCount(threads, static_cast<std::size_t>(repetitions));
-  std::vector<std::thread> pool;
-  pool.reserve(count);
-  for (unsigned t = 0; t < count; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  ThreadPool::Global().ParallelFor(
+      static_cast<std::size_t>(repetitions),
+      [&](std::size_t i) {
+        ExperimentConfig run = config;
+        // Same seed schedule as the serial RunRepetitions.
+        run.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
+        values[i] = extract(RunExperiment(run));
+      },
+      threads);
   return values;
 }
 
 std::vector<ExperimentResult> RunExperimentsParallel(
     const std::vector<ExperimentConfig>& configs, unsigned threads) {
   std::vector<ExperimentResult> results(configs.size());
-  std::atomic<std::size_t> next{0};
-
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < configs.size(); i = next.fetch_add(1)) {
-      results[i] = RunExperiment(configs[i]);
-    }
-  };
-
-  const unsigned count = WorkerCount(threads, configs.size());
-  std::vector<std::thread> pool;
-  pool.reserve(count);
-  for (unsigned t = 0; t < count; ++t) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  ThreadPool::Global().ParallelFor(
+      configs.size(), [&](std::size_t i) { results[i] = RunExperiment(configs[i]); }, threads);
   return results;
 }
 

@@ -55,6 +55,11 @@ std::string RenderScatter(const std::vector<double>& values, double lo, double h
   return strip;
 }
 
+std::string RenderAccumulatorScatter(const stats::Accumulator& values, double lo, double hi,
+                                     std::size_t width) {
+  return RenderScatter(values.samples(), lo, hi, width);
+}
+
 void PrintSeries(const std::string& x_label, const std::string& y_label,
                  const std::vector<std::pair<double, double>>& points) {
   std::printf("%14s  %14s\n", x_label.c_str(), y_label.c_str());

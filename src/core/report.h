@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "stats/accumulator.h"
 
 namespace quicer::core {
 
@@ -29,6 +30,12 @@ std::string FormatDouble(double value, int precision = 1);
 /// is marked with '|'.
 std::string RenderScatter(const std::vector<double>& values, double lo, double hi,
                           std::size_t width = 60);
+
+/// Scatter strip straight from a sweep point's accumulator (uses the
+/// retained reservoir samples; renders an empty strip after overflow).
+/// Distinctly named: an overload would be ambiguous for braced-init calls.
+std::string RenderAccumulatorScatter(const stats::Accumulator& values, double lo, double hi,
+                                     std::size_t width = 60);
 
 /// Renders a simple series as "x -> y" aligned columns.
 void PrintSeries(const std::string& x_label, const std::string& y_label,

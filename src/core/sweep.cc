@@ -1,0 +1,267 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "core/csv.h"
+#include "core/thread_pool.h"
+
+namespace quicer::core {
+namespace {
+
+template <typename T>
+std::vector<std::optional<T>> AxisOrDefault(const std::vector<T>& axis) {
+  if (axis.empty()) return {std::nullopt};
+  std::vector<std::optional<T>> out;
+  out.reserve(axis.size());
+  for (const T& v : axis) out.emplace_back(v);
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view ToString(HandshakeMode mode) {
+  switch (mode) {
+    case HandshakeMode::k1Rtt: return "1-RTT";
+    case HandshakeMode::k0Rtt: return "0-RTT";
+    case HandshakeMode::kRetry: return "Retry";
+  }
+  return "?";
+}
+
+std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
+  const auto https = AxisOrDefault(spec.axes.http_versions);
+  const auto certs = AxisOrDefault(spec.axes.certificate_sizes);
+  const auto deltas = AxisOrDefault(spec.axes.cert_fetch_delays);
+  const auto rtts = AxisOrDefault(spec.axes.rtts);
+  const auto modes = AxisOrDefault(spec.axes.modes);
+  const auto clients = AxisOrDefault(spec.axes.clients);
+  const auto behaviors = AxisOrDefault(spec.axes.behaviors);
+
+  std::vector<SweepLoss> losses = spec.axes.losses;
+  if (losses.empty()) {
+    SweepLoss keep;
+    keep.label = spec.base.loss.empty() ? "none" : "base";
+    losses.push_back(std::move(keep));
+  }
+  std::vector<SweepVariant> variants = spec.axes.variants;
+  if (variants.empty()) variants.push_back(SweepVariant{});
+
+  std::vector<SweepPoint> points;
+  for (const auto& http : https) {
+   for (const SweepVariant& variant : variants) {
+    for (const SweepLoss& loss : losses) {
+      for (const auto& cert : certs) {
+        for (const auto& delta : deltas) {
+          for (const auto& rtt : rtts) {
+            for (const auto& mode : modes) {
+              for (const auto& client : clients) {
+                for (const auto& behavior : behaviors) {
+                  SweepPoint point;
+                  point.config = spec.base;
+                  if (http) point.config.http = *http;
+                  if (cert) point.config.certificate_bytes = *cert;
+                  if (delta) point.config.cert_fetch_delay = *delta;
+                  if (rtt) point.config.rtt = *rtt;
+                  if (mode) point.config.mode = *mode;
+                  if (client) point.config.client = *client;
+                  if (behavior) point.config.behavior = *behavior;
+                  if (spec.skip_unsupported_http3 &&
+                      point.config.http == http::Version::kHttp3 &&
+                      !clients::SupportsHttp3(point.config.client)) {
+                    continue;
+                  }
+                  if (variant.mutate) variant.mutate(point.config);
+                  if (loss.make) point.config.loss = loss.make(point.config);
+
+                  point.client = std::string(clients::Name(point.config.client));
+                  point.http = std::string(http::ToString(point.config.http));
+                  point.behavior = std::string(quic::ToString(point.config.behavior));
+                  point.mode = std::string(ToString(point.config.mode));
+                  point.loss = loss.label;
+                  point.variant = variant.label;
+                  point.rtt_ms = sim::ToMillis(point.config.rtt);
+                  point.delta_ms = sim::ToMillis(point.config.cert_fetch_delay);
+                  point.certificate_bytes = point.config.certificate_bytes;
+                  point.index = points.size();
+                  points.push_back(std::move(point));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+   }
+  }
+  return points;
+}
+
+const PointSummary* SweepResult::Find(
+    const std::function<bool(const SweepPoint&)>& pred) const {
+  for (const PointSummary& summary : points) {
+    if (pred(summary.point)) return &summary;
+  }
+  return nullptr;
+}
+
+SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
+  SweepResult result;
+  result.name = spec.name;
+
+  std::vector<SweepPoint> points = Enumerate(spec);
+  result.points.reserve(points.size());
+  for (SweepPoint& point : points) {
+    PointSummary summary;
+    summary.point = std::move(point);
+    summary.values = stats::Accumulator(spec.reservoir_capacity);
+    result.points.push_back(std::move(summary));
+  }
+
+  const std::size_t reps =
+      spec.repetitions > 0 ? static_cast<std::size_t>(spec.repetitions) : 0;
+  if (reps == 0 || result.points.empty()) return result;
+
+  std::function<double(const ExperimentResult&)> metric = spec.metric;
+  if (!metric) metric = [](const ExperimentResult& r) { return r.TtfbMs(); };
+  const std::uint64_t seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
+
+  // Transient per-point value slots: filled by (point × repetition) jobs in
+  // any order, folded into the point's accumulator in repetition order by
+  // the worker that completes the point, then released — memory tracks the
+  // set of in-flight points, not the whole grid.
+  struct PointState {
+    std::vector<double> slots;
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::vector<PointState> states(result.points.size());
+  for (PointState& state : states) {
+    state.slots.assign(reps, 0.0);
+    state.remaining.store(reps, std::memory_order_relaxed);
+  }
+
+  const std::size_t total = result.points.size() * reps;
+  ThreadPool::Global().ParallelFor(
+      total,
+      [&](std::size_t j) {
+        const std::size_t pi = j / reps;
+        const std::size_t rep = j % reps;
+        PointState& state = states[pi];
+        PointSummary& summary = result.points[pi];
+
+        ExperimentConfig run = summary.point.config;
+        run.seed = seed_base + static_cast<std::uint64_t>(rep) * spec.seed_stride;
+        state.slots[rep] = metric(RunExperiment(run));
+
+        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          for (double v : state.slots) {
+            if (spec.exclude_negative && v < 0.0) {
+              ++summary.aborted;
+            } else {
+              summary.values.Add(v);
+            }
+          }
+          state.slots.clear();
+          state.slots.shrink_to_fit();
+        }
+      },
+      max_parallelism);
+
+  result.total_runs = total;
+  return result;
+}
+
+const std::vector<std::string>& SweepCsvHeader() {
+  static const std::vector<std::string> header = {
+      "sweep",   "point",  "client", "http",     "behavior",   "mode",
+      "loss",    "variant", "rtt_ms", "delta_ms", "cert_bytes", "count",
+      "aborted", "min",    "p25",    "median",   "p75",        "max",
+      "mean",    "stddev"};
+  return header;
+}
+
+void WriteSweepCsv(const SweepResult& result, CsvWriter& writer) {
+  for (const PointSummary& summary : result.points) {
+    const stats::Summary s = summary.values.Summarize();
+    writer.TextRow({result.name, std::to_string(summary.point.index),
+                    summary.point.client, summary.point.http, summary.point.behavior,
+                    summary.point.mode, summary.point.loss, summary.point.variant,
+                    JsonNumber(summary.point.rtt_ms), JsonNumber(summary.point.delta_ms),
+                    std::to_string(summary.point.certificate_bytes),
+                    std::to_string(s.count), std::to_string(summary.aborted),
+                    JsonNumber(s.min), JsonNumber(s.p25), JsonNumber(s.median),
+                    JsonNumber(s.p75), JsonNumber(s.max), JsonNumber(s.mean),
+                    JsonNumber(s.stddev)});
+  }
+}
+
+std::string SweepResultJson(const SweepResult& result) {
+  std::string out = "{\n  \"sweep\": \"" + JsonEscape(result.name) + "\",\n";
+  out += "  \"total_runs\": " + std::to_string(result.total_runs) + ",\n";
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const PointSummary& summary = result.points[i];
+    const stats::Summary s = summary.values.Summarize();
+    out += "    {\"point\": " + std::to_string(summary.point.index);
+    out += ", \"client\": \"" + JsonEscape(summary.point.client) + "\"";
+    out += ", \"http\": \"" + JsonEscape(summary.point.http) + "\"";
+    out += ", \"behavior\": \"" + JsonEscape(summary.point.behavior) + "\"";
+    out += ", \"mode\": \"" + JsonEscape(summary.point.mode) + "\"";
+    out += ", \"loss\": \"" + JsonEscape(summary.point.loss) + "\"";
+    out += ", \"variant\": \"" + JsonEscape(summary.point.variant) + "\"";
+    out += ", \"rtt_ms\": " + JsonNumber(summary.point.rtt_ms);
+    out += ", \"delta_ms\": " + JsonNumber(summary.point.delta_ms);
+    out += ", \"cert_bytes\": " + std::to_string(summary.point.certificate_bytes);
+    out += ", \"count\": " + std::to_string(s.count);
+    out += ", \"aborted\": " + std::to_string(summary.aborted);
+    out += ", \"min\": " + JsonNumber(s.min);
+    out += ", \"p25\": " + JsonNumber(s.p25);
+    out += ", \"median\": " + JsonNumber(s.median);
+    out += ", \"p75\": " + JsonNumber(s.p75);
+    out += ", \"max\": " + JsonNumber(s.max);
+    out += ", \"mean\": " + JsonNumber(s.mean);
+    out += ", \"stddev\": " + JsonNumber(s.stddev);
+    out += i + 1 < result.points.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool MaybeWriteSweepData(const SweepResult& result) {
+  const auto dir = DataDirFromEnv();
+  if (!dir || result.name.empty()) return false;
+  CsvWriter csv(*dir, result.name + "_sweep", SweepCsvHeader());
+  if (!csv.active()) return false;
+  WriteSweepCsv(result, csv);
+  std::ofstream json(*dir + "/" + result.name + "_sweep.json");
+  if (!json.is_open()) return false;
+  json << SweepResultJson(result);
+  return true;
+}
+
+}  // namespace quicer::core

@@ -1,0 +1,155 @@
+// Declarative parameter-sweep engine.
+//
+// Every figure and table in the paper is a sweep: (client implementation ×
+// server behavior × handshake mode × RTT × Δt × certificate size × loss
+// scenario) at 9-100 seeded repetitions per point. Instead of each bench
+// hand-rolling nested loops over CollectTtfbMs, a bench declares its axes as
+// a SweepSpec; the engine enumerates the flat config grid, schedules every
+// (point × repetition) job globally on the shared persistent ThreadPool —
+// not per point, so the tail of one point overlaps the head of the next —
+// and streams each point's values into a stats::Accumulator (count / min /
+// max / mean / percentiles, bounded memory).
+//
+// Determinism: repetition r of every point uses seed_base + r * seed_stride
+// (the schedule of core::RunRepetitions), each value lands in a slot keyed
+// by its repetition index, and a point's accumulator is folded in repetition
+// order by whichever worker completes the point — so summaries are
+// bit-identical to a serial run for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "stats/accumulator.h"
+
+namespace quicer::core {
+
+class CsvWriter;
+class ThreadPool;
+
+std::string_view ToString(HandshakeMode mode);
+
+/// One named loss scenario. `make` resolves the pattern against the fully
+/// resolved point config, because the paper's deterministic drops depend on
+/// the point (behavior, certificate size, client coalescing, HTTP version).
+struct SweepLoss {
+  std::string label = "none";
+  /// Null means "keep base.loss".
+  std::function<sim::LossPattern(const ExperimentConfig&)> make;
+};
+
+/// A named config mutation — the escape hatch for sweeping knobs that are
+/// not first-class axes (server default PTO, §5 tuning flags, ...). Applied
+/// after the first-class axes and before the loss pattern is resolved.
+struct SweepVariant {
+  std::string label = "base";
+  /// Null means "leave the config unchanged".
+  std::function<void(ExperimentConfig&)> mutate;
+};
+
+/// Axis values to sweep. An empty axis keeps the base config's value and
+/// contributes one grid column.
+struct SweepAxes {
+  std::vector<clients::ClientImpl> clients;
+  std::vector<http::Version> http_versions;
+  std::vector<quic::ServerBehavior> behaviors;
+  std::vector<HandshakeMode> modes;
+  std::vector<sim::Duration> rtts;
+  std::vector<sim::Duration> cert_fetch_delays;
+  std::vector<std::size_t> certificate_sizes;
+  std::vector<SweepLoss> losses;
+  std::vector<SweepVariant> variants;
+};
+
+struct SweepSpec {
+  /// Short machine name ("fig05", "table2_probes"); names CSV/JSON output.
+  std::string name;
+  ExperimentConfig base;
+  SweepAxes axes;
+  int repetitions = 25;
+
+  /// Metric extracted from each run. While `exclude_negative` is set, a
+  /// negative value marks the run as aborted: counted but excluded from
+  /// aggregation (the semantics of CollectTtfbMs / CollectResponseTtfbMs).
+  /// Clear it for metrics where negative values are data (e.g. the -1
+  /// sentinel of first_pto_period, aggregated raw by the legacy loops).
+  /// Defaults to TtfbMs.
+  std::function<double(const ExperimentResult&)> metric;
+  bool exclude_negative = true;
+
+  /// Seed schedule: repetition r runs with seed_base + r * seed_stride.
+  /// seed_base 0 means "use base.seed".
+  std::uint64_t seed_base = 0;
+  std::uint64_t seed_stride = 7919;
+
+  /// Drop (client, HTTP/3) combinations the client does not support, the
+  /// way every bench loop skips them.
+  bool skip_unsupported_http3 = true;
+
+  /// Per-point accumulator reservoir capacity (percentiles are exact and
+  /// scatter samples retained while repetitions stay within it).
+  std::size_t reservoir_capacity = stats::Accumulator::kDefaultReservoirCapacity;
+};
+
+/// One fully resolved grid point, with axis labels for reporting.
+struct SweepPoint {
+  ExperimentConfig config;
+  std::string client;
+  std::string http;
+  std::string behavior;
+  std::string mode;
+  std::string loss;
+  std::string variant;
+  double rtt_ms = 0.0;
+  double delta_ms = 0.0;
+  std::size_t certificate_bytes = 0;
+  std::size_t index = 0;
+};
+
+struct PointSummary {
+  SweepPoint point;
+  stats::Accumulator values;
+  /// Runs whose metric came back negative (excluded from `values`).
+  std::size_t aborted = 0;
+
+  bool all_aborted() const { return values.count() == 0; }
+  /// Median of the non-aborted runs; -1 when every run aborted (the
+  /// convention of the bench tables).
+  double MedianOrNegative() const { return all_aborted() ? -1.0 : values.Median(); }
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<PointSummary> points;
+  std::size_t total_runs = 0;
+
+  /// First point matching `pred`, or nullptr. Enumeration order is
+  /// outermost-to-innermost: http, variant, loss, certificate, Δt, RTT,
+  /// mode, client, behavior.
+  const PointSummary* Find(const std::function<bool(const SweepPoint&)>& pred) const;
+};
+
+/// Enumerates the flat grid of a spec (no experiments run).
+std::vector<SweepPoint> Enumerate(const SweepSpec& spec);
+
+/// Runs the whole grid on the shared ThreadPool. `max_parallelism` caps
+/// concurrent jobs (0 = whole pool).
+SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism = 0);
+
+/// Column names of the machine-readable exports.
+const std::vector<std::string>& SweepCsvHeader();
+
+/// Appends every point as one CSV row (see SweepCsvHeader).
+void WriteSweepCsv(const SweepResult& result, CsvWriter& writer);
+
+/// Serialises the result as a JSON document (one object per point).
+std::string SweepResultJson(const SweepResult& result);
+
+/// When QUICER_DATA_DIR is set, writes <dir>/<name>_sweep.csv and
+/// <dir>/<name>_sweep.json. Returns true if files were written.
+bool MaybeWriteSweepData(const SweepResult& result);
+
+}  // namespace quicer::core

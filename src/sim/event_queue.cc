@@ -17,12 +17,15 @@ EventQueue::Handle EventQueue::ScheduleAt(Time at, Callback cb) {
   event.id = next_id_++;
   event.cb = std::move(cb);
   const Handle handle{event.id};
+  live_.insert(event.id);
   heap_.push(std::move(event));
   return handle;
 }
 
 void EventQueue::Cancel(Handle handle) {
-  if (handle.valid()) cancelled_.insert(handle.id);
+  // Only a live (scheduled, not yet run) event needs a tombstone; cancelling
+  // an executed or invalid handle must not leak into cancelled_.
+  if (handle.valid() && live_.erase(handle.id) != 0) cancelled_.insert(handle.id);
 }
 
 bool EventQueue::RunOne() {
@@ -33,6 +36,7 @@ bool EventQueue::RunOne() {
       cancelled_.erase(it);
       continue;
     }
+    live_.erase(event.id);
     now_ = event.at;
     ++executed_;
     event.cb();

@@ -50,11 +50,8 @@ class EventQueue {
   /// the last event time and the previous now()).
   void RunUntil(Time deadline);
 
-  /// Number of pending (non-cancelled) events. Cancelled ids that were never
-  /// scheduled are ignored.
-  std::size_t PendingCount() const {
-    return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
-  }
+  /// Number of pending (non-cancelled) events.
+  std::size_t PendingCount() const { return live_.size(); }
 
   /// Total number of events executed so far.
   std::uint64_t executed_count() const { return executed_; }
@@ -74,6 +71,12 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Ids scheduled but not yet executed or cancelled. Cancel consults this,
+  /// so cancelling an already-executed (or never-issued) handle is a true
+  /// no-op: nothing is inserted into cancelled_, which therefore only holds
+  /// ids whose events are still in the heap and is popped alongside them —
+  /// neither set grows unboundedly over a long run.
+  std::unordered_set<std::uint64_t> live_;
   std::unordered_set<std::uint64_t> cancelled_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,119 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quicer::stats {
+
+Accumulator::Accumulator(std::size_t reservoir_capacity)
+    : capacity_(reservoir_capacity == 0 ? 1 : reservoir_capacity) {}
+
+void Accumulator::Add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+
+  if (!overflowed_) {
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(x);
+      sorted_valid_ = false;
+      return;
+    }
+    Overflow();
+  }
+  const double width = histo_hi_ - histo_lo_;
+  std::size_t bin = 0;
+  if (width > 0.0) {
+    const double pos = (x - histo_lo_) / width * static_cast<double>(bins_.size());
+    bin = pos <= 0.0 ? 0
+                     : std::min(bins_.size() - 1, static_cast<std::size_t>(pos));
+  }
+  ++bins_[bin];
+}
+
+void Accumulator::Overflow() {
+  overflowed_ = true;
+  histo_lo_ = min_;
+  histo_hi_ = max_ > min_ ? max_ : min_ + 1.0;
+  bins_.assign(kHistogramBins, 0);
+  const double width = histo_hi_ - histo_lo_;
+  for (double v : reservoir_) {
+    const double pos = (v - histo_lo_) / width * static_cast<double>(bins_.size());
+    const std::size_t bin =
+        pos <= 0.0 ? 0 : std::min(bins_.size() - 1, static_cast<std::size_t>(pos));
+    ++bins_[bin];
+  }
+  reservoir_.clear();
+  reservoir_.shrink_to_fit();
+  sorted_.clear();
+  sorted_.shrink_to_fit();
+  sorted_valid_ = false;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  if (!overflowed_) {
+    if (!sorted_valid_) {
+      sorted_ = reservoir_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    // Same interpolation as stats::Percentile (numpy default), on the
+    // cached sorted view.
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size()) return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+  }
+
+  // Histogram interpolation: find the bin containing the target rank and
+  // interpolate linearly inside it.
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  const double bin_width =
+      (histo_hi_ - histo_lo_) / static_cast<double>(bins_.size());
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const double in_bin = static_cast<double>(bins_[b]);
+    if (in_bin == 0.0) continue;
+    if (cumulative + in_bin > rank) {
+      const double frac = (rank - cumulative) / in_bin;
+      const double lo = histo_lo_ + static_cast<double>(b) * bin_width;
+      return std::clamp(lo + frac * bin_width, min_, max_);
+    }
+    cumulative += in_bin;
+  }
+  return max_;
+}
+
+Summary Accumulator::Summarize() const {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.min = min_;
+  s.max = max_;
+  s.p25 = Percentile(25.0);
+  s.median = Percentile(50.0);
+  s.p75 = Percentile(75.0);
+  s.mean = mean();
+  s.stddev = stddev();
+  return s;
+}
+
+}  // namespace quicer::stats

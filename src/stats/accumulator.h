@@ -1,0 +1,78 @@
+// Streaming per-point statistics accumulator for the sweep engine.
+//
+// A sweep aggregates each grid point's repetitions into count / min / max /
+// mean / stddev / percentiles without retaining every sample of the whole
+// grid. Moments use Welford's algorithm. Percentiles come from a bounded
+// reservoir: exact while the sample count stays within the reservoir
+// capacity (every bench today runs 9-100 repetitions per point, far below
+// the default 4096), and estimated from a fixed-bin histogram built over the
+// observed range once the reservoir overflows — memory stays O(capacity)
+// regardless of how many repetitions a point runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace quicer::stats {
+
+class Accumulator {
+ public:
+  static constexpr std::size_t kDefaultReservoirCapacity = 4096;
+  static constexpr std::size_t kHistogramBins = 512;
+
+  explicit Accumulator(std::size_t reservoir_capacity = kDefaultReservoirCapacity);
+
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 values.
+  double variance() const;
+  double stddev() const;
+
+  /// p in [0, 100]. Exact (numpy-style linear interpolation, identical to
+  /// stats::Percentile) while exact(); histogram-interpolated afterwards.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// True while every added sample is still retained, i.e. percentiles are
+  /// exact and samples() returns the full input.
+  bool exact() const { return !overflowed_; }
+
+  /// The retained samples, in insertion order (all of them while exact();
+  /// empty after overflow). Feeds the ASCII scatter strips.
+  const std::vector<double>& samples() const { return reservoir_; }
+
+  /// Five-number summary in the stats::Summary shape used by report rows.
+  Summary Summarize() const;
+
+ private:
+  void Overflow();
+
+  std::size_t capacity_;
+  std::vector<double> reservoir_;
+  bool overflowed_ = false;
+  // Sorted view of reservoir_, rebuilt lazily: percentile queries come in
+  // bursts (Summarize + CSV + JSON per point) and must not re-sort each
+  // time. Invalidated by Add.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  // Histogram mode (after overflow): fixed bins over [histo_lo_, histo_hi_],
+  // out-of-range values clamp into the edge bins (min_/max_ stay exact).
+  std::vector<std::size_t> bins_;
+  double histo_lo_ = 0.0;
+  double histo_hi_ = 0.0;
+};
+
+}  // namespace quicer::stats

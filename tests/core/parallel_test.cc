@@ -66,5 +66,24 @@ TEST(Parallel, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a, b);
 }
 
+TEST(Parallel, LossyConfigBitIdenticalToSerialAcrossThreadCounts) {
+  // The thread-pool path must preserve seed-order determinism on a config
+  // whose runs actually diverge (random loss consults the seeded RNG).
+  ExperimentConfig config = SmallConfig();
+  config.seed = 42;
+  config.loss.DropRandom(sim::Direction::kServerToClient, 0.08);
+  config.loss.DropRandom(sim::Direction::kClientToServer, 0.05);
+  config.time_limit = sim::Seconds(30);
+
+  const auto serial = RunRepetitions(config, 15, Ttfb);
+  for (unsigned threads : {1u, 2u, 7u}) {
+    const auto parallel = RunRepetitionsParallel(config, 15, Ttfb, threads);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "threads=" << threads << " rep=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace quicer::core

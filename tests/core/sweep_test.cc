@@ -1,0 +1,172 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/csv.h"
+#include "core/loss_scenarios.h"
+
+namespace quicer::core {
+namespace {
+
+SweepSpec SmallSpec() {
+  SweepSpec spec;
+  spec.name = "test_sweep";
+  spec.base.client = clients::ClientImpl::kQuicGo;
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = 4096;
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.axes.rtts = {sim::Millis(5), sim::Millis(20)};
+  spec.repetitions = 6;
+  return spec;
+}
+
+TEST(Sweep, EnumerateBuildsFullGridInDocumentedOrder) {
+  SweepSpec spec = SmallSpec();
+  const auto points = Enumerate(spec);
+  ASSERT_EQ(points.size(), 4u);  // 2 RTTs x 2 behaviors
+  // Outermost-to-innermost: ... RTT, mode, client, behavior.
+  EXPECT_EQ(points[0].rtt_ms, 5.0);
+  EXPECT_EQ(points[0].behavior, "WFC");
+  EXPECT_EQ(points[1].rtt_ms, 5.0);
+  EXPECT_EQ(points[1].behavior, "IACK");
+  EXPECT_EQ(points[2].rtt_ms, 20.0);
+  EXPECT_EQ(points[3].rtt_ms, 20.0);
+  for (std::size_t i = 0; i < points.size(); ++i) EXPECT_EQ(points[i].index, i);
+}
+
+TEST(Sweep, EmptyAxesYieldSingleBasePoint) {
+  SweepSpec spec;
+  spec.base.client = clients::ClientImpl::kNgtcp2;
+  spec.repetitions = 1;
+  const auto points = Enumerate(spec);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].client, "ngtcp2");
+  EXPECT_EQ(points[0].loss, "none");
+  EXPECT_EQ(points[0].variant, "base");
+}
+
+TEST(Sweep, SkipsUnsupportedHttp3Clients) {
+  SweepSpec spec;
+  spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  const auto points = Enumerate(spec);
+  // 8 clients on HTTP/1.1, 7 on HTTP/3 (go-x-net has no HTTP/3 support).
+  EXPECT_EQ(points.size(), 15u);
+}
+
+TEST(Sweep, MedianMatchesCollectTtfbMs) {
+  SweepSpec spec = SmallSpec();
+  const SweepResult result = RunSweep(spec);
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_EQ(result.total_runs, 24u);
+
+  for (const PointSummary& summary : result.points) {
+    const auto legacy = CollectTtfbMs(summary.point.config, spec.repetitions);
+    ASSERT_EQ(summary.values.count(), legacy.size());
+    EXPECT_DOUBLE_EQ(summary.values.Median(), stats::Median(legacy))
+        << summary.point.rtt_ms << " " << summary.point.behavior;
+  }
+}
+
+TEST(Sweep, DeterministicAcrossParallelismCaps) {
+  SweepSpec spec = SmallSpec();
+  // Per-client loss keyed off the resolved config exercises the loss axis.
+  spec.axes.losses = {{"second-client-flight", [](const ExperimentConfig& c) {
+                         return SecondClientFlightLoss(c.client);
+                       }}};
+  spec.metric = [](const ExperimentResult& r) { return r.ResponseTtfbMs(); };
+
+  const SweepResult serial = RunSweep(spec, /*max_parallelism=*/1);
+  for (unsigned cap : {2u, 7u}) {
+    const SweepResult parallel = RunSweep(spec, cap);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      const stats::Summary a = serial.points[i].values.Summarize();
+      const stats::Summary b = parallel.points[i].values.Summarize();
+      EXPECT_EQ(a.count, b.count) << cap;
+      EXPECT_DOUBLE_EQ(a.median, b.median) << cap;
+      EXPECT_DOUBLE_EQ(a.mean, b.mean) << cap;
+      EXPECT_DOUBLE_EQ(a.stddev, b.stddev) << cap;  // fold order is fixed
+      EXPECT_EQ(serial.points[i].aborted, parallel.points[i].aborted) << cap;
+      EXPECT_EQ(serial.points[i].values.samples(), parallel.points[i].values.samples()) << cap;
+    }
+  }
+}
+
+TEST(Sweep, VariantsMutateConfig) {
+  SweepSpec spec;
+  spec.base.client = clients::ClientImpl::kQuicGo;
+  spec.axes.variants = {
+      {"pto=50", [](ExperimentConfig& c) { c.server_default_pto = sim::Millis(50); }},
+      {"pto=400", [](ExperimentConfig& c) { c.server_default_pto = sim::Millis(400); }}};
+  const auto points = Enumerate(spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].variant, "pto=50");
+  EXPECT_EQ(points[0].config.server_default_pto, sim::Millis(50));
+  EXPECT_EQ(points[1].variant, "pto=400");
+  EXPECT_EQ(points[1].config.server_default_pto, sim::Millis(400));
+}
+
+TEST(Sweep, CustomSeedScheduleMatchesLegacyLoop) {
+  SweepSpec spec;
+  spec.base.client = clients::ClientImpl::kQuicGo;
+  spec.base.response_body_bytes = 4096;
+  spec.base.loss.DropRandom(sim::Direction::kServerToClient, 0.1);
+  spec.repetitions = 8;
+  spec.seed_base = 500;
+  spec.seed_stride = 101;
+  spec.metric = [](const ExperimentResult& r) { return r.completed ? r.TtfbMs() : -1.0; };
+  const SweepResult result = RunSweep(spec);
+
+  std::vector<double> legacy;
+  std::size_t legacy_aborted = 0;
+  ExperimentConfig config = spec.base;
+  for (int i = 0; i < spec.repetitions; ++i) {
+    config.seed = 500 + static_cast<std::uint64_t>(i) * 101;
+    const ExperimentResult r = RunExperiment(config);
+    if (r.completed) {
+      legacy.push_back(r.TtfbMs());
+    } else {
+      ++legacy_aborted;
+    }
+  }
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].aborted, legacy_aborted);
+  EXPECT_EQ(result.points[0].values.samples(), legacy);
+}
+
+TEST(Sweep, FindLocatesPoints) {
+  SweepSpec spec = SmallSpec();
+  const SweepResult result = RunSweep(spec);
+  const PointSummary* cell = result.Find([](const SweepPoint& p) {
+    return p.rtt_ms == 20.0 && p.config.behavior == quic::ServerBehavior::kInstantAck;
+  });
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->point.behavior, "IACK");
+  EXPECT_EQ(result.Find([](const SweepPoint&) { return false; }), nullptr);
+}
+
+TEST(Sweep, CsvAndJsonExportCoverEveryPoint) {
+  SweepSpec spec = SmallSpec();
+  spec.repetitions = 2;
+  const SweepResult result = RunSweep(spec);
+
+  const std::string json = SweepResultJson(result);
+  EXPECT_NE(json.find("\"sweep\": \"test_sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"median\""), std::string::npos);
+  std::size_t objects = 0;
+  for (std::size_t at = json.find("{\"point\""); at != std::string::npos;
+       at = json.find("{\"point\"", at + 1)) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, result.points.size());
+
+  CsvWriter csv(testing::TempDir(), "sweep_export_test", SweepCsvHeader());
+  ASSERT_TRUE(csv.active());
+  WriteSweepCsv(result, csv);
+  EXPECT_EQ(csv.rows(), result.points.size());
+}
+
+}  // namespace
+}  // namespace quicer::core

@@ -101,6 +101,64 @@ TEST(EventQueue, PendingCountExcludesCancelled) {
   EXPECT_EQ(queue.PendingCount(), 1u);
 }
 
+TEST(EventQueue, CancelAfterExecutionIsNoop) {
+  // Regression: cancelling a handle whose event already ran used to insert
+  // its id into the cancelled set permanently (never popped from the heap),
+  // growing it unboundedly and making PendingCount() under-report.
+  EventQueue queue;
+  int fired = 0;
+  const EventQueue::Handle handle = queue.Schedule(Millis(1), [&] { ++fired; });
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.PendingCount(), 0u);
+
+  queue.Cancel(handle);  // already executed: must not poison later counts
+  queue.Cancel(handle);  // and must stay idempotent
+  EXPECT_EQ(queue.PendingCount(), 0u);
+
+  queue.Schedule(Millis(1), [&] { ++fired; });
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.PendingCount(), 0u);
+}
+
+TEST(EventQueue, RepeatedStaleCancelsDoNotAccumulate) {
+  // Rearmed-timer pattern over a long run: every SetDeadline cancels the
+  // previous (already-executed or pending) handle. PendingCount must track
+  // the live events exactly throughout.
+  EventQueue queue;
+  std::vector<EventQueue::Handle> handles;
+  for (int round = 0; round < 1000; ++round) {
+    handles.push_back(queue.Schedule(Millis(1), [] {}));
+    queue.RunUntilIdle();
+    queue.Cancel(handles.back());  // stale: event already ran
+    EXPECT_EQ(queue.PendingCount(), 0u);
+  }
+  // A final cancel of every stale handle still leaves the queue usable.
+  for (const EventQueue::Handle& handle : handles) queue.Cancel(handle);
+  bool ran = false;
+  queue.Schedule(Millis(1), [&] { ran = true; });
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingCountTracksCancelledBeforeExecution) {
+  EventQueue queue;
+  const EventQueue::Handle a = queue.Schedule(Millis(1), [] {});
+  const EventQueue::Handle b = queue.Schedule(Millis(2), [] {});
+  EXPECT_EQ(queue.PendingCount(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.Cancel(a);  // double-cancel of a pending event
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_EQ(queue.PendingCount(), 0u);
+  (void)b;
+}
+
 TEST(Timer, FiresAtDeadline) {
   EventQueue queue;
   int fired = 0;

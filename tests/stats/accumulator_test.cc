@@ -1,0 +1,94 @@
+#include "stats/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/stats.h"
+
+namespace quicer::stats {
+namespace {
+
+TEST(Accumulator, EmptyIsZeroes) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+  EXPECT_EQ(acc.Median(), 0.0);
+  EXPECT_TRUE(acc.exact());
+}
+
+TEST(Accumulator, ExactModeMatchesBatchStats) {
+  const std::vector<double> values = {12.5, 3.0, 99.0, 7.25, 41.0, 3.0, 18.0};
+  Accumulator acc;
+  for (double v : values) acc.Add(v);
+
+  ASSERT_TRUE(acc.exact());
+  EXPECT_EQ(acc.count(), values.size());
+  EXPECT_DOUBLE_EQ(acc.min(), Min(values));
+  EXPECT_DOUBLE_EQ(acc.max(), Max(values));
+  EXPECT_NEAR(acc.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(acc.stddev(), StdDev(values), 1e-12);
+  // Percentiles must be bit-identical to the batch implementation: the
+  // sweep engine's medians replace the benches' stats::Median calls.
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(acc.Percentile(p), Percentile(values, p)) << p;
+  }
+  EXPECT_EQ(acc.samples(), values);
+}
+
+TEST(Accumulator, OverflowKeepsMomentsExactAndPercentilesClose) {
+  Accumulator acc(/*reservoir_capacity=*/128);
+  std::vector<double> values;
+  sim::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble() * 250.0;
+    values.push_back(v);
+    acc.Add(v);
+  }
+
+  EXPECT_FALSE(acc.exact());
+  EXPECT_TRUE(acc.samples().empty());  // released on overflow: bounded memory
+  EXPECT_EQ(acc.count(), values.size());
+  EXPECT_DOUBLE_EQ(acc.min(), Min(values));
+  EXPECT_DOUBLE_EQ(acc.max(), Max(values));
+  EXPECT_NEAR(acc.mean(), Mean(values), 1e-9);
+  EXPECT_NEAR(acc.stddev(), StdDev(values), 1e-6);
+  // Histogram percentiles: within one bin width of the exact answer.
+  const double bin = 250.0 / static_cast<double>(Accumulator::kHistogramBins);
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(acc.Percentile(p), Percentile(values, p), 2.0 * bin) << p;
+  }
+}
+
+TEST(Accumulator, OverflowWithConstantValues) {
+  Accumulator acc(/*reservoir_capacity=*/4);
+  for (int i = 0; i < 100; ++i) acc.Add(5.0);
+  EXPECT_FALSE(acc.exact());
+  EXPECT_DOUBLE_EQ(acc.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, SummarizeMatchesStatsShape) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  Accumulator acc;
+  for (double v : values) acc.Add(v);
+  const Summary from_acc = acc.Summarize();
+  const Summary batch = Summarize(values);
+  EXPECT_EQ(from_acc.count, batch.count);
+  EXPECT_DOUBLE_EQ(from_acc.min, batch.min);
+  EXPECT_DOUBLE_EQ(from_acc.p25, batch.p25);
+  EXPECT_DOUBLE_EQ(from_acc.median, batch.median);
+  EXPECT_DOUBLE_EQ(from_acc.p75, batch.p75);
+  EXPECT_DOUBLE_EQ(from_acc.max, batch.max);
+  EXPECT_NEAR(from_acc.mean, batch.mean, 1e-12);
+  EXPECT_NEAR(from_acc.stddev, batch.stddev, 1e-12);
+}
+
+}  // namespace
+}  // namespace quicer::stats
