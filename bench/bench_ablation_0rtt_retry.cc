@@ -21,14 +21,16 @@ QUICER_BENCH("ablation_0rtt_retry", "Ablation: instant ACK under 1-RTT/0-RTT/Ret
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = bench::kRepetitions;
+  bench::Tune(spec);
   const core::SweepResult ttfb = core::RunSweep(spec);
 
   core::SweepSpec pto_spec = spec;
   pto_spec.name = "ablation_0rtt_retry_pto";
-  pto_spec.exclude_negative = false;  // legacy loops aggregated the raw values
-  pto_spec.metric = [](const core::ExperimentResult& r) {
-    return sim::ToMillis(r.client.first_pto_period);
-  };
+  // Raw values, negatives included: the legacy loops aggregated the sentinel.
+  pto_spec.metrics = {{"first_pto_ms", core::MetricMode::kSummary, /*exclude_negative=*/false,
+                       [](const core::ExperimentResult& r) {
+                         return sim::ToMillis(r.client.first_pto_period);
+                       }}};
   const core::SweepResult first_pto = core::RunSweep(pto_spec);
 
   std::printf("%10s  %12s  %12s  %16s  %16s\n", "handshake", "WFC TTFB", "IACK TTFB",
@@ -61,6 +63,7 @@ QUICER_BENCH("ablation_0rtt_retry", "Ablation: instant ACK under 1-RTT/0-RTT/Ret
       {"no-retry-rtt-sample",
        [](core::ExperimentConfig& c) { c.client_use_retry_rtt_sample = false; }}};
   retry_spec.repetitions = bench::kRepetitions;
+  bench::Tune(retry_spec);
   const core::SweepResult retry = core::RunSweep(retry_spec);
 
   core::PrintHeading("Retry as first RTT estimate (delta_t = 100 ms, WFC)");

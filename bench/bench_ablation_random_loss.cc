@@ -68,9 +68,11 @@ QUICER_BENCH("ablation_random_loss", "Ablation: stochastic loss rates (WFC vs IA
   // The legacy loop's seed schedule (500 + i * 101), completed-only.
   spec.seed_base = 500;
   spec.seed_stride = 101;
-  spec.metric = [](const core::ExperimentResult& r) {
-    return r.completed ? r.TtfbMs() : -1.0;
-  };
+  spec.metrics = {{"ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const core::ExperimentResult& r) {
+                     return r.completed ? r.TtfbMs() : -1.0;
+                   }}};
+  bench::Tune(spec);
   const core::SweepResult result = core::RunSweep(spec);
 
   for (const Section& section : kSections) {
@@ -87,7 +89,7 @@ QUICER_BENCH("ablation_random_loss", "Ablation: stochastic loss rates (WFC vs IA
       const core::PointSummary* wfc = cell(quic::ServerBehavior::kWaitForCertificate);
       const core::PointSummary* iack = cell(quic::ServerBehavior::kInstantAck);
       auto p90 = [](const core::PointSummary* s) {
-        return s->all_aborted() ? -1.0 : s->values.Percentile(90);
+        return s->all_aborted() ? -1.0 : s->values().Percentile(90);
       };
       std::printf("%9.0f%%  %10.1f / %8.1f  %10.1f / %8.1f\n", rate * 100,
                   wfc->MedianOrNegative(), p90(wfc), iack->MedianOrNegative(), p90(iack));

@@ -37,14 +37,18 @@ QUICER_BENCH("ablation_server_pto", "Ablation: server default PTO trade-off") {
                        }},
                       {"none", nullptr}};
   spec.repetitions = bench::kRepetitions;
+  bench::Tune(spec);
   const core::SweepResult ttfb = core::RunSweep(spec);
 
   core::SweepSpec spurious_spec = spec;
   spurious_spec.name = "ablation_server_pto_spurious";
-  spurious_spec.exclude_negative = false;  // legacy loops aggregated the raw values
-  spurious_spec.metric = [](const core::ExperimentResult& r) {
-    return static_cast<double>(r.client.spurious_retransmits + r.server.spurious_retransmits);
-  };
+  // Raw counts, negatives included: the legacy loops aggregated raw values.
+  spurious_spec.metrics = {
+      {"spurious_retransmits", core::MetricMode::kSummary, /*exclude_negative=*/false,
+       [](const core::ExperimentResult& r) {
+         return static_cast<double>(r.client.spurious_retransmits +
+                                    r.server.spurious_retransmits);
+       }}};
   const core::SweepResult spurious = core::RunSweep(spurious_spec);
 
   std::printf("%16s  %22s  %22s  %10s\n", "server PTO [ms]", "TTFB, flight lost [ms]",
@@ -60,8 +64,8 @@ QUICER_BENCH("ablation_server_pto", "Ablation: server default PTO trade-off") {
     std::printf("%16.0f  %22.1f  %22.1f  %10.0f\n", pto_ms,
                 cell(ttfb, "first-server-flight-tail")->MedianOrNegative(),
                 cell(ttfb, "none")->MedianOrNegative(),
-                cell(spurious, "first-server-flight-tail")->values.Median() +
-                    cell(spurious, "none")->values.Median());
+                cell(spurious, "first-server-flight-tail")->values().Median() +
+                    cell(spurious, "none")->values().Median());
   }
   std::printf("\nShape check: lowering the default PTO speeds up recovery roughly linearly\n"
               "(the Fig 6 penalty tracks the default PTO) until it under-runs the true RTT\n"

@@ -7,9 +7,16 @@
 // Reproduced with the frontend certificate-cache model: one cluster, domains
 // with different organic request rates, plus probe streams at the paper's
 // two rates.
+//
+// Sweep mapping: the domain is an extra axis; the cache simulation threads
+// one RNG through all domains minute by minute, so it runs once as a
+// SharedOutcomeRunner and every point extracts its domain's coalesced share
+// — identical values to the legacy single-pass loop.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/report.h"
+#include "registry.h"
 #include "scan/frontend_cache.h"
 
 namespace {
@@ -22,60 +29,90 @@ struct DomainLoad {
   double paper_share;         // observed coalesced share
 };
 
-}  // namespace
+constexpr DomainLoad kDomains[] = {
+    {"discord.example", 20000.0, 91.9},
+    {"cloudflare.example", 600.0, 50.5},
+    {"tinyurl.example", 160.0, 17.7},
+    {"docker.example", 6.0, 0.7},
+    {"own-domain (1/min probes)", 0.0, 0.1},
+    {"own-domain (60/min probes)", 0.0, 7.5},
+};
+constexpr int kDomainCount = 6;
 
-int main() {
-  core::PrintTitle("Cloudflare certificate caching by domain popularity (Fig 9 context)");
+struct CacheOutcome {
+  int probe_hits[kDomainCount] = {0};
+  int probe_total[kDomainCount] = {0};
+};
 
+/// Simulate 3 hours; organic traffic arrives uniformly, probes on their
+/// schedule. Coalesced share is measured on the 1-per-minute probe stream
+/// (as the paper measures), except for the fast-probe row.
+CacheOutcome SimulateCluster() {
   scan::FrontendCertCache::Config config;
   config.capacity = 1 << 16;
   config.ttl = sim::Seconds(300);
   config.frontends_per_cluster = 4096;  // one metro colo (many metals)
   scan::FrontendCertCache cache(config, sim::Rng(11));
 
-  const DomainLoad domains[] = {
-      {"discord.example", 20000.0, 91.9},
-      {"cloudflare.example", 600.0, 50.5},
-      {"tinyurl.example", 160.0, 17.7},
-      {"docker.example", 6.0, 0.7},
-      {"own-domain (1/min probes)", 0.0, 0.1},
-      {"own-domain (60/min probes)", 0.0, 7.5},
-  };
-
-  // Simulate 3 hours; organic traffic arrives uniformly, probes on their
-  // schedule. Coalesced share is measured on the 1-per-minute probe stream
-  // (as the paper measures), except for the fast-probe row.
+  CacheOutcome outcome;
   const int minutes = 3 * 60;
-  int probe_hits[6] = {0};
-  int probe_total[6] = {0};
   sim::Rng rng(23);
 
   for (int minute = 0; minute < minutes; ++minute) {
     const sim::Time base = sim::Seconds(minute * 60);
-    for (int d = 0; d < 6; ++d) {
+    for (int d = 0; d < kDomainCount; ++d) {
       // Organic load.
-      const double rate = domains[d].organic_per_minute;
+      const double rate = kDomains[d].organic_per_minute;
       const int arrivals = static_cast<int>(rate) +
                            (rng.Bernoulli(rate - static_cast<int>(rate)) ? 1 : 0);
       for (int a = 0; a < arrivals; ++a) {
-        cache.OnConnection(domains[d].name, base + rng.UniformInt(0, 59) * sim::kSecond);
+        cache.OnConnection(kDomains[d].name, base + rng.UniformInt(0, 59) * sim::kSecond);
       }
       // Probe stream.
       const int probes = d == 5 ? 60 : 1;
       for (int p = 0; p < probes; ++p) {
-        ++probe_total[d];
-        if (cache.OnConnection(domains[d].name, base + p * sim::kSecond)) ++probe_hits[d];
+        ++outcome.probe_total[d];
+        if (cache.OnConnection(kDomains[d].name, base + p * sim::kSecond)) {
+          ++outcome.probe_hits[d];
+        }
       }
     }
   }
+  return outcome;
+}
+
+}  // namespace
+
+QUICER_BENCH("caching_study", "Cloudflare certificate caching by domain popularity") {
+  core::PrintTitle("Cloudflare certificate caching by domain popularity (Fig 9 context)");
+
+  core::SweepSpec spec;
+  spec.name = "caching_study";
+  core::SweepExtraAxis domains;
+  domains.name = "domain";
+  for (int d = 0; d < kDomainCount; ++d) domains.values.push_back({kDomains[d].name, d});
+  spec.axes.extras = {domains};
+  spec.repetitions = 1;
+  spec.metrics = {
+      {"coalesced_share_pct", core::MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
+  spec.runner = core::SharedOutcomeRunner<CacheOutcome>(
+      &SimulateCluster, [](const CacheOutcome& outcome, const core::SweepRunContext& ctx) {
+        const auto d = static_cast<std::size_t>(ctx.point.Extra("domain")->value);
+        return std::vector<double>{100.0 * outcome.probe_hits[d] / outcome.probe_total[d]};
+      });
+  bench::TuneObserver(spec);
+  const core::SweepResult result = core::RunSweep(spec);
 
   std::printf("%28s  %18s  %18s\n", "domain (load)", "coalesced [%]", "paper [%]");
-  for (int d = 0; d < 6; ++d) {
-    const double share = 100.0 * probe_hits[d] / probe_total[d];
-    std::printf("%28s  %18.1f  %18.1f\n", domains[d].name, share, domains[d].paper_share);
+  for (const core::PointSummary& summary : result.points) {
+    const auto d = static_cast<std::size_t>(summary.point.Extra("domain")->value);
+    std::printf("%28s  %18.1f  %18.1f\n", kDomains[d].name, summary.values().mean(),
+                kDomains[d].paper_share);
   }
   std::printf("\nShape check: coalesced (cached-certificate) share grows monotonically with\n"
               "the domain's request rate; probe-only domains stay cold except when probed\n"
               "fast enough to warm a few machines of the cluster.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("caching_study")

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,7 +18,58 @@ namespace quicer::bench {
 /// Repetitions per (client, mode) point. The paper uses 100; 25 keeps every
 /// bench binary comfortably fast while the medians are already stable
 /// (the simulator's only noise sources are signing jitter and quirk draws).
+/// `bench_suite --scale` multiplies this via Tune().
 inline constexpr int kRepetitions = 25;
+
+/// Repetition multiplier of this run (QUICER_BENCH_SCALE, set by
+/// `bench_suite --scale=N`; the paper's grids correspond to --scale=4).
+inline int ScaleFactor() {
+  static const int factor = [] {
+    const char* env = std::getenv("QUICER_BENCH_SCALE");
+    if (env == nullptr) return 1;
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed >= 1 ? static_cast<int>(parsed) : 1;
+  }();
+  return factor;
+}
+
+/// True when a scaled run should also widen its RTT/Δt axes (any --scale
+/// above the CI-friendly default of 1).
+inline bool DenseAxes() { return ScaleFactor() > 1; }
+
+/// True when `bench_suite --progress` asked for per-sweep progress lines
+/// (QUICER_BENCH_PROGRESS).
+inline bool ProgressEnabled() {
+  static const bool enabled = std::getenv("QUICER_BENCH_PROGRESS") != nullptr;
+  return enabled;
+}
+
+/// Progress observer printing "points done / total, runs/sec" to stderr
+/// (stdout carries the figure tables).
+inline core::SweepObserver StderrProgress() {
+  return [](const core::SweepProgress& p) {
+    std::fprintf(stderr, "[%.*s] %zu/%zu points, %zu runs, %.0f runs/s%s\n",
+                 static_cast<int>(p.sweep.size()), p.sweep.data(), p.points_completed,
+                 p.points_total, p.runs_completed, p.runs_per_second,
+                 p.points_skipped > 0 ? " (budget: some points skipped)" : "");
+  };
+}
+
+/// Applies the suite-wide options to an *experiment-driven* spec: --scale
+/// multiplies the repetitions, --progress attaches the stderr observer.
+/// Don't call it for runner-based sweeps whose repetition index is semantic
+/// (population rank, study hour) — scale there only via axes.
+inline core::SweepSpec& Tune(core::SweepSpec& spec) {
+  spec.repetitions *= ScaleFactor();
+  if (ProgressEnabled() && !spec.observer) spec.observer = StderrProgress();
+  return spec;
+}
+
+/// Attaches only the progress observer (for runner-based sweeps).
+inline core::SweepSpec& TuneObserver(core::SweepSpec& spec) {
+  if (ProgressEnabled() && !spec.observer) spec.observer = StderrProgress();
+  return spec;
+}
 
 /// WFC/IACK medians of one printed row pair, in ms (negative when all runs
 /// aborted).
@@ -43,8 +95,8 @@ inline RowResult PrintSweepRowPair(const core::PointSummary* wfc,
       return;
     }
     std::printf("%10s %-5s  [%s]  median %8.1f ms  (n=%zu)\n", label.c_str(), mode,
-                core::RenderAccumulatorScatter(summary->values, axis_lo, axis_hi).c_str(), median,
-                summary->values.count());
+                core::RenderAccumulatorScatter(summary->values(), axis_lo, axis_hi).c_str(),
+                median, summary->values().count());
   };
   print_one("WFC", wfc, result.median_wfc);
   print_one("IACK", iack, result.median_iack);

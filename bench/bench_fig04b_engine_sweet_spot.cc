@@ -21,22 +21,30 @@ QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface"
   spec.base.time_limit = sim::Seconds(60);
   spec.axes.rtts = {sim::Millis(2),  sim::Millis(5),  sim::Millis(9), sim::Millis(15),
                     sim::Millis(25), sim::Millis(50), sim::Millis(100)};
+  if (bench::DenseAxes()) {
+    spec.axes.rtts.insert(spec.axes.rtts.end(),
+                          {sim::Millis(35), sim::Millis(75), sim::Millis(150)});
+  }
   spec.axes.cert_fetch_delays = {sim::Millis(1), sim::Millis(9), sim::Millis(25)};
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = 9;
-  spec.exclude_negative = false;  // legacy loops aggregated the raw values
-  spec.metric = [](const core::ExperimentResult& r) {
-    return sim::ToMillis(r.client.first_pto_period);
-  };
+  // Raw values, negatives included: the legacy loops aggregated the
+  // first_pto_period sentinel as data.
+  spec.metrics = {{"first_pto_ms", core::MetricMode::kSummary, /*exclude_negative=*/false,
+                   [](const core::ExperimentResult& r) {
+                     return sim::ToMillis(r.client.first_pto_period);
+                   }}};
+  bench::Tune(spec);
   const core::SweepResult first_pto = core::RunSweep(spec);
 
   core::SweepSpec probes_spec = spec;
   probes_spec.name = "fig04b_probes";
   probes_spec.axes.behaviors = {quic::ServerBehavior::kInstantAck};
-  probes_spec.metric = [](const core::ExperimentResult& r) {
-    return static_cast<double>(r.client.pto_expirations);
-  };
+  probes_spec.metrics = {{"pto_expirations", core::MetricMode::kSummary,
+                          /*exclude_negative=*/false, [](const core::ExperimentResult& r) {
+                            return static_cast<double>(r.client.pto_expirations);
+                          }}};
   const core::SweepResult probes = core::RunSweep(probes_spec);
 
   std::printf("%10s", "RTT [ms]");
@@ -55,9 +63,9 @@ QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface"
         });
       };
       const double wfc =
-          find(first_pto, quic::ServerBehavior::kWaitForCertificate)->values.Median();
-      const double iack = find(first_pto, quic::ServerBehavior::kInstantAck)->values.Median();
-      const double spurious = find(probes, quic::ServerBehavior::kInstantAck)->values.Median();
+          find(first_pto, quic::ServerBehavior::kWaitForCertificate)->values().Median();
+      const double iack = find(first_pto, quic::ServerBehavior::kInstantAck)->values().Median();
+      const double spurious = find(probes, quic::ServerBehavior::kInstantAck)->values().Median();
       std::printf("   %10.2f  %4.0f", (wfc - iack) / rtt_ms, spurious);
     }
     std::printf("\n");

@@ -28,6 +28,7 @@ QUICER_BENCH("fig05", "Figure 5: TTFB under the amplification limit, WFC vs IACK
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = bench::kRepetitions;
+  bench::Tune(spec);
   const core::SweepResult result = core::RunSweep(spec);
 
   for (http::Version version : spec.axes.http_versions) {

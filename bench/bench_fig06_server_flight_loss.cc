@@ -31,7 +31,9 @@ QUICER_BENCH("fig06", "Figure 6: TTFB under first-server-flight tail loss") {
                                                                 c.certificate_bytes, c.http);
                        }}};
   spec.repetitions = bench::kRepetitions;
-  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
+  bench::Tune(spec);
   const core::SweepResult result = core::RunSweep(spec);
 
   for (clients::ClientImpl impl : spec.axes.clients) {
@@ -44,15 +46,15 @@ QUICER_BENCH("fig06", "Figure 6: TTFB under first-server-flight tail loss") {
     const core::PointSummary* iack = find(quic::ServerBehavior::kInstantAck);
     const std::string name(clients::Name(impl));
     std::printf("%10s WFC   [%s]  median %8.1f ms\n", name.c_str(),
-                core::RenderAccumulatorScatter(wfc->values, 40, 320).c_str(), wfc->MedianOrNegative());
+                core::RenderAccumulatorScatter(wfc->values(), 40, 320).c_str(), wfc->MedianOrNegative());
     if (iack->all_aborted()) {
       std::printf("%10s IACK  (connections aborted: duplicate CID retirement)\n",
                   name.c_str());
     } else {
       std::printf("%10s IACK  [%s]  median %8.1f ms  (IACK penalty %+.1f ms)\n", name.c_str(),
-                  core::RenderAccumulatorScatter(iack->values, 40, 320).c_str(),
-                  iack->values.Median(),
-                  iack->values.Median() - (wfc->all_aborted() ? 0.0 : wfc->values.Median()));
+                  core::RenderAccumulatorScatter(iack->values(), 40, 320).c_str(),
+                  iack->values().Median(),
+                  iack->values().Median() - (wfc->all_aborted() ? 0.0 : wfc->values().Median()));
     }
   }
   std::printf("\nShape check: IACK needs on the order of the server default PTO (200 ms)\n"

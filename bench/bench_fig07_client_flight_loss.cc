@@ -28,7 +28,9 @@ QUICER_BENCH("fig07", "Figure 7: TTFB under second-client-flight loss") {
                          return core::SecondClientFlightLoss(c.client);
                        }}};
   spec.repetitions = bench::kRepetitions;
-  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
+  bench::Tune(spec);
   const core::SweepResult result = core::RunSweep(spec);
 
   for (clients::ClientImpl impl : spec.axes.clients) {

@@ -5,62 +5,77 @@
 // close to or exceeding the RTT (99.8 % within 1 ms of it); separate IACKs
 // exceed the RTT for most CDNs except Akamai and Others, where 61 % / 79 %
 // stay below — only those allow correct client-side RTT adjustment.
+//
+// Sweep mapping: CDN is an extra axis; both response classes are kTrace
+// metrics of one probe sweep (NaN skips the class the probe did not hit —
+// exclude_negative stays off because RTT - ACK Delay is legitimately
+// negative, the paper's "delay exceeds RTT" signal).
 #include <cstdio>
-#include <map>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/report.h"
-#include "scan/population.h"
-#include "scan/prober.h"
+#include "registry.h"
+#include "scan/sweep_runners.h"
 #include "stats/stats.h"
 
 namespace {
 
-void Report(const std::map<quicer::scan::Cdn, std::vector<double>>& diffs, const char* label) {
-  using namespace quicer;
+using namespace quicer;
+
+void Report(const core::SweepResult& result, const char* metric, const char* label) {
   core::PrintHeading(label);
   std::printf("%12s  %8s  %12s  %12s  %18s\n", "CDN", "n", "median[ms]", "p90 [ms]",
               "share delay>RTT [%]");
-  for (const auto& [cdn, values] : diffs) {
+  for (const core::PointSummary& summary : result.points) {
+    const std::vector<double>& values = summary.Metric(metric)->trace;
     if (values.size() < 5) continue;
     int exceeds = 0;
     for (double diff : values) {
       if (diff < 0) ++exceeds;  // diff = RTT - ack_delay < 0 -> delay exceeds RTT
     }
     std::printf("%12s  %8zu  %12.2f  %12.2f  %18.1f\n",
-                std::string(scan::Name(cdn)).c_str(), values.size(),
-                stats::Median(std::vector<double>(values)),
-                stats::Percentile(std::vector<double>(values), 90),
+                summary.point.Extra("cdn")->label.c_str(), values.size(),
+                stats::Median(values), stats::Percentile(values, 90),
                 100.0 * exceeds / static_cast<double>(values.size()));
   }
 }
 
 }  // namespace
 
-int main() {
-  using namespace quicer;
+QUICER_BENCH("fig10", "Figure 10: RTT minus reported ACK Delay, coalesced vs instant ACK") {
   core::PrintTitle("Figure 10: RTT minus reported ACK Delay, coalesced vs instant ACK");
 
-  scan::TrancoPopulation population(100000, 2024);
-  scan::Prober prober(17);
-  std::map<scan::Cdn, std::vector<double>> coalesced;
-  std::map<scan::Cdn, std::vector<double>> iack;
+  auto population = std::make_shared<const scan::TrancoPopulation>(100000, 2024);
 
-  for (const scan::Domain& domain : population.domains()) {
-    if (!domain.speaks_quic) continue;
-    const scan::ProbeResult result = prober.Probe(domain, scan::Vantage::kSaoPaulo, 0);
-    if (!result.success) continue;
-    const double diff = result.rtt_ms - result.reported_ack_delay_ms;
-    if (result.coalesced) {
-      coalesced[domain.cdn].push_back(diff);
-    } else if (result.iack_observed) {
-      iack[domain.cdn].push_back(diff);
-    }
-  }
+  core::SweepSpec spec;
+  spec.name = "fig10";
+  spec.axes.extras = {
+      scan::CdnAxis({scan::kAllCdns.begin(), scan::kAllCdns.end()})};
+  spec.repetitions = static_cast<int>(population->size());
+  auto trace = [](const char* name) {
+    return core::MetricSpec{name, core::MetricMode::kTrace, /*exclude_negative=*/false,
+                            nullptr};
+  };
+  spec.metrics = {trace("rtt_minus_ackdelay_coalesced"), trace("rtt_minus_ackdelay_iack")};
+  spec.runner = scan::ProbeRunner(
+      population, /*prober_seed=*/17, scan::MatchPointCdn(),
+      {[](const core::SweepPoint&, const scan::Domain&, const scan::ProbeResult& result) {
+         if (!result.success || !result.coalesced) return core::NoSample();
+         return result.rtt_ms - result.reported_ack_delay_ms;
+       },
+       [](const core::SweepPoint&, const scan::Domain&, const scan::ProbeResult& result) {
+         if (!result.success || !result.iack_observed) return core::NoSample();
+         return result.rtt_ms - result.reported_ack_delay_ms;
+       }});
+  bench::TuneObserver(spec);
+  const core::SweepResult result = core::RunSweep(spec);
 
-  Report(coalesced, "(a) Coalesced ACK+SH");
-  Report(iack, "(b) Separate instant ACK");
+  Report(result, "rtt_minus_ackdelay_coalesced", "(a) Coalesced ACK+SH");
+  Report(result, "rtt_minus_ackdelay_iack", "(b) Separate instant ACK");
   std::printf("\nShape check: coalesced responses hug/exceed the RTT; only Akamai and\n"
               "Others' IACKs predominantly stay below it.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig10")

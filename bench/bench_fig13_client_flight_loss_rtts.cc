@@ -25,6 +25,9 @@ QUICER_BENCH("fig13", "Figure 13: second-client-flight loss across RTTs") {
   spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
   spec.axes.rtts = {sim::Millis(1), sim::Millis(9), sim::Millis(20), sim::Millis(100),
                     sim::Millis(300)};
+  if (bench::DenseAxes()) {
+    spec.axes.rtts.insert(spec.axes.rtts.end(), {sim::Millis(50), sim::Millis(200)});
+  }
   spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
@@ -32,7 +35,9 @@ QUICER_BENCH("fig13", "Figure 13: second-client-flight loss across RTTs") {
                          return core::SecondClientFlightLoss(c.client);
                        }}};
   spec.repetitions = 10;
-  spec.metric = [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
+  bench::Tune(spec);
   const core::SweepResult result = core::RunSweep(spec);
 
   for (http::Version version : spec.axes.http_versions) {
@@ -56,8 +61,8 @@ QUICER_BENCH("fig13", "Figure 13: second-client-flight loss across RTTs") {
                       "aborted");
           continue;
         }
-        const double wfc_median = wfc->values.Median();
-        const double iack_median = iack->values.Median();
+        const double wfc_median = wfc->values().Median();
+        const double iack_median = iack->values().Median();
         std::printf("%10s %8.0f  %12.1f  %12.1f  %+16.1f\n",
                     std::string(clients::Name(impl)).c_str(), rtt_ms, wfc_median, iack_median,
                     wfc_median - iack_median);

@@ -7,6 +7,7 @@
 // mis-initialisation.
 #include "bench_common.h"
 #include "clients/profiles.h"
+#include "registry.h"
 
 namespace {
 
@@ -22,34 +23,55 @@ double FirstPtoMs(const quicer::core::ExperimentResult& result) {
 
 }  // namespace
 
-int main() {
+QUICER_BENCH("fig16", "Figure 16: first-PTO improvement of IACK over WFC across RTTs") {
   using namespace quicer;
   core::PrintTitle("Figure 16: median first-PTO improvement of IACK over WFC across RTTs");
+
+  core::SweepSpec spec;
+  spec.name = "fig16";
+  spec.base.http = http::Version::kHttp1;
+  spec.base.response_body_bytes = 10 * 1024;
+  spec.base.time_limit = sim::Seconds(30);
+  spec.axes.rtts = {sim::Millis(1),   sim::Millis(9),   sim::Millis(20),  sim::Millis(50),
+                    sim::Millis(100), sim::Millis(150), sim::Millis(200), sim::Millis(300)};
+  if (bench::DenseAxes()) {
+    spec.axes.rtts.insert(spec.axes.rtts.end(), {sim::Millis(5), sim::Millis(35),
+                                                 sim::Millis(75), sim::Millis(250)});
+  }
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.repetitions = 15;
+  // Raw values (the -1 no-PTO sentinel included), like the legacy loops.
+  spec.metrics = {{"first_pto_ms", core::MetricMode::kSummary, /*exclude_negative=*/false,
+                   &FirstPtoMs}};
+  bench::Tune(spec);
+  const core::SweepResult result = core::RunSweep(spec);
+
   std::printf("%10s", "RTT[ms]");
   for (clients::ClientImpl impl : clients::kAllClients) {
     std::printf("  %9s", std::string(clients::Name(impl)).c_str());
   }
   std::printf("   (improvement in ms)\n");
 
-  for (double rtt_ms : {1.0, 9.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0}) {
-    std::printf("%10.0f", rtt_ms);
+  for (sim::Duration rtt : spec.axes.rtts) {  // rows = the spec's own axis
+    std::printf("%10.0f", sim::ToMillis(rtt));
     for (clients::ClientImpl impl : clients::kAllClients) {
-      core::ExperimentConfig config;
-      config.client = impl;
-      config.http = http::Version::kHttp1;
-      config.rtt = sim::Millis(rtt_ms);
-      config.response_body_bytes = 10 * 1024;
-      config.time_limit = sim::Seconds(30);
-
-      config.behavior = quic::ServerBehavior::kWaitForCertificate;
-      const auto wfc = core::RunRepetitions(config, 15, FirstPtoMs);
-      config.behavior = quic::ServerBehavior::kInstantAck;
-      const auto iack = core::RunRepetitions(config, 15, FirstPtoMs);
-      std::printf("  %9.1f", stats::Median(wfc) - stats::Median(iack));
+      auto median = [&](quic::ServerBehavior behavior) {
+        const core::PointSummary* cell = result.Find([&](const core::SweepPoint& p) {
+          return p.config.client == impl && p.config.rtt == rtt &&
+                 p.config.behavior == behavior;
+        });
+        return cell == nullptr ? -1.0 : cell->values().Median();
+      };
+      std::printf("  %9.1f", median(quic::ServerBehavior::kWaitForCertificate) -
+                                 median(quic::ServerBehavior::kInstantAck));
     }
     std::printf("\n");
   }
   std::printf("\nShape check: per-client improvement approximately constant across RTTs\n"
               "(~3x the server-side processing delay); go-x-net noisy.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("fig16")

@@ -3,30 +3,36 @@
 // paper's testbed (§3), useful for spotting profile regressions at a glance.
 #include "bench_common.h"
 #include "clients/profiles.h"
+#include "registry.h"
 
-int main() {
+QUICER_BENCH("interop_matrix", "Interop matrix: median lossless TTFB grid") {
   using namespace quicer;
   core::PrintTitle("Interop matrix: median TTFB [ms], 10 KB @ 9 ms RTT, no loss");
+
+  core::SweepSpec spec;
+  spec.name = "interop_matrix";
+  spec.base.rtt = sim::Millis(9);
+  spec.base.response_body_bytes = http::kSmallFileBytes;
+  spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  spec.repetitions = 15;
+  bench::Tune(spec);
+  const core::SweepResult result = core::RunSweep(spec);
+
   std::printf("%10s  %10s  %10s  %10s  %10s  %12s\n", "client", "H1/WFC", "H1/IACK", "H3/WFC",
               "H3/IACK", "H3-H1 gap");
-  for (clients::ClientImpl impl : clients::kAllClients) {
+  for (clients::ClientImpl impl : spec.axes.clients) {
     double cells[4] = {-1, -1, -1, -1};
     int cell = 0;
-    for (http::Version version : {http::Version::kHttp1, http::Version::kHttp3}) {
-      for (quic::ServerBehavior behavior :
-           {quic::ServerBehavior::kWaitForCertificate, quic::ServerBehavior::kInstantAck}) {
-        if (version == http::Version::kHttp3 && !clients::SupportsHttp3(impl)) {
-          ++cell;
-          continue;
-        }
-        core::ExperimentConfig config;
-        config.client = impl;
-        config.http = version;
-        config.behavior = behavior;
-        config.rtt = sim::Millis(9);
-        config.response_body_bytes = http::kSmallFileBytes;
-        const auto values = core::CollectTtfbMs(config, 15);
-        cells[cell++] = values.empty() ? -1.0 : stats::Median(values);
+    for (http::Version version : spec.axes.http_versions) {
+      for (quic::ServerBehavior behavior : spec.axes.behaviors) {
+        const core::PointSummary* summary = result.Find([&](const core::SweepPoint& p) {
+          return p.config.client == impl && p.config.http == version &&
+                 p.config.behavior == behavior;
+        });
+        cells[cell++] = summary == nullptr ? -1.0 : summary->MedianOrNegative();
       }
     }
     std::printf("%10s  %10.1f  %10.1f  %10.1f  %10.1f  %12.1f\n",
@@ -37,5 +43,7 @@ int main() {
               "client; HTTP/3 sits ~1 RTT below HTTP/1.1 (SETTINGS is the first stream\n"
               "byte). The instant-ACK effects only appear under loss (Fig 6/7) or the\n"
               "anti-amplification limit (Fig 5).\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("interop_matrix")

@@ -6,10 +6,13 @@
 //   bench_suite --filter=fig1         # substring-select benches
 //   bench_suite --threads=8            # pool size (QUICER_THREADS also works)
 //   bench_suite --data-dir=out/        # per-sweep CSV + JSON exports
+//   bench_suite --scale=4              # multiply repetitions, denser axes
+//   bench_suite --progress             # per-sweep progress lines on stderr
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -28,10 +31,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--list] [--filter=SUBSTR] [--threads=N] [--data-dir=DIR]\n"
+      "          [--scale=N] [--progress]\n"
       "  --list        list registered benches and exit\n"
       "  --filter=S    run only benches whose name contains S\n"
       "  --threads=N   size of the shared thread pool (default: hardware)\n"
-      "  --data-dir=D  write per-sweep CSV/JSON into D (sets QUICER_DATA_DIR)\n",
+      "  --data-dir=D  write per-sweep CSV/JSON into D (sets QUICER_DATA_DIR)\n"
+      "  --scale=N     multiply experiment-sweep repetitions by N and widen\n"
+      "                RTT/delta axes (paper grids: --scale=4; default 1)\n"
+      "  --progress    per-sweep progress lines on stderr (points done,\n"
+      "                runs/sec) via the SweepObserver hook\n",
       argv0);
   return 2;
 }
@@ -51,7 +59,20 @@ int main(int argc, char** argv) {
       // Must be set before the first ThreadPool::Global() use.
       setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
     } else if (arg.rfind("--data-dir=", 0) == 0) {
-      setenv("QUICER_DATA_DIR", arg.c_str() + std::strlen("--data-dir="), 1);
+      const char* dir = arg.c_str() + std::strlen("--data-dir=");
+      // CsvWriter silently deactivates when the directory is missing.
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create data dir '%s': %s\n", dir, ec.message().c_str());
+        return 2;
+      }
+      setenv("QUICER_DATA_DIR", dir, 1);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      // Read by bench::ScaleFactor() before each sweep is built.
+      setenv("QUICER_BENCH_SCALE", arg.c_str() + std::strlen("--scale="), 1);
+    } else if (arg == "--progress") {
+      setenv("QUICER_BENCH_PROGRESS", "1", 1);
     } else {
       return Usage(argv[0]);
     }

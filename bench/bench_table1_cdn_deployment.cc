@@ -5,21 +5,46 @@
 // ground truth; the QScanner-style prober re-measures it from all four
 // vantage points over three days, exactly like the paper's classification
 // pipeline (separate ACK preceding the ServerHello = IACK).
+//
+// Sweep mapping: day × vantage × CDN extra axes; the per-point mean of the
+// 0/1 "IACK observed" metric is the cell's deployment share, and the
+// min/max over a CDN's twelve (day, vantage) cells is the paper's
+// variation column.
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
+#include "bench_common.h"
 #include "core/report.h"
-#include "scan/population.h"
-#include "scan/prober.h"
+#include "registry.h"
+#include "scan/sweep_runners.h"
 
-int main() {
+QUICER_BENCH("table1", "Table 1: CDN-hosted domains and instant-ACK deployment") {
   using namespace quicer;
   core::PrintTitle("Table 1: CDN-hosted domains and instant-ACK deployment (Tranco Top-1M)");
 
   // 100k-domain population scaled from the 1M list (counts scaled back up).
   constexpr std::size_t kPopulation = 100000;
-  scan::TrancoPopulation population(kPopulation, /*seed=*/2024);
-  scan::Prober prober(/*seed=*/7);
+  auto population = std::make_shared<const scan::TrancoPopulation>(kPopulation, /*seed=*/2024);
+
+  core::SweepSpec spec;
+  spec.name = "table1";
+  // 4 vantage points x 3 days, as in §3.
+  spec.axes.extras = {
+      scan::DayAxis(3),
+      scan::VantageAxis({scan::kAllVantages.begin(), scan::kAllVantages.end()}),
+      scan::CdnAxis({scan::kAllCdns.begin(), scan::kAllCdns.end()})};
+  spec.repetitions = static_cast<int>(population->size());
+  spec.metrics = {
+      {"iack_observed", core::MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
+  spec.runner = scan::ProbeRunner(
+      population, /*prober_seed=*/7, scan::MatchPointCdn(),
+      {[](const core::SweepPoint&, const scan::Domain&, const scan::ProbeResult& result) {
+        if (!result.success) return core::NoSample();
+        return result.iack_observed ? 1.0 : 0.0;
+      }});
+  bench::TuneObserver(spec);
+  const core::SweepResult result = core::RunSweep(spec);
 
   struct Row {
     int domains = 0;
@@ -27,28 +52,13 @@ int main() {
     double max_share = 0.0;
   };
   std::map<scan::Cdn, Row> rows;
-
-  for (scan::Cdn cdn : scan::kAllCdns) rows[cdn].domains = population.CountQuic(cdn);
-
-  // 4 vantage points x 3 days, as in §3.
-  for (std::uint64_t day = 0; day < 3; ++day) {
-    for (scan::Vantage vantage : scan::kAllVantages) {
-      std::map<scan::Cdn, std::pair<int, int>> counts;  // {iack, total}
-      for (const scan::Domain& domain : population.domains()) {
-        if (!domain.speaks_quic) continue;
-        const scan::ProbeResult result = prober.Probe(domain, vantage, day);
-        if (!result.success) continue;
-        auto& [iack, total] = counts[domain.cdn];
-        ++total;
-        if (result.iack_observed) ++iack;
-      }
-      for (auto& [cdn, count] : counts) {
-        if (count.second == 0) continue;
-        const double share = static_cast<double>(count.first) / count.second;
-        rows[cdn].min_share = std::min(rows[cdn].min_share, share);
-        rows[cdn].max_share = std::max(rows[cdn].max_share, share);
-      }
-    }
+  for (scan::Cdn cdn : scan::kAllCdns) rows[cdn].domains = population->CountQuic(cdn);
+  for (const core::PointSummary& summary : result.points) {
+    if (summary.values().count() == 0) continue;
+    const double share = summary.values().mean();
+    Row& row = rows[*scan::PointCdn(summary.point)];
+    row.min_share = std::min(row.min_share, share);
+    row.max_share = std::max(row.max_share, share);
   }
 
   std::printf("%12s  %12s  %16s  %14s      (paper: share / variation)\n", "CDN",
@@ -56,7 +66,7 @@ int main() {
   const char* paper[] = {"32.2 / 12.9", "41.0 / 18.0", "99.9 / 0.1", "0.0 / 0.0",
                          "11.5 / 11.5", "0.0 / 0.0",   "0.0 / 0.0",  "21.5 / 2.3"};
   int index = 0;
-  const double scale = 1.0 / population.scale();
+  const double scale = 1.0 / population->scale();
   for (scan::Cdn cdn : scan::kAllCdns) {
     const Row& row = rows[cdn];
     const double share = row.max_share * 100.0;
@@ -68,5 +78,7 @@ int main() {
   std::printf("\nNote: IACK share counts only *separate* ACKs preceding the SH; cached\n"
               "certificates produce coalesced ACK+SH and lower the observed share for\n"
               "popular domains, as in the paper's Cloudflare analysis.\n");
+  core::MaybeWriteSweepData(result);
   return 0;
 }
+QUICER_BENCH_MAIN("table1")

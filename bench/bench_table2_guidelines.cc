@@ -21,6 +21,13 @@ double ProbesMetric(const core::ExperimentResult& r) {
   return static_cast<double>(r.client.probe_datagrams_sent + r.server.probe_datagrams_sent);
 }
 
+/// Raw probe counts (negatives are impossible but the legacy loops
+/// aggregated raw values).
+core::MetricSpec ProbesMetricSpec() {
+  return {"probe_datagrams", core::MetricMode::kSummary, /*exclude_negative=*/false,
+          &ProbesMetric};
+}
+
 core::SweepSpec BaseSpec() {
   core::SweepSpec spec;
   spec.base.client = clients::ClientImpl::kNgtcp2;
@@ -29,6 +36,7 @@ core::SweepSpec BaseSpec() {
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = 15;
+  bench::Tune(spec);
   return spec;
 }
 
@@ -46,7 +54,7 @@ Measurement Extract(const core::SweepResult& ttfb, const core::SweepResult& prob
   };
   Measurement m;
   m.ttfb_ms = ttfb.Find(with_behavior)->MedianOrNegative();
-  m.probes = probes.Find(with_behavior)->values.Median();
+  m.probes = probes.Find(with_behavior)->values().Median();
   return m;
 }
 
@@ -109,8 +117,7 @@ QUICER_BENCH("table2", "Table 2: deployment guidelines (advisor vs simulator)") 
        }}};
   core::SweepSpec loss_probes = loss_spec;
   loss_probes.name = "table2_loss_probes";
-  loss_probes.metric = ProbesMetric;
-  loss_probes.exclude_negative = false;
+  loss_probes.metrics = {ProbesMetricSpec()};
 
   // Δt grid: no loss, both certificate sizes, the two measured Δt values.
   core::SweepSpec delay_spec = BaseSpec();
@@ -120,8 +127,7 @@ QUICER_BENCH("table2", "Table 2: deployment guidelines (advisor vs simulator)") 
   delay_spec.axes.cert_fetch_delays = {sim::Millis(20), sim::Millis(200)};
   core::SweepSpec delay_probes = delay_spec;
   delay_probes.name = "table2_delay_probes";
-  delay_probes.metric = ProbesMetric;
-  delay_probes.exclude_negative = false;
+  delay_probes.metrics = {ProbesMetricSpec()};
 
   const core::SweepResult loss_ttfb_r = core::RunSweep(loss_spec);
   const core::SweepResult loss_probes_r = core::RunSweep(loss_probes);

@@ -52,18 +52,34 @@ struct Registrar {
 /// name is unknown).
 int RunByName(const std::string& name);
 
-#define QUICER_BENCH(name_str, description_str)                                        \
-  static int QuicerBenchBody();                                                        \
-  static const ::quicer::bench::Registrar quicer_bench_registrar_{name_str,            \
-                                                                  description_str,     \
-                                                                  &QuicerBenchBody};   \
-  static int QuicerBenchBody()
+#define QUICER_BENCH_CONCAT_(a, b) a##b
+#define QUICER_BENCH_CONCAT(a, b) QUICER_BENCH_CONCAT_(a, b)
+
+/// Registers one bench. A file may contain several QUICER_BENCH blocks (the
+/// ACK-Delay ablation registers its two sections separately); the line
+/// number keeps the registrar symbols distinct.
+#define QUICER_BENCH(name_str, description_str)                                         \
+  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)();                          \
+  static const ::quicer::bench::Registrar QUICER_BENCH_CONCAT(                          \
+      quicer_bench_registrar_, __LINE__){name_str, description_str,                     \
+                                         &QUICER_BENCH_CONCAT(QuicerBenchBody,          \
+                                                              __LINE__)};               \
+  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)()
 
 #ifdef QUICER_BENCH_SUITE
 #define QUICER_BENCH_MAIN(name_str)
+#define QUICER_BENCH_MAIN2(first_str, second_str)
 #else
 #define QUICER_BENCH_MAIN(name_str) \
   int main() { return ::quicer::bench::RunByName(name_str); }
+/// Standalone main for a file registering two benches: runs both in order
+/// (the legacy binary printed both sections).
+#define QUICER_BENCH_MAIN2(first_str, second_str)                  \
+  int main() {                                                     \
+    const int first = ::quicer::bench::RunByName(first_str);       \
+    const int second = ::quicer::bench::RunByName(second_str);     \
+    return first != 0 ? first : second;                            \
+  }
 #endif
 
 }  // namespace quicer::bench

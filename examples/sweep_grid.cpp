@@ -86,7 +86,7 @@ int main() {
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < result.points.size(); ++i) {
-    if (result.points[i].values.Median() != legacy_medians[i]) ++mismatches;
+    if (result.points[i].values().Median() != legacy_medians[i]) ++mismatches;
   }
 
   std::printf("per-point spawn/join: %6.3f s  (%zu thread teams spawned+joined)\n",

@@ -43,6 +43,22 @@ quic::ServerConfig BuildServerConfig(const ExperimentConfig& config) {
 
 }  // namespace
 
+std::string_view ToString(HandshakeMode mode) {
+  switch (mode) {
+    case HandshakeMode::k1Rtt: return "1-RTT";
+    case HandshakeMode::k0Rtt: return "0-RTT";
+    case HandshakeMode::kRetry: return "Retry";
+  }
+  return "?";
+}
+
+std::optional<HandshakeMode> HandshakeModeFromString(std::string_view label) {
+  for (HandshakeMode mode : {HandshakeMode::k1Rtt, HandshakeMode::k0Rtt, HandshakeMode::kRetry}) {
+    if (ToString(mode) == label) return mode;
+  }
+  return std::nullopt;
+}
+
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   return RunExperiment(config, {});
 }

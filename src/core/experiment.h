@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "clients/profiles.h"
@@ -29,6 +30,12 @@ enum class HandshakeMode {
   k0Rtt,   // resumed session; request rides with the ClientHello
   kRetry,  // server demands a token round trip first
 };
+
+/// Report label of a handshake mode ("1-RTT" / "0-RTT" / "Retry").
+std::string_view ToString(HandshakeMode mode);
+
+/// Inverse of ToString; nullopt for unknown labels.
+std::optional<HandshakeMode> HandshakeModeFromString(std::string_view label);
 
 struct ExperimentConfig {
   clients::ClientImpl client = clients::ClientImpl::kQuicGo;

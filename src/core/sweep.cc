@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -38,23 +39,89 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "null";
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.17g", v);
   return buffer;
 }
 
+/// All combinations of the extra axes, outermost first, in declaration
+/// order. No extras yields the single empty combination.
+std::vector<std::vector<std::pair<std::string, SweepAxisValue>>> EnumerateExtras(
+    const std::vector<SweepExtraAxis>& extras) {
+  std::vector<std::vector<std::pair<std::string, SweepAxisValue>>> combos = {{}};
+  for (const SweepExtraAxis& axis : extras) {
+    if (axis.values.empty()) continue;
+    std::vector<std::vector<std::pair<std::string, SweepAxisValue>>> next;
+    next.reserve(combos.size() * axis.values.size());
+    for (const auto& combo : combos) {
+      for (const SweepAxisValue& value : axis.values) {
+        auto extended = combo;
+        extended.emplace_back(axis.name, value);
+        next.push_back(std::move(extended));
+      }
+    }
+    combos = std::move(next);
+  }
+  return combos;
+}
+
+/// The metric set a spec actually runs with: spec.metrics, or the single
+/// default TtfbMs summary metric.
+std::vector<MetricSpec> ResolveMetrics(const SweepSpec& spec) {
+  if (!spec.metrics.empty()) return spec.metrics;
+  return {MetricSpec{}};
+}
+
 }  // namespace
 
-std::string_view ToString(HandshakeMode mode) {
+std::string_view ToString(MetricMode mode) {
   switch (mode) {
-    case HandshakeMode::k1Rtt: return "1-RTT";
-    case HandshakeMode::k0Rtt: return "0-RTT";
-    case HandshakeMode::kRetry: return "Retry";
+    case MetricMode::kSummary: return "summary";
+    case MetricMode::kTrace: return "trace";
   }
   return "?";
 }
 
+const SweepAxisValue* SweepPoint::Extra(std::string_view axis) const {
+  for (const auto& [name, value] : extras) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+std::string SweepPoint::ExtrasLabel() const {
+  std::string out;
+  for (const auto& [name, value] : extras) {
+    if (!out.empty()) out += '|';
+    out += name;
+    out += '=';
+    out += value.label;
+  }
+  return out;
+}
+
+double MetricSeries::Median() const {
+  if (mode == MetricMode::kTrace) return stats::Median(trace);
+  return summary.Median();
+}
+
+stats::Summary MetricSeries::Summarize() const {
+  if (mode == MetricMode::kSummary) return summary.Summarize();
+  stats::Accumulator acc(std::max<std::size_t>(trace.size(), 1));
+  for (double v : trace) acc.Add(v);
+  return acc.Summarize();
+}
+
+const MetricSeries* PointSummary::Metric(std::string_view name) const {
+  for (const MetricSeries& series : metrics) {
+    if (series.name == name) return &series;
+  }
+  return nullptr;
+}
+
 std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
+  const auto extra_combos = EnumerateExtras(spec.axes.extras);
   const auto https = AxisOrDefault(spec.axes.http_versions);
   const auto certs = AxisOrDefault(spec.axes.certificate_sizes);
   const auto deltas = AxisOrDefault(spec.axes.cert_fetch_delays);
@@ -73,9 +140,10 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
   if (variants.empty()) variants.push_back(SweepVariant{});
 
   std::vector<SweepPoint> points;
-  for (const auto& http : https) {
-   for (const SweepVariant& variant : variants) {
-    for (const SweepLoss& loss : losses) {
+  for (const auto& extra : extra_combos) {
+   for (const auto& http : https) {
+    for (const SweepVariant& variant : variants) {
+     for (const SweepLoss& loss : losses) {
       for (const auto& cert : certs) {
         for (const auto& delta : deltas) {
           for (const auto& rtt : rtts) {
@@ -105,6 +173,7 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
                   point.mode = std::string(ToString(point.config.mode));
                   point.loss = loss.label;
                   point.variant = variant.label;
+                  point.extras = extra;
                   point.rtt_ms = sim::ToMillis(point.config.rtt);
                   point.delta_ms = sim::ToMillis(point.config.cert_fetch_delay);
                   point.certificate_bytes = point.config.certificate_bytes;
@@ -116,6 +185,7 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
           }
         }
       }
+     }
     }
    }
   }
@@ -130,16 +200,34 @@ const PointSummary* SweepResult::Find(
   return nullptr;
 }
 
+const MetricSeries* SweepResult::FindMetric(
+    const std::function<bool(const SweepPoint&)>& pred, std::string_view metric) const {
+  const PointSummary* summary = Find(pred);
+  return summary == nullptr ? nullptr : summary->Metric(metric);
+}
+
 SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   SweepResult result;
   result.name = spec.name;
+
+  const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
+  const std::size_t n_metrics = metrics.size();
 
   std::vector<SweepPoint> points = Enumerate(spec);
   result.points.reserve(points.size());
   for (SweepPoint& point : points) {
     PointSummary summary;
     summary.point = std::move(point);
-    summary.values = stats::Accumulator(spec.reservoir_capacity);
+    summary.metrics.reserve(n_metrics);
+    for (const MetricSpec& metric : metrics) {
+      MetricSeries series;
+      series.name = metric.name;
+      series.mode = metric.mode;
+      if (metric.mode == MetricMode::kSummary) {
+        series.summary = stats::Accumulator(spec.reservoir_capacity);
+      }
+      summary.metrics.push_back(std::move(series));
+    }
     result.points.push_back(std::move(summary));
   }
 
@@ -147,23 +235,61 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
       spec.repetitions > 0 ? static_cast<std::size_t>(spec.repetitions) : 0;
   if (reps == 0 || result.points.empty()) return result;
 
-  std::function<double(const ExperimentResult&)> metric = spec.metric;
-  if (!metric) metric = [](const ExperimentResult& r) { return r.TtfbMs(); };
-  const std::uint64_t seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
+  SweepRunner runner = spec.runner;
+  if (!runner) {
+    // The default experiment runner: one RunExperiment per repetition, each
+    // MetricSpec's extractor applied to the result.
+    runner = [metrics](const SweepRunContext& ctx) {
+      ExperimentConfig run = ctx.point.config;
+      run.seed = ctx.seed;
+      const ExperimentResult experiment = RunExperiment(run);
+      std::vector<double> values;
+      values.reserve(metrics.size());
+      for (const MetricSpec& metric : metrics) {
+        values.push_back(metric.extract ? metric.extract(experiment) : experiment.TtfbMs());
+      }
+      return values;
+    };
+  }
 
-  // Transient per-point value slots: filled by (point × repetition) jobs in
-  // any order, folded into the point's accumulator in repetition order by
-  // the worker that completes the point, then released — memory tracks the
-  // set of in-flight points, not the whole grid.
+  const std::uint64_t seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Transient per-point value slots: allocated when the point's first
+  // repetition arrives, filled by (point × repetition) jobs in any order,
+  // folded into the point's series in repetition order by the worker that
+  // completes the point, then released — memory tracks the set of in-flight
+  // points, not the whole grid (a 100k-repetition scan sweep would
+  // otherwise zero-fill every point's slots up front).
+  //
+  // decision: 0 = undecided, 1 = run, 2 = budget-skipped. The first
+  // repetition of a point to arrive decides for the whole point, so a
+  // budget expiry never leaves a partially-run point behind (and skipped
+  // points never allocate slots).
   struct PointState {
     std::vector<double> slots;
+    std::once_flag init;
     std::atomic<std::size_t> remaining{0};
+    std::atomic<int> decision{0};
   };
   std::vector<PointState> states(result.points.size());
   for (PointState& state : states) {
-    state.slots.assign(reps, 0.0);
     state.remaining.store(reps, std::memory_order_relaxed);
   }
+
+  const bool budgeted = spec.time_budget_seconds > 0.0;
+  auto budget_exhausted = [&] {
+    if (!budgeted) return false;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return elapsed >= spec.time_budget_seconds;
+  };
+
+  std::mutex progress_mutex;
+  SweepProgress progress;
+  progress.sweep = result.name;
+  progress.points_total = result.points.size();
+  progress.runs_total = result.points.size() * reps;
 
   const std::size_t total = result.points.size() * reps;
   ThreadPool::Global().ParallelFor(
@@ -174,59 +300,109 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
         PointState& state = states[pi];
         PointSummary& summary = result.points[pi];
 
-        ExperimentConfig run = summary.point.config;
-        run.seed = seed_base + static_cast<std::uint64_t>(rep) * spec.seed_stride;
-        state.slots[rep] = metric(RunExperiment(run));
+        int decision = state.decision.load(std::memory_order_acquire);
+        if (decision == 0) {
+          int want = budget_exhausted() ? 2 : 1;
+          if (state.decision.compare_exchange_strong(decision, want,
+                                                     std::memory_order_acq_rel)) {
+            decision = want;
+          }
+        }
+
+        if (decision == 1) {
+          std::call_once(state.init, [&] { state.slots.assign(reps * n_metrics, 0.0); });
+          SweepRunContext ctx{summary.point, static_cast<int>(rep),
+                              seed_base + static_cast<std::uint64_t>(rep) * spec.seed_stride};
+          const std::vector<double> values = runner(ctx);
+          for (std::size_t m = 0; m < n_metrics; ++m) {
+            state.slots[rep * n_metrics + m] = m < values.size() ? values[m] : NoSample();
+          }
+        }
 
         if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          for (double v : state.slots) {
-            if (spec.exclude_negative && v < 0.0) {
-              ++summary.aborted;
-            } else {
-              summary.values.Add(v);
+          // Last repetition of this point: fold in repetition order.
+          if (decision == 2) {
+            summary.budget_skipped = true;
+          } else {
+            for (std::size_t r = 0; r < reps; ++r) {
+              for (std::size_t m = 0; m < n_metrics; ++m) {
+                const double v = state.slots[r * n_metrics + m];
+                MetricSeries& series = summary.metrics[m];
+                if (std::isnan(v)) {
+                  ++series.skipped;
+                } else if (metrics[m].exclude_negative && v < 0.0) {
+                  ++series.aborted;
+                } else if (series.mode == MetricMode::kTrace) {
+                  series.trace.push_back(v);
+                } else {
+                  series.summary.Add(v);
+                }
+              }
             }
           }
           state.slots.clear();
           state.slots.shrink_to_fit();
+
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          ++progress.points_completed;
+          if (decision == 2) {
+            ++progress.points_skipped;
+          } else {
+            progress.runs_completed += reps;
+          }
+          if (spec.observer) {
+            progress.elapsed_seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+            progress.runs_per_second =
+                progress.elapsed_seconds > 0.0
+                    ? static_cast<double>(progress.runs_completed) / progress.elapsed_seconds
+                    : 0.0;
+            spec.observer(progress);
+          }
         }
       },
       max_parallelism);
 
   result.total_runs = total;
+  result.executed_runs = progress.runs_completed;
   return result;
 }
 
 const std::vector<std::string>& SweepCsvHeader() {
   static const std::vector<std::string> header = {
-      "sweep",   "point",  "client", "http",     "behavior",   "mode",
-      "loss",    "variant", "rtt_ms", "delta_ms", "cert_bytes", "count",
-      "aborted", "min",    "p25",    "median",   "p75",        "max",
-      "mean",    "stddev"};
+      "sweep",    "point",   "metric",  "metric_mode", "client",   "http",
+      "behavior", "mode",    "loss",    "variant",     "extras",   "rtt_ms",
+      "delta_ms", "cert_bytes", "count", "aborted",    "skipped",  "min",
+      "p25",      "median",  "p75",     "max",         "mean",     "stddev"};
   return header;
 }
 
 void WriteSweepCsv(const SweepResult& result, CsvWriter& writer) {
   for (const PointSummary& summary : result.points) {
-    const stats::Summary s = summary.values.Summarize();
-    writer.TextRow({result.name, std::to_string(summary.point.index),
-                    summary.point.client, summary.point.http, summary.point.behavior,
-                    summary.point.mode, summary.point.loss, summary.point.variant,
-                    JsonNumber(summary.point.rtt_ms), JsonNumber(summary.point.delta_ms),
-                    std::to_string(summary.point.certificate_bytes),
-                    std::to_string(s.count), std::to_string(summary.aborted),
-                    JsonNumber(s.min), JsonNumber(s.p25), JsonNumber(s.median),
-                    JsonNumber(s.p75), JsonNumber(s.max), JsonNumber(s.mean),
-                    JsonNumber(s.stddev)});
+    for (const MetricSeries& series : summary.metrics) {
+      const stats::Summary s = series.Summarize();
+      writer.TextRow({result.name, std::to_string(summary.point.index), series.name,
+                      std::string(ToString(series.mode)), summary.point.client,
+                      summary.point.http, summary.point.behavior, summary.point.mode,
+                      summary.point.loss, summary.point.variant, summary.point.ExtrasLabel(),
+                      JsonNumber(summary.point.rtt_ms), JsonNumber(summary.point.delta_ms),
+                      std::to_string(summary.point.certificate_bytes),
+                      std::to_string(s.count), std::to_string(series.aborted),
+                      std::to_string(series.skipped), JsonNumber(s.min), JsonNumber(s.p25),
+                      JsonNumber(s.median), JsonNumber(s.p75), JsonNumber(s.max),
+                      JsonNumber(s.mean), JsonNumber(s.stddev)});
+    }
   }
 }
 
 std::string SweepResultJson(const SweepResult& result) {
   std::string out = "{\n  \"sweep\": \"" + JsonEscape(result.name) + "\",\n";
   out += "  \"total_runs\": " + std::to_string(result.total_runs) + ",\n";
+  out += "  \"executed_runs\": " + std::to_string(result.executed_runs) + ",\n";
   out += "  \"points\": [\n";
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     const PointSummary& summary = result.points[i];
-    const stats::Summary s = summary.values.Summarize();
     out += "    {\"point\": " + std::to_string(summary.point.index);
     out += ", \"client\": \"" + JsonEscape(summary.point.client) + "\"";
     out += ", \"http\": \"" + JsonEscape(summary.point.http) + "\"";
@@ -234,18 +410,47 @@ std::string SweepResultJson(const SweepResult& result) {
     out += ", \"mode\": \"" + JsonEscape(summary.point.mode) + "\"";
     out += ", \"loss\": \"" + JsonEscape(summary.point.loss) + "\"";
     out += ", \"variant\": \"" + JsonEscape(summary.point.variant) + "\"";
+    if (!summary.point.extras.empty()) {
+      out += ", \"extras\": {";
+      for (std::size_t e = 0; e < summary.point.extras.size(); ++e) {
+        const auto& [name, value] = summary.point.extras[e];
+        if (e != 0) out += ", ";
+        out += "\"" + JsonEscape(name) + "\": \"" + JsonEscape(value.label) + "\"";
+      }
+      out += "}";
+    }
     out += ", \"rtt_ms\": " + JsonNumber(summary.point.rtt_ms);
     out += ", \"delta_ms\": " + JsonNumber(summary.point.delta_ms);
     out += ", \"cert_bytes\": " + std::to_string(summary.point.certificate_bytes);
-    out += ", \"count\": " + std::to_string(s.count);
-    out += ", \"aborted\": " + std::to_string(summary.aborted);
-    out += ", \"min\": " + JsonNumber(s.min);
-    out += ", \"p25\": " + JsonNumber(s.p25);
-    out += ", \"median\": " + JsonNumber(s.median);
-    out += ", \"p75\": " + JsonNumber(s.p75);
-    out += ", \"max\": " + JsonNumber(s.max);
-    out += ", \"mean\": " + JsonNumber(s.mean);
-    out += ", \"stddev\": " + JsonNumber(s.stddev);
+    if (summary.budget_skipped) out += ", \"budget_skipped\": true";
+    out += ", \"metrics\": [";
+    for (std::size_t m = 0; m < summary.metrics.size(); ++m) {
+      const MetricSeries& series = summary.metrics[m];
+      const stats::Summary s = series.Summarize();
+      if (m != 0) out += ", ";
+      out += "{\"name\": \"" + JsonEscape(series.name) + "\"";
+      out += ", \"mode\": \"" + std::string(ToString(series.mode)) + "\"";
+      out += ", \"count\": " + std::to_string(s.count);
+      out += ", \"aborted\": " + std::to_string(series.aborted);
+      out += ", \"skipped\": " + std::to_string(series.skipped);
+      out += ", \"min\": " + JsonNumber(s.min);
+      out += ", \"p25\": " + JsonNumber(s.p25);
+      out += ", \"median\": " + JsonNumber(s.median);
+      out += ", \"p75\": " + JsonNumber(s.p75);
+      out += ", \"max\": " + JsonNumber(s.max);
+      out += ", \"mean\": " + JsonNumber(s.mean);
+      out += ", \"stddev\": " + JsonNumber(s.stddev);
+      if (series.mode == MetricMode::kTrace) {
+        out += ", \"trace\": [";
+        for (std::size_t t = 0; t < series.trace.size(); ++t) {
+          if (t != 0) out += ", ";
+          out += JsonNumber(series.trace[t]);
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+    out += "]";
     out += i + 1 < result.points.size() ? "},\n" : "}\n";
   }
   out += "  ]\n}\n";

@@ -2,24 +2,41 @@
 //
 // Every figure and table in the paper is a sweep: (client implementation ×
 // server behavior × handshake mode × RTT × Δt × certificate size × loss
-// scenario) at 9-100 seeded repetitions per point. Instead of each bench
-// hand-rolling nested loops over CollectTtfbMs, a bench declares its axes as
-// a SweepSpec; the engine enumerates the flat config grid, schedules every
-// (point × repetition) job globally on the shared persistent ThreadPool —
-// not per point, so the tail of one point overlaps the head of the next —
-// and streams each point's values into a stats::Accumulator (count / min /
-// max / mean / percentiles, bounded memory).
+// scenario) at 9-100 seeded repetitions per point — and the measurement
+// studies sweep (vantage × CDN × day × hour) grids over the scan layer the
+// same way. A bench declares its axes as a SweepSpec; the engine enumerates
+// the flat config grid, schedules every (point × repetition) job globally on
+// the shared persistent ThreadPool — not per point, so the tail of one point
+// overlaps the head of the next — and folds each repetition's metric values
+// into per-point series.
+//
+// Extraction is declarative too: a SweepSpec carries a *set* of MetricSpecs.
+// A kSummary metric streams into a stats::Accumulator (count / min / max /
+// mean / percentiles, bounded memory); a kTrace metric retains the
+// per-repetition vector in repetition order — CDF points (Fig 8), time
+// series (Fig 9, repetition index = study hour), and scatter inputs.
+//
+// Execution is pluggable: repetitions are produced by a SweepRunner. The
+// default runner calls core::RunExperiment on the point's config and applies
+// each MetricSpec's extractor; custom runners probe the scan layer
+// (scan::ProbeRunner / scan::StudyRunner in scan/sweep_runners.h) or
+// evaluate closed-form models, so the measurement-study benches declare axes
+// like testbed benches do.
 //
 // Determinism: repetition r of every point uses seed_base + r * seed_stride
 // (the schedule of core::RunRepetitions), each value lands in a slot keyed
-// by its repetition index, and a point's accumulator is folded in repetition
-// order by whichever worker completes the point — so summaries are
-// bit-identical to a serial run for any thread count.
+// by its (repetition, metric) index, and a point's series are folded in
+// repetition order by whichever worker completes the point — so summaries
+// and traces are bit-identical to a serial run for any thread count.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
@@ -29,8 +46,6 @@ namespace quicer::core {
 
 class CsvWriter;
 class ThreadPool;
-
-std::string_view ToString(HandshakeMode mode);
 
 /// One named loss scenario. `make` resolves the pattern against the fully
 /// resolved point config, because the paper's deterministic drops depend on
@@ -50,6 +65,22 @@ struct SweepVariant {
   std::function<void(ExperimentConfig&)> mutate;
 };
 
+/// One value of a generic labeled axis: a report label plus an opaque
+/// integer payload the runner interprets (a scan::Vantage, a scan::Cdn, a
+/// scenario index, ...).
+struct SweepAxisValue {
+  std::string label;
+  std::int64_t value = 0;
+};
+
+/// A generic axis for dimensions that are not first-class ExperimentConfig
+/// knobs (scan vantage, CDN, study day, ...). Extras enumerate outermost, in
+/// declaration order, and are carried into every SweepPoint.
+struct SweepExtraAxis {
+  std::string name;
+  std::vector<SweepAxisValue> values;
+};
+
 /// Axis values to sweep. An empty axis keeps the base config's value and
 /// contributes one grid column.
 struct SweepAxes {
@@ -62,36 +93,36 @@ struct SweepAxes {
   std::vector<std::size_t> certificate_sizes;
   std::vector<SweepLoss> losses;
   std::vector<SweepVariant> variants;
+  std::vector<SweepExtraAxis> extras;
 };
 
-struct SweepSpec {
-  /// Short machine name ("fig05", "table2_probes"); names CSV/JSON output.
-  std::string name;
-  ExperimentConfig base;
-  SweepAxes axes;
-  int repetitions = 25;
+/// How a metric's per-repetition values are aggregated.
+enum class MetricMode {
+  kSummary,  // stream into a stats::Accumulator (bounded memory)
+  kTrace,    // retain the per-repetition vector in repetition order
+};
 
-  /// Metric extracted from each run. While `exclude_negative` is set, a
-  /// negative value marks the run as aborted: counted but excluded from
-  /// aggregation (the semantics of CollectTtfbMs / CollectResponseTtfbMs).
-  /// Clear it for metrics where negative values are data (e.g. the -1
-  /// sentinel of first_pto_period, aggregated raw by the legacy loops).
-  /// Defaults to TtfbMs.
-  std::function<double(const ExperimentResult&)> metric;
+std::string_view ToString(MetricMode mode);
+
+/// One named metric extracted from every repetition of every point.
+///
+/// Value semantics, applied per metric when the repetition's value arrives:
+///  * NaN       — "no sample for this repetition" (a probe that filtered the
+///                domain out, a profile without the field); counted in
+///                `skipped`, never aggregated. Works in every mode.
+///  * negative  — while `exclude_negative` is set, marks the run as aborted:
+///                counted in `aborted` but excluded from aggregation (the
+///                semantics of the legacy CollectTtfbMs loops). Clear it for
+///                metrics where negative values are data (e.g. the -1
+///                sentinel of first_pto_period, which Fig 9's time series
+///                must keep hour-aligned).
+struct MetricSpec {
+  std::string name = "ttfb_ms";
+  MetricMode mode = MetricMode::kSummary;
   bool exclude_negative = true;
-
-  /// Seed schedule: repetition r runs with seed_base + r * seed_stride.
-  /// seed_base 0 means "use base.seed".
-  std::uint64_t seed_base = 0;
-  std::uint64_t seed_stride = 7919;
-
-  /// Drop (client, HTTP/3) combinations the client does not support, the
-  /// way every bench loop skips them.
-  bool skip_unsupported_http3 = true;
-
-  /// Per-point accumulator reservoir capacity (percentiles are exact and
-  /// scatter samples retained while repetitions stay within it).
-  std::size_t reservoir_capacity = stats::Accumulator::kDefaultReservoirCapacity;
+  /// Used by the default experiment runner (null = ExperimentResult::TtfbMs).
+  /// Custom runners produce values positionally and ignore it.
+  std::function<double(const ExperimentResult&)> extract;
 };
 
 /// One fully resolved grid point, with axis labels for reporting.
@@ -103,33 +134,156 @@ struct SweepPoint {
   std::string mode;
   std::string loss;
   std::string variant;
+  /// Resolved extras, one per SweepAxes::extras entry, in axis order.
+  std::vector<std::pair<std::string, SweepAxisValue>> extras;
   double rtt_ms = 0.0;
   double delta_ms = 0.0;
   std::size_t certificate_bytes = 0;
   std::size_t index = 0;
+
+  /// The value of the named extra axis at this point, or nullptr.
+  const SweepAxisValue* Extra(std::string_view axis) const;
+  /// "day=0|vantage=Hamburg, DE" — the CSV/JSON extras key.
+  std::string ExtrasLabel() const;
+};
+
+/// Everything a runner needs to produce one repetition of one point.
+struct SweepRunContext {
+  const SweepPoint& point;
+  int repetition = 0;
+  /// seed_base + repetition * seed_stride — what the default runner assigns
+  /// to the experiment config.
+  std::uint64_t seed = 0;
+};
+
+/// Produces one repetition's metric values, aligned positionally with
+/// SweepSpec::metrics. Runners are called concurrently from pool workers and
+/// must be thread-safe; determinism requires the returned values depend only
+/// on the context, never on call order.
+using SweepRunner = std::function<std::vector<double>(const SweepRunContext&)>;
+
+/// Progress snapshot handed to a SweepObserver after each point completes.
+struct SweepProgress {
+  std::string_view sweep;
+  std::size_t points_total = 0;
+  std::size_t points_completed = 0;  // includes budget-skipped points
+  std::size_t points_skipped = 0;    // skipped by the wall-clock budget
+  std::size_t runs_total = 0;
+  std::size_t runs_completed = 0;    // repetitions actually executed
+  double elapsed_seconds = 0.0;
+  double runs_per_second = 0.0;
+};
+
+/// Called after every completed point, serialized by the engine (never
+/// concurrently), from whichever worker finished the point.
+using SweepObserver = std::function<void(const SweepProgress&)>;
+
+struct SweepSpec {
+  /// Short machine name ("fig05", "table2_probes"); names CSV/JSON output.
+  std::string name;
+  ExperimentConfig base;
+  SweepAxes axes;
+  int repetitions = 25;
+
+  /// Metrics extracted from each repetition. Empty means the single default
+  /// summary metric (TtfbMs, exclude_negative) — the common bench case.
+  std::vector<MetricSpec> metrics;
+
+  /// Produces each repetition's values. Null means the experiment runner:
+  /// RunExperiment(point config with the scheduled seed), then each
+  /// MetricSpec::extract.
+  SweepRunner runner;
+
+  /// Seed schedule: repetition r runs with seed_base + r * seed_stride.
+  /// seed_base 0 means "use base.seed".
+  std::uint64_t seed_base = 0;
+  std::uint64_t seed_stride = 7919;
+
+  /// Drop (client, HTTP/3) combinations the client does not support, the
+  /// way every bench loop skips them.
+  bool skip_unsupported_http3 = true;
+
+  /// Per-point accumulator reservoir capacity (percentiles are exact and
+  /// scatter samples retained while repetitions stay within it). Raise it to
+  /// the repetition count when exact percentiles over large scans matter.
+  std::size_t reservoir_capacity = stats::Accumulator::kDefaultReservoirCapacity;
+
+  /// Progress hook; see SweepObserver.
+  SweepObserver observer;
+
+  /// Wall-clock budget in seconds (0 = unlimited). Once exceeded, points
+  /// whose first repetition has not yet started are skipped cleanly (marked
+  /// budget_skipped, no partial series); points already underway finish all
+  /// their repetitions, so every non-skipped point stays deterministic.
+  double time_budget_seconds = 0.0;
+};
+
+/// One metric's aggregated values at one point.
+struct MetricSeries {
+  std::string name;
+  MetricMode mode = MetricMode::kSummary;
+  /// Populated in kSummary mode.
+  stats::Accumulator summary;
+  /// Populated in kTrace mode: retained values in repetition order (aborted
+  /// and skipped repetitions removed).
+  std::vector<double> trace;
+  /// Runs whose value came back negative under exclude_negative.
+  std::size_t aborted = 0;
+  /// Runs whose value came back NaN ("no sample").
+  std::size_t skipped = 0;
+
+  /// Retained values (either mode).
+  std::size_t count() const {
+    return mode == MetricMode::kTrace ? trace.size() : summary.count();
+  }
+  bool all_aborted() const { return count() == 0; }
+  /// Median of the retained values; works in both modes.
+  double Median() const;
+  /// Median, or -1 when every run aborted (the convention of the bench
+  /// tables).
+  double MedianOrNegative() const { return count() == 0 ? -1.0 : Median(); }
+  /// Five-number summary in either mode (computed from the trace when
+  /// mode == kTrace).
+  stats::Summary Summarize() const;
 };
 
 struct PointSummary {
   SweepPoint point;
-  stats::Accumulator values;
-  /// Runs whose metric came back negative (excluded from `values`).
-  std::size_t aborted = 0;
+  /// One series per SweepSpec metric, in spec order.
+  std::vector<MetricSeries> metrics;
+  /// True when the wall-clock budget skipped this point before any
+  /// repetition ran (all series empty).
+  bool budget_skipped = false;
 
-  bool all_aborted() const { return values.count() == 0; }
-  /// Median of the non-aborted runs; -1 when every run aborted (the
-  /// convention of the bench tables).
-  double MedianOrNegative() const { return all_aborted() ? -1.0 : values.Median(); }
+  /// Series of the named metric, or nullptr.
+  const MetricSeries* Metric(std::string_view name) const;
+  /// The first (or only) metric — the common single-metric bench case.
+  const MetricSeries& primary() const { return metrics.front(); }
+
+  bool all_aborted() const { return primary().all_aborted(); }
+  double MedianOrNegative() const { return primary().MedianOrNegative(); }
+  /// Primary summary accumulator (feeds the ASCII scatter strips).
+  const stats::Accumulator& values() const { return primary().summary; }
+  std::size_t aborted() const { return primary().aborted; }
 };
 
 struct SweepResult {
   std::string name;
   std::vector<PointSummary> points;
+  /// Scheduled runs (points × repetitions).
   std::size_t total_runs = 0;
+  /// Repetitions actually executed (differs from total_runs only when a
+  /// wall-clock budget skipped points).
+  std::size_t executed_runs = 0;
 
   /// First point matching `pred`, or nullptr. Enumeration order is
-  /// outermost-to-innermost: http, variant, loss, certificate, Δt, RTT,
-  /// mode, client, behavior.
+  /// outermost-to-innermost: extras (declaration order), http, variant,
+  /// loss, certificate, Δt, RTT, mode, client, behavior.
   const PointSummary* Find(const std::function<bool(const SweepPoint&)>& pred) const;
+
+  /// Series of `metric` at the first point matching `pred`, or nullptr.
+  const MetricSeries* FindMetric(const std::function<bool(const SweepPoint&)>& pred,
+                                 std::string_view metric) const;
 };
 
 /// Enumerates the flat grid of a spec (no experiments run).
@@ -139,13 +293,41 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec);
 /// concurrent jobs (0 = whole pool).
 SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism = 0);
 
-/// Column names of the machine-readable exports.
+/// Adapts a whole-grid computation into a runner: `compute` runs exactly
+/// once (triggered by the first repetition to arrive, other workers block),
+/// then every (point, repetition) extracts its values from the shared
+/// outcome. The adapter for legacy single-pass studies whose RNG threads
+/// through one sequential computation (the certificate-caching study).
+template <typename Outcome>
+SweepRunner SharedOutcomeRunner(
+    std::function<Outcome()> compute,
+    std::function<std::vector<double>(const Outcome&, const SweepRunContext&)> extract) {
+  struct State {
+    std::once_flag once;
+    Outcome outcome;
+  };
+  auto state = std::make_shared<State>();
+  return [state, compute = std::move(compute),
+          extract = std::move(extract)](const SweepRunContext& ctx) {
+    std::call_once(state->once, [&] { state->outcome = compute(); });
+    return extract(state->outcome, ctx);
+  };
+}
+
+/// The NaN sentinel runners return for "no sample for this repetition".
+inline double NoSample() { return std::nan(""); }
+
+/// Column names of the machine-readable exports (one row per point ×
+/// metric).
 const std::vector<std::string>& SweepCsvHeader();
 
-/// Appends every point as one CSV row (see SweepCsvHeader).
+/// Appends every (point, metric) series as one CSV row (see SweepCsvHeader).
+/// Trace series export their five-number summary; the full vectors live in
+/// the JSON export.
 void WriteSweepCsv(const SweepResult& result, CsvWriter& writer);
 
-/// Serialises the result as a JSON document (one object per point).
+/// Serialises the result as a JSON document: one object per point, each with
+/// a "metrics" array; kTrace series carry their full "trace" vector.
 std::string SweepResultJson(const SweepResult& result);
 
 /// When QUICER_DATA_DIR is set, writes <dir>/<name>_sweep.csv and

@@ -1,0 +1,123 @@
+#include "scan/sweep_runners.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace quicer::scan {
+
+core::SweepExtraAxis VantageAxis(const std::vector<Vantage>& vantages) {
+  core::SweepExtraAxis axis;
+  axis.name = "vantage";
+  axis.values.reserve(vantages.size());
+  for (Vantage vantage : vantages) {
+    axis.values.push_back(
+        {std::string(Name(vantage)), static_cast<std::int64_t>(vantage)});
+  }
+  return axis;
+}
+
+core::SweepExtraAxis CdnAxis(const std::vector<Cdn>& cdns) {
+  core::SweepExtraAxis axis;
+  axis.name = "cdn";
+  axis.values.reserve(cdns.size());
+  for (Cdn cdn : cdns) {
+    axis.values.push_back({std::string(Name(cdn)), static_cast<std::int64_t>(cdn)});
+  }
+  return axis;
+}
+
+core::SweepExtraAxis DayAxis(int days) {
+  core::SweepExtraAxis axis;
+  axis.name = "day";
+  axis.values.reserve(static_cast<std::size_t>(days > 0 ? days : 0));
+  for (int day = 0; day < days; ++day) {
+    axis.values.push_back({std::to_string(day), day});
+  }
+  return axis;
+}
+
+Vantage PointVantage(const core::SweepPoint& point, Vantage fallback) {
+  const core::SweepAxisValue* value = point.Extra("vantage");
+  return value != nullptr ? static_cast<Vantage>(value->value) : fallback;
+}
+
+std::optional<Cdn> PointCdn(const core::SweepPoint& point) {
+  const core::SweepAxisValue* value = point.Extra("cdn");
+  if (value == nullptr) return std::nullopt;
+  return static_cast<Cdn>(value->value);
+}
+
+std::uint64_t PointDay(const core::SweepPoint& point) {
+  const core::SweepAxisValue* value = point.Extra("day");
+  return value != nullptr ? static_cast<std::uint64_t>(value->value) : 0;
+}
+
+ProbeFilter MatchPointCdn() {
+  return [](const core::SweepPoint& point, const Domain& domain) {
+    const std::optional<Cdn> cdn = PointCdn(point);
+    return !cdn.has_value() || domain.cdn == *cdn;
+  };
+}
+
+core::SweepRunner ProbeRunner(std::shared_ptr<const TrancoPopulation> population,
+                              std::uint64_t prober_seed, ProbeFilter filter,
+                              std::vector<ProbeMetricFn> metrics) {
+  return [population = std::move(population), prober_seed, filter = std::move(filter),
+          metrics = std::move(metrics)](const core::SweepRunContext& ctx) {
+    std::vector<double> values(metrics.size(), core::NoSample());
+    const auto& domains = population->domains();
+    const std::size_t index = static_cast<std::size_t>(ctx.repetition);
+    if (index >= domains.size()) return values;
+    const Domain& domain = domains[index];
+    if (filter && !filter(ctx.point, domain)) return values;
+
+    const Prober prober(prober_seed);
+    const ProbeResult result =
+        prober.Probe(domain, PointVantage(ctx.point), PointDay(ctx.point));
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      values[m] = metrics[m](ctx.point, domain, result);
+    }
+    return values;
+  };
+}
+
+core::SweepRunner StudyRunner(
+    std::function<CloudflareStudyConfig(const core::SweepPoint&)> make_config,
+    std::vector<StudyMetricFn> metrics) {
+  // Per-point memo: the map lookup is guarded briefly; the study itself runs
+  // under the point's own once_flag, so distinct points compute in parallel
+  // while repetitions of one point share a single run.
+  struct Cell {
+    std::once_flag once;
+    StudyOutcome outcome;
+  };
+  struct Memo {
+    std::mutex mutex;
+    std::unordered_map<std::size_t, std::shared_ptr<Cell>> cells;
+  };
+  auto memo = std::make_shared<Memo>();
+  return [memo, make_config = std::move(make_config),
+          metrics = std::move(metrics)](const core::SweepRunContext& ctx) {
+    std::shared_ptr<Cell> cell;
+    {
+      std::lock_guard<std::mutex> lock(memo->mutex);
+      std::shared_ptr<Cell>& slot = memo->cells[ctx.point.index];
+      if (!slot) slot = std::make_shared<Cell>();
+      cell = slot;
+    }
+    std::call_once(cell->once, [&] {
+      cell->outcome.points = RunCloudflareStudy(make_config(ctx.point));
+      cell->outcome.summary = SummarizeStudy(cell->outcome.points);
+    });
+
+    std::vector<double> values;
+    values.reserve(metrics.size());
+    for (const StudyMetricFn& metric : metrics) {
+      values.push_back(metric(cell->outcome, ctx));
+    }
+    return values;
+  };
+}
+
+}  // namespace quicer::scan

@@ -130,5 +130,18 @@ std::string ModeCaseName(const ::testing::TestParamInfo<ModeCase>& info) {
 INSTANTIATE_TEST_SUITE_P(AllClientsModes, ModeMatrix, ::testing::ValuesIn(ModeCases()),
                          ModeCaseName);
 
+TEST(HandshakeModeNames, RoundTripsEveryEnumValue) {
+  for (HandshakeMode mode :
+       {HandshakeMode::k1Rtt, HandshakeMode::k0Rtt, HandshakeMode::kRetry}) {
+    const std::string_view label = ToString(mode);
+    EXPECT_NE(label, "?");
+    const auto parsed = HandshakeModeFromString(label);
+    ASSERT_TRUE(parsed.has_value()) << label;
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(HandshakeModeFromString("definitely-not-a-mode").has_value());
+  EXPECT_FALSE(HandshakeModeFromString("").has_value());
+}
+
 }  // namespace
 }  // namespace quicer::core

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
 #include "core/csv.h"
 #include "core/loss_scenarios.h"
 
@@ -44,6 +48,8 @@ TEST(Sweep, EmptyAxesYieldSingleBasePoint) {
   EXPECT_EQ(points[0].client, "ngtcp2");
   EXPECT_EQ(points[0].loss, "none");
   EXPECT_EQ(points[0].variant, "base");
+  EXPECT_TRUE(points[0].extras.empty());
+  EXPECT_EQ(points[0].ExtrasLabel(), "");
 }
 
 TEST(Sweep, SkipsUnsupportedHttp3Clients) {
@@ -55,16 +61,36 @@ TEST(Sweep, SkipsUnsupportedHttp3Clients) {
   EXPECT_EQ(points.size(), 15u);
 }
 
+TEST(Sweep, ExtrasEnumerateOutermostInDeclarationOrder) {
+  SweepSpec spec;
+  spec.axes.extras = {{"vantage", {{"A", 0}, {"B", 1}}}, {"day", {{"0", 0}, {"1", 1}, {"2", 2}}}};
+  spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
+                         quic::ServerBehavior::kInstantAck};
+  const auto points = Enumerate(spec);
+  ASSERT_EQ(points.size(), 12u);  // 2 vantages x 3 days x 2 behaviors
+  // First axis varies slowest; behaviors innermost.
+  EXPECT_EQ(points[0].Extra("vantage")->label, "A");
+  EXPECT_EQ(points[0].Extra("day")->label, "0");
+  EXPECT_EQ(points[0].behavior, "WFC");
+  EXPECT_EQ(points[1].behavior, "IACK");
+  EXPECT_EQ(points[2].Extra("day")->label, "1");
+  EXPECT_EQ(points[6].Extra("vantage")->label, "B");
+  EXPECT_EQ(points[6].Extra("vantage")->value, 1);
+  EXPECT_EQ(points[0].ExtrasLabel(), "vantage=A|day=0");
+  EXPECT_EQ(points[0].Extra("unknown"), nullptr);
+}
+
 TEST(Sweep, MedianMatchesCollectTtfbMs) {
   SweepSpec spec = SmallSpec();
   const SweepResult result = RunSweep(spec);
   ASSERT_EQ(result.points.size(), 4u);
   EXPECT_EQ(result.total_runs, 24u);
+  EXPECT_EQ(result.executed_runs, 24u);
 
   for (const PointSummary& summary : result.points) {
     const auto legacy = CollectTtfbMs(summary.point.config, spec.repetitions);
-    ASSERT_EQ(summary.values.count(), legacy.size());
-    EXPECT_DOUBLE_EQ(summary.values.Median(), stats::Median(legacy))
+    ASSERT_EQ(summary.values().count(), legacy.size());
+    EXPECT_DOUBLE_EQ(summary.values().Median(), stats::Median(legacy))
         << summary.point.rtt_ms << " " << summary.point.behavior;
   }
 }
@@ -75,22 +101,123 @@ TEST(Sweep, DeterministicAcrossParallelismCaps) {
   spec.axes.losses = {{"second-client-flight", [](const ExperimentConfig& c) {
                          return SecondClientFlightLoss(c.client);
                        }}};
-  spec.metric = [](const ExperimentResult& r) { return r.ResponseTtfbMs(); };
+  spec.metrics = {{"response_ttfb_ms", MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
 
   const SweepResult serial = RunSweep(spec, /*max_parallelism=*/1);
   for (unsigned cap : {2u, 7u}) {
     const SweepResult parallel = RunSweep(spec, cap);
     ASSERT_EQ(serial.points.size(), parallel.points.size());
     for (std::size_t i = 0; i < serial.points.size(); ++i) {
-      const stats::Summary a = serial.points[i].values.Summarize();
-      const stats::Summary b = parallel.points[i].values.Summarize();
+      const stats::Summary a = serial.points[i].values().Summarize();
+      const stats::Summary b = parallel.points[i].values().Summarize();
       EXPECT_EQ(a.count, b.count) << cap;
       EXPECT_DOUBLE_EQ(a.median, b.median) << cap;
       EXPECT_DOUBLE_EQ(a.mean, b.mean) << cap;
       EXPECT_DOUBLE_EQ(a.stddev, b.stddev) << cap;  // fold order is fixed
-      EXPECT_EQ(serial.points[i].aborted, parallel.points[i].aborted) << cap;
-      EXPECT_EQ(serial.points[i].values.samples(), parallel.points[i].values.samples()) << cap;
+      EXPECT_EQ(serial.points[i].aborted(), parallel.points[i].aborted()) << cap;
+      EXPECT_EQ(serial.points[i].values().samples(), parallel.points[i].values().samples())
+          << cap;
     }
+  }
+}
+
+// Trace-mode vectors must be bit-identical to a serial run for any thread
+// count: each repetition's value lands in a slot keyed by its index and the
+// trace is folded in repetition order.
+TEST(Sweep, TraceDeterministicAcrossParallelismCaps) {
+  SweepSpec spec = SmallSpec();
+  spec.repetitions = 9;
+  spec.metrics = {{"ttfb_ms", MetricMode::kTrace, /*exclude_negative=*/true,
+                   [](const ExperimentResult& r) { return r.TtfbMs(); }},
+                  {"end_time_ms", MetricMode::kTrace, /*exclude_negative=*/false,
+                   [](const ExperimentResult& r) { return sim::ToMillis(r.end_time); }}};
+
+  const SweepResult serial = RunSweep(spec, /*max_parallelism=*/1);
+  for (unsigned cap : {2u, 7u}) {
+    const SweepResult parallel = RunSweep(spec, cap);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      for (const char* metric : {"ttfb_ms", "end_time_ms"}) {
+        const MetricSeries* a = serial.points[i].Metric(metric);
+        const MetricSeries* b = parallel.points[i].Metric(metric);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(a->trace, b->trace) << metric << " cap " << cap;  // bit-identical
+      }
+    }
+  }
+}
+
+// A custom runner: no experiments, deterministic values from the context.
+TEST(Sweep, CustomRunnerFeedsMetrics) {
+  SweepSpec spec;
+  spec.name = "runner_test";
+  spec.axes.extras = {{"k", {{"ten", 10}, {"twenty", 20}}}};
+  spec.repetitions = 4;
+  spec.metrics = {{"value", MetricMode::kTrace, /*exclude_negative=*/false, nullptr},
+                  {"rep", MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
+  spec.runner = [](const SweepRunContext& ctx) {
+    const double k = static_cast<double>(ctx.point.Extra("k")->value);
+    return std::vector<double>{k + ctx.repetition, static_cast<double>(ctx.repetition)};
+  };
+  const SweepResult result = RunSweep(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].Metric("value")->trace, (std::vector<double>{10, 11, 12, 13}));
+  EXPECT_EQ(result.points[1].Metric("value")->trace, (std::vector<double>{20, 21, 22, 23}));
+  EXPECT_DOUBLE_EQ(result.points[0].Metric("rep")->summary.mean(), 1.5);
+  const MetricSeries* series =
+      result.FindMetric([](const SweepPoint& p) { return p.Extra("k")->value == 20; }, "value");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->trace.front(), 20.0);
+}
+
+// Per-metric value semantics: NaN is "no sample" (skipped) in every mode;
+// negatives abort only while the metric's exclude_negative is set.
+TEST(Sweep, PerMetricExcludeNegativeAndNanSemantics) {
+  SweepSpec spec;
+  spec.name = "exclusion_test";
+  spec.repetitions = 5;
+  spec.metrics = {{"excl", MetricMode::kSummary, /*exclude_negative=*/true, nullptr},
+                  {"raw", MetricMode::kSummary, /*exclude_negative=*/false, nullptr},
+                  {"excl_trace", MetricMode::kTrace, /*exclude_negative=*/true, nullptr}};
+  // Repetitions produce: 1, -1, NaN, 4, -5 for every metric.
+  spec.runner = [](const SweepRunContext& ctx) {
+    const double values[] = {1.0, -1.0, NoSample(), 4.0, -5.0};
+    const double v = values[ctx.repetition];
+    return std::vector<double>{v, v, v};
+  };
+  const SweepResult result = RunSweep(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  const PointSummary& point = result.points[0];
+
+  const MetricSeries* excl = point.Metric("excl");
+  EXPECT_EQ(excl->count(), 2u);    // 1 and 4
+  EXPECT_EQ(excl->aborted, 2u);    // -1 and -5
+  EXPECT_EQ(excl->skipped, 1u);    // NaN
+  EXPECT_DOUBLE_EQ(excl->Median(), 2.5);
+
+  const MetricSeries* raw = point.Metric("raw");
+  EXPECT_EQ(raw->count(), 4u);  // negatives are data
+  EXPECT_EQ(raw->aborted, 0u);
+  EXPECT_EQ(raw->skipped, 1u);
+  EXPECT_DOUBLE_EQ(raw->summary.min(), -5.0);
+
+  const MetricSeries* excl_trace = point.Metric("excl_trace");
+  EXPECT_EQ(excl_trace->trace, (std::vector<double>{1.0, 4.0}));  // repetition order
+  EXPECT_EQ(excl_trace->aborted, 2u);
+  EXPECT_EQ(excl_trace->skipped, 1u);
+  EXPECT_DOUBLE_EQ(excl_trace->MedianOrNegative(), 2.5);
+}
+
+TEST(Sweep, DefaultMetricIsTtfbWithExcludedNegatives) {
+  SweepSpec spec = SmallSpec();
+  spec.repetitions = 3;
+  const SweepResult result = RunSweep(spec);
+  for (const PointSummary& summary : result.points) {
+    ASSERT_EQ(summary.metrics.size(), 1u);
+    EXPECT_EQ(summary.primary().name, "ttfb_ms");
+    EXPECT_EQ(summary.primary().mode, MetricMode::kSummary);
   }
 }
 
@@ -116,7 +243,8 @@ TEST(Sweep, CustomSeedScheduleMatchesLegacyLoop) {
   spec.repetitions = 8;
   spec.seed_base = 500;
   spec.seed_stride = 101;
-  spec.metric = [](const ExperimentResult& r) { return r.completed ? r.TtfbMs() : -1.0; };
+  spec.metrics = {{"ttfb_ms", MetricMode::kSummary, /*exclude_negative=*/true,
+                   [](const ExperimentResult& r) { return r.completed ? r.TtfbMs() : -1.0; }}};
   const SweepResult result = RunSweep(spec);
 
   std::vector<double> legacy;
@@ -132,8 +260,8 @@ TEST(Sweep, CustomSeedScheduleMatchesLegacyLoop) {
     }
   }
   ASSERT_EQ(result.points.size(), 1u);
-  EXPECT_EQ(result.points[0].aborted, legacy_aborted);
-  EXPECT_EQ(result.points[0].values.samples(), legacy);
+  EXPECT_EQ(result.points[0].aborted(), legacy_aborted);
+  EXPECT_EQ(result.points[0].values().samples(), legacy);
 }
 
 TEST(Sweep, FindLocatesPoints) {
@@ -147,14 +275,28 @@ TEST(Sweep, FindLocatesPoints) {
   EXPECT_EQ(result.Find([](const SweepPoint&) { return false; }), nullptr);
 }
 
-TEST(Sweep, CsvAndJsonExportCoverEveryPoint) {
-  SweepSpec spec = SmallSpec();
-  spec.repetitions = 2;
+// One CSV row and one JSON metric object per (point, metric); the trace
+// vector rides in the JSON export.
+TEST(Sweep, MultiMetricCsvAndJsonLayout) {
+  SweepSpec spec;
+  spec.name = "layout_test";
+  spec.axes.extras = {{"k", {{"a", 1}, {"b", 2}}}};
+  spec.repetitions = 3;
+  spec.metrics = {{"m_summary", MetricMode::kSummary, /*exclude_negative=*/false, nullptr},
+                  {"m_trace", MetricMode::kTrace, /*exclude_negative=*/false, nullptr}};
+  spec.runner = [](const SweepRunContext& ctx) {
+    const double base = static_cast<double>(ctx.point.Extra("k")->value * 100);
+    return std::vector<double>{base + ctx.repetition, base - ctx.repetition};
+  };
   const SweepResult result = RunSweep(spec);
 
   const std::string json = SweepResultJson(result);
-  EXPECT_NE(json.find("\"sweep\": \"test_sweep\""), std::string::npos);
-  EXPECT_NE(json.find("\"median\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\": \"layout_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"extras\": {\"k\": \"a\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"m_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": [100, 99, 98]"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": [200, 199, 198]"), std::string::npos);
   std::size_t objects = 0;
   for (std::size_t at = json.find("{\"point\""); at != std::string::npos;
        at = json.find("{\"point\"", at + 1)) {
@@ -162,10 +304,74 @@ TEST(Sweep, CsvAndJsonExportCoverEveryPoint) {
   }
   EXPECT_EQ(objects, result.points.size());
 
+  // Header carries the metric columns; the CSV has points x metrics rows.
+  const auto& header = SweepCsvHeader();
+  EXPECT_NE(std::find(header.begin(), header.end(), "metric"), header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "metric_mode"), header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "extras"), header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "skipped"), header.end());
   CsvWriter csv(testing::TempDir(), "sweep_export_test", SweepCsvHeader());
   ASSERT_TRUE(csv.active());
   WriteSweepCsv(result, csv);
-  EXPECT_EQ(csv.rows(), result.points.size());
+  EXPECT_EQ(csv.rows(), result.points.size() * spec.metrics.size());
+}
+
+TEST(Sweep, ObserverReportsEveryPointSerialized) {
+  SweepSpec spec;
+  spec.name = "observer_test";
+  spec.axes.extras = {{"k", {{"a", 1}, {"b", 2}, {"c", 3}}}};
+  spec.repetitions = 4;
+  spec.metrics = {{"v", MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
+  spec.runner = [](const SweepRunContext& ctx) {
+    return std::vector<double>{static_cast<double>(ctx.repetition)};
+  };
+  std::atomic<std::size_t> calls{0};
+  std::size_t last_completed = 0;
+  std::size_t last_runs = 0;
+  spec.observer = [&](const SweepProgress& progress) {
+    ++calls;
+    last_completed = progress.points_completed;  // serialized: no race
+    last_runs = progress.runs_completed;
+    EXPECT_EQ(progress.points_total, 3u);
+    EXPECT_EQ(progress.runs_total, 12u);
+    EXPECT_EQ(progress.sweep, "observer_test");
+  };
+  const SweepResult result = RunSweep(spec);
+  EXPECT_EQ(calls.load(), 3u);
+  EXPECT_EQ(last_completed, 3u);
+  EXPECT_EQ(last_runs, 12u);
+  EXPECT_EQ(result.executed_runs, 12u);
+}
+
+// An already-expired budget skips every point cleanly: no partial series,
+// every summary flagged, observer still called per point.
+TEST(Sweep, ExpiredBudgetSkipsPointsCleanly) {
+  SweepSpec spec;
+  spec.name = "budget_test";
+  spec.axes.extras = {{"k", {{"a", 1}, {"b", 2}}}};
+  spec.repetitions = 3;
+  spec.metrics = {{"v", MetricMode::kTrace, /*exclude_negative=*/false, nullptr}};
+  spec.time_budget_seconds = 1e-9;  // expires before the first point starts
+  std::atomic<std::size_t> ran{0};
+  spec.runner = [&](const SweepRunContext& ctx) {
+    ++ran;
+    return std::vector<double>{static_cast<double>(ctx.repetition)};
+  };
+  const SweepResult result = RunSweep(spec);
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(result.executed_runs, 0u);
+  for (const PointSummary& summary : result.points) {
+    EXPECT_TRUE(summary.budget_skipped);
+    EXPECT_TRUE(summary.primary().trace.empty());
+  }
+  // Without a budget the same spec runs everything.
+  spec.time_budget_seconds = 0.0;
+  const SweepResult full = RunSweep(spec);
+  EXPECT_EQ(full.executed_runs, 6u);
+  for (const PointSummary& summary : full.points) {
+    EXPECT_FALSE(summary.budget_skipped);
+    EXPECT_EQ(summary.primary().trace.size(), 3u);
+  }
 }
 
 }  // namespace
