@@ -21,7 +21,7 @@ QUICER_BENCH("ablation_0rtt_retry", "Ablation: instant ACK under 1-RTT/0-RTT/Ret
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = bench::kRepetitions;
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult ttfb = core::RunSweep(spec);
 
   core::SweepSpec pto_spec = spec;
@@ -32,6 +32,23 @@ QUICER_BENCH("ablation_0rtt_retry", "Ablation: instant ACK under 1-RTT/0-RTT/Ret
                          return sim::ToMillis(r.client.first_pto_period);
                        }}};
   const core::SweepResult first_pto = core::RunSweep(pto_spec);
+
+  // Retry as the client's first RTT estimate, Δt = 100 ms, WFC only: the
+  // retry-sample flag is not a first-class axis, so it sweeps as a variant.
+  core::SweepSpec retry_spec;
+  retry_spec.name = "ablation_retry_rtt_sample";
+  retry_spec.base = spec.base;
+  retry_spec.base.mode = core::HandshakeMode::kRetry;
+  retry_spec.base.behavior = quic::ServerBehavior::kWaitForCertificate;
+  retry_spec.base.cert_fetch_delay = sim::Millis(100);
+  retry_spec.axes.variants = {
+      {"retry-rtt-sample", [](core::ExperimentConfig& c) { c.client_use_retry_rtt_sample = true; }},
+      {"no-retry-rtt-sample",
+       [](core::ExperimentConfig& c) { c.client_use_retry_rtt_sample = false; }}};
+  retry_spec.repetitions = bench::kRepetitions;
+  bench::Tune(retry_spec, ctx);
+  const core::SweepResult retry = core::RunSweep(retry_spec);
+  if (bench::AnyPartialExported({&ttfb, &first_pto, &retry})) return 0;
 
   std::printf("%10s  %12s  %12s  %16s  %16s\n", "handshake", "WFC TTFB", "IACK TTFB",
               "WFC 1st PTO", "IACK 1st PTO");
@@ -49,22 +66,6 @@ QUICER_BENCH("ablation_0rtt_retry", "Ablation: instant ACK under 1-RTT/0-RTT/Ret
                 median(first_pto, quic::ServerBehavior::kWaitForCertificate),
                 median(first_pto, quic::ServerBehavior::kInstantAck));
   }
-
-  // Retry as the client's first RTT estimate, Δt = 100 ms, WFC only: the
-  // retry-sample flag is not a first-class axis, so it sweeps as a variant.
-  core::SweepSpec retry_spec;
-  retry_spec.name = "ablation_retry_rtt_sample";
-  retry_spec.base = spec.base;
-  retry_spec.base.mode = core::HandshakeMode::kRetry;
-  retry_spec.base.behavior = quic::ServerBehavior::kWaitForCertificate;
-  retry_spec.base.cert_fetch_delay = sim::Millis(100);
-  retry_spec.axes.variants = {
-      {"retry-rtt-sample", [](core::ExperimentConfig& c) { c.client_use_retry_rtt_sample = true; }},
-      {"no-retry-rtt-sample",
-       [](core::ExperimentConfig& c) { c.client_use_retry_rtt_sample = false; }}};
-  retry_spec.repetitions = bench::kRepetitions;
-  bench::Tune(retry_spec);
-  const core::SweepResult retry = core::RunSweep(retry_spec);
 
   core::PrintHeading("Retry as first RTT estimate (delta_t = 100 ms, WFC)");
   auto variant_median = [&](const std::string& label) {

@@ -67,7 +67,9 @@ QUICER_BENCH("ablation_ackdelay_strategies",
                                sim::ToMillis(result.first_pto_iack),
                                result.clamped_to_min_rtt ? 1.0 : 0.0};
   };
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   core::PrintHeading("First-PTO by strategy (RTT 9 ms, delta_t 4 ms)");
   std::printf("%22s  %18s  %18s  %10s\n", "reported ACK Delay", "WFC first PTO [ms]",
@@ -99,8 +101,9 @@ QUICER_BENCH("ablation_ackdelay_tuning",
       {"client probes resend ClientHello",
        [](core::ExperimentConfig& c) { c.client_probe_with_data = true; }}};
   spec.repetitions = 15;
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   core::PrintHeading("Section 5 tuning knobs (large cert, delta_t 200 ms, 9 ms RTT, IACK)");
   std::printf("%34s  %12s\n", "variant", "TTFB [ms]");

@@ -72,8 +72,9 @@ QUICER_BENCH("ablation_random_loss", "Ablation: stochastic loss rates (WFC vs IA
                    [](const core::ExperimentResult& r) {
                      return r.completed ? r.TtfbMs() : -1.0;
                    }}};
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (const Section& section : kSections) {
     core::PrintHeading(section.title);

@@ -37,7 +37,7 @@ QUICER_BENCH("ablation_server_pto", "Ablation: server default PTO trade-off") {
                        }},
                       {"none", nullptr}};
   spec.repetitions = bench::kRepetitions;
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult ttfb = core::RunSweep(spec);
 
   core::SweepSpec spurious_spec = spec;
@@ -50,6 +50,7 @@ QUICER_BENCH("ablation_server_pto", "Ablation: server default PTO trade-off") {
                                     r.server.spurious_retransmits);
        }}};
   const core::SweepResult spurious = core::RunSweep(spurious_spec);
+  if (bench::AnyPartialExported({&ttfb, &spurious})) return 0;
 
   std::printf("%16s  %22s  %22s  %10s\n", "server PTO [ms]", "TTFB, flight lost [ms]",
               "TTFB, no loss [ms]", "spurious");

@@ -2,15 +2,14 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
-#include "core/csv.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "registry.h"
 #include "stats/stats.h"
 
 namespace quicer::bench {
@@ -21,28 +20,9 @@ namespace quicer::bench {
 /// `bench_suite --scale` multiplies this via Tune().
 inline constexpr int kRepetitions = 25;
 
-/// Repetition multiplier of this run (QUICER_BENCH_SCALE, set by
-/// `bench_suite --scale=N`; the paper's grids correspond to --scale=4).
-inline int ScaleFactor() {
-  static const int factor = [] {
-    const char* env = std::getenv("QUICER_BENCH_SCALE");
-    if (env == nullptr) return 1;
-    const long parsed = std::strtol(env, nullptr, 10);
-    return parsed >= 1 ? static_cast<int>(parsed) : 1;
-  }();
-  return factor;
-}
-
 /// True when a scaled run should also widen its RTT/Δt axes (any --scale
 /// above the CI-friendly default of 1).
-inline bool DenseAxes() { return ScaleFactor() > 1; }
-
-/// True when `bench_suite --progress` asked for per-sweep progress lines
-/// (QUICER_BENCH_PROGRESS).
-inline bool ProgressEnabled() {
-  static const bool enabled = std::getenv("QUICER_BENCH_PROGRESS") != nullptr;
-  return enabled;
-}
+inline bool DenseAxes(const BenchContext& ctx) { return ctx.dense_axes(); }
 
 /// Progress observer printing "points done / total, runs/sec" to stderr
 /// (stdout carries the figure tables).
@@ -55,20 +35,77 @@ inline core::SweepObserver StderrProgress() {
   };
 }
 
-/// Applies the suite-wide options to an *experiment-driven* spec: --scale
-/// multiplies the repetitions, --progress attaches the stderr observer.
-/// Don't call it for runner-based sweeps whose repetition index is semantic
-/// (population rank, study hour) — scale there only via axes.
-inline core::SweepSpec& Tune(core::SweepSpec& spec) {
-  spec.repetitions *= ScaleFactor();
-  if (ProgressEnabled() && !spec.observer) spec.observer = StderrProgress();
+/// Applies the context options every sweep honors, without touching the
+/// repetition count: --progress attaches the stderr observer, --shard /
+/// --points select the grid subset, and --budget-seconds hands the sweep
+/// whatever remains of the suite budget. For runner-based sweeps whose
+/// repetition index is semantic (population rank, study hour) this is the
+/// whole tuning — scale there only via axes.
+inline core::SweepSpec& TuneObserver(core::SweepSpec& spec, const BenchContext& ctx) {
+  if (ctx.progress && !spec.observer) spec.observer = StderrProgress();
+  spec.shard = ctx.shard;
+  if (ctx.budget_seconds > 0.0 && spec.time_budget_seconds == 0.0) {
+    spec.time_budget_seconds = ctx.RemainingBudgetSeconds();
+  }
   return spec;
 }
 
-/// Attaches only the progress observer (for runner-based sweeps).
-inline core::SweepSpec& TuneObserver(core::SweepSpec& spec) {
-  if (ProgressEnabled() && !spec.observer) spec.observer = StderrProgress();
-  return spec;
+/// Applies the suite-wide options to an *experiment-driven* spec: --scale
+/// additionally multiplies the repetitions.
+inline core::SweepSpec& Tune(core::SweepSpec& spec, const BenchContext& ctx) {
+  spec.repetitions *= ctx.scale;
+  return TuneObserver(spec, ctx);
+}
+
+/// Sharded (and budget-clipped) runs export machine-readable data but skip
+/// the bench's human-readable analysis: the tables would be computed from
+/// incomplete series (and trace-indexing rows would read out of bounds).
+/// Call after RunSweep; when it returns true the partial has been exported
+/// and the bench should return 0 without further processing of `result`.
+inline bool PartialExported(const core::SweepResult& result) {
+  if (!result.partial()) return false;
+  const bool wrote = core::MaybeWriteSweepData(result);
+  if (!wrote) {
+    std::fprintf(stderr,
+                 "[%s] WARNING: partial result NOT exported (set QUICER_DATA_DIR / "
+                 "--data-dir); the executed points are lost\n",
+                 result.name.c_str());
+  }
+  for (std::size_t id : result.shard.points) {
+    if (id >= result.points.size()) {
+      std::fprintf(stderr, "[%s] WARNING: --points id %zu exceeds the %zu-point grid\n",
+                   result.name.c_str(), id, result.points.size());
+    }
+  }
+  std::size_t executed = 0;
+  for (const core::PointSummary& summary : result.points) {
+    if (summary.executed) ++executed;
+  }
+  std::printf("[%s] partial run: %zu/%zu points executed — analysis skipped; combine the\n"
+              "partial exports with `bench_suite merge`.\n",
+              result.name.c_str(), executed, result.points.size());
+  return true;
+}
+
+/// Multi-sweep variant of PartialExported: when ANY of a bench's sweeps is
+/// partial, every result is exported (completed sweeps keep their final
+/// exports, partial ones their partial files) and the joint analysis — which
+/// needs all of them complete — is skipped.
+inline bool AnyPartialExported(std::initializer_list<const core::SweepResult*> results) {
+  bool any = false;
+  for (const core::SweepResult* result : results) any = any || result->partial();
+  if (!any) return false;
+  for (const core::SweepResult* result : results) {
+    if (!core::MaybeWriteSweepData(*result)) {
+      std::fprintf(stderr,
+                   "[%s] WARNING: partial result NOT exported (set QUICER_DATA_DIR / "
+                   "--data-dir); the executed points are lost\n",
+                   result->name.c_str());
+    }
+  }
+  std::printf("(partial run — analysis skipped; combine the partial exports with "
+              "`bench_suite merge`.)\n");
+  return true;
 }
 
 /// WFC/IACK medians of one printed row pair, in ms (negative when all runs
@@ -120,17 +157,6 @@ inline RowResult PrintSweepClientRow(const core::SweepResult& result,
 
 inline void PrintAxis(double lo, double hi) {
   std::printf("%18sTTFB axis: %.0f ms %s %.0f ms\n", "", lo, std::string(44, '-').c_str(), hi);
-}
-
-/// Opens a CSV data file for this figure when QUICER_DATA_DIR is set;
-/// returns nullptr (no-op) otherwise.
-inline std::unique_ptr<core::CsvWriter> MaybeCsv(const std::string& figure,
-                                                 const std::vector<std::string>& header) {
-  const auto dir = core::DataDirFromEnv();
-  if (!dir) return nullptr;
-  auto writer = std::make_unique<core::CsvWriter>(*dir, figure, header);
-  if (!writer->active()) return nullptr;
-  return writer;
 }
 
 }  // namespace quicer::bench

@@ -39,8 +39,9 @@ QUICER_BENCH("fig02", "Figure 2: PTO evolution, WFC vs IACK (numerical model)") 
     return std::vector<double>{sim::ToMillis(point.pto_wfc), sim::ToMillis(point.pto_iack),
                                sim::ToMillis(point.pto_wfc - point.pto_iack)};
   };
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (const core::PointSummary& summary : result.points) {
     const sim::Duration delta = summary.point.config.cert_fetch_delay;

@@ -30,8 +30,9 @@ QUICER_BENCH("fig04", "Figure 4: first-PTO reduction and spurious-retransmit zon
     return std::vector<double>{point.reduction_rtts,
                                point.spurious_retransmissions ? 1.0 : 0.0};
   };
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   // Rows/columns come from the spec's own axes — one source of truth with
   // the enumerated grid.
@@ -73,10 +74,12 @@ QUICER_BENCH("fig04_zone", "Figure 4: largest spurious-free delta_t per RTT (mod
   spec.repetitions = 1;
   spec.metrics = {
       {"boundary_ms", core::MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
-  spec.runner = [](const core::SweepRunContext& ctx) {
-    return std::vector<double>{sim::ToMillis(core::SpuriousBoundary(ctx.point.config.rtt))};
+  spec.runner = [](const core::SweepRunContext& run) {
+    return std::vector<double>{sim::ToMillis(core::SpuriousBoundary(run.point.config.rtt))};
   };
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   core::PrintHeading("Zone boundary: largest spurious-free delta_t per RTT (3 x RTT)");
   for (const core::PointSummary& summary : result.points) {

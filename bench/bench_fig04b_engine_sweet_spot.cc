@@ -21,7 +21,7 @@ QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface"
   spec.base.time_limit = sim::Seconds(60);
   spec.axes.rtts = {sim::Millis(2),  sim::Millis(5),  sim::Millis(9), sim::Millis(15),
                     sim::Millis(25), sim::Millis(50), sim::Millis(100)};
-  if (bench::DenseAxes()) {
+  if (bench::DenseAxes(ctx)) {
     spec.axes.rtts.insert(spec.axes.rtts.end(),
                           {sim::Millis(35), sim::Millis(75), sim::Millis(150)});
   }
@@ -35,7 +35,7 @@ QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface"
                    [](const core::ExperimentResult& r) {
                      return sim::ToMillis(r.client.first_pto_period);
                    }}};
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult first_pto = core::RunSweep(spec);
 
   core::SweepSpec probes_spec = spec;
@@ -46,6 +46,7 @@ QUICER_BENCH("fig04b", "Figure 4 (engine-measured): first-PTO reduction surface"
                             return static_cast<double>(r.client.pto_expirations);
                           }}};
   const core::SweepResult probes = core::RunSweep(probes_spec);
+  if (bench::AnyPartialExported({&first_pto, &probes})) return 0;
 
   std::printf("%10s", "RTT [ms]");
   for (sim::Duration d : spec.axes.cert_fetch_delays) {

@@ -28,8 +28,9 @@ QUICER_BENCH("fig05", "Figure 5: TTFB under the amplification limit, WFC vs IACK
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = bench::kRepetitions;
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (http::Version version : spec.axes.http_versions) {
     core::PrintHeading(std::string(http::ToString(version)));

@@ -33,8 +33,9 @@ QUICER_BENCH("fig06", "Figure 6: TTFB under first-server-flight tail loss") {
   spec.repetitions = bench::kRepetitions;
   spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
                    [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (clients::ClientImpl impl : spec.axes.clients) {
     auto find = [&](quic::ServerBehavior behavior) {

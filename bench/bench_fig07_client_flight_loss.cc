@@ -30,8 +30,9 @@ QUICER_BENCH("fig07", "Figure 7: TTFB under second-client-flight loss") {
   spec.repetitions = bench::kRepetitions;
   spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
                    [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (clients::ClientImpl impl : spec.axes.clients) {
     const auto row = bench::PrintSweepClientRow(result, impl, spec.base.http, 40, 620);

@@ -40,8 +40,9 @@ QUICER_BENCH("fig08", "Figure 8: ACK->ServerHello delay CDF per CDN (Sao Paulo)"
         }
         return result.ack_sh_delay_ms;
       }});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (const core::PointSummary& summary : result.points) {
     const std::vector<double>& delays = summary.primary().trace;

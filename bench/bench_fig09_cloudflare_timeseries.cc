@@ -59,8 +59,9 @@ QUICER_BENCH("fig09", "Figure 9: Cloudflare week-long study time series (Sao Pau
        HourField(&scan::HourlyPoint::median_coalesced_ms),
        HourCount(&scan::HourlyPoint::ack_samples),
        HourCount(&scan::HourlyPoint::coalesced_samples)});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
   const core::PointSummary& point = result.points.front();
 
   std::printf("%6s  %10s  %10s  %14s\n", "hour", "ACK [ms]", "SH [ms]", "ACK,SH coal [ms]");

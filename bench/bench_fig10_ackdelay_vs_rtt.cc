@@ -68,8 +68,9 @@ QUICER_BENCH("fig10", "Figure 10: RTT minus reported ACK Delay, coalesced vs ins
          if (!result.success || !result.iack_observed) return core::NoSample();
          return result.rtt_ms - result.reported_ack_delay_ms;
        }});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   Report(result, "rtt_minus_ackdelay_coalesced", "(a) Coalesced ACK+SH");
   Report(result, "rtt_minus_ackdelay_iack", "(b) Separate instant ACK");

@@ -36,8 +36,9 @@ QUICER_BENCH("fig11", "Figure 11: RTT samples vs exposed metric updates (10 MB)"
        }},
       {"completed", core::MetricMode::kSummary, /*exclude_negative=*/false,
        [](const core::ExperimentResult& r) { return r.completed ? 1.0 : 0.0; }}};
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   std::printf("%10s  %22s  %24s  %10s\n", "client", "packets w/ new ACKs",
               "recovery:metric updates", "exposed %");

@@ -14,8 +14,6 @@
 QUICER_BENCH("fig12", "Figure 12: first-server-flight loss across RTTs") {
   using namespace quicer;
   core::PrintTitle("Figure 12: first-server-flight loss across RTTs (Fig 6 generalised)");
-  auto csv = bench::MaybeCsv("fig12_server_flight_loss",
-                             {"client", "http", "rtt_ms", "wfc_ttfb_ms", "iack_ttfb_ms"});
 
   core::SweepSpec spec;
   spec.name = "fig12";
@@ -24,7 +22,7 @@ QUICER_BENCH("fig12", "Figure 12: first-server-flight loss across RTTs") {
   spec.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
   spec.axes.rtts = {sim::Millis(1), sim::Millis(9), sim::Millis(20), sim::Millis(100),
                     sim::Millis(300)};
-  if (bench::DenseAxes()) {
+  if (bench::DenseAxes(ctx)) {
     spec.axes.rtts.insert(spec.axes.rtts.end(), {sim::Millis(50), sim::Millis(200)});
   }
   spec.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
@@ -37,8 +35,9 @@ QUICER_BENCH("fig12", "Figure 12: first-server-flight loss across RTTs") {
   spec.repetitions = 10;
   spec.metrics = {{"response_ttfb_ms", core::MetricMode::kSummary, /*exclude_negative=*/true,
                    [](const core::ExperimentResult& r) { return r.ResponseTtfbMs(); }}};
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (http::Version version : spec.axes.http_versions) {
     core::PrintHeading(std::string(http::ToString(version)));
@@ -66,11 +65,6 @@ QUICER_BENCH("fig12", "Figure 12: first-server-flight loss across RTTs") {
         std::printf("%10s %8.0f  %12.1f  %12.1f  %+14.1f\n",
                     std::string(clients::Name(impl)).c_str(), rtt_ms, wfc_median, iack_median,
                     iack_median - wfc_median);
-        if (csv != nullptr) {
-          csv->TextRow({std::string(clients::Name(impl)),
-                        std::string(http::ToString(version)), std::to_string(rtt_ms),
-                        std::to_string(wfc_median), std::to_string(iack_median)});
-        }
       }
       std::printf("\n");
     }

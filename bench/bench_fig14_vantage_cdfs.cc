@@ -40,8 +40,9 @@ QUICER_BENCH("fig14", "Figure 14: ACK->SH delay per CDN from four vantage points
         if (!result.success || !result.iack_observed) return core::NoSample();
         return result.ack_sh_delay_ms;
       }});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   for (scan::Vantage vantage : scan::kAllVantages) {
     core::PrintHeading(std::string(scan::Name(vantage)));

@@ -55,8 +55,9 @@ QUICER_BENCH("fig15", "Figure 15: Cloudflare study from four vantage points") {
        SummaryField(&scan::StudySummary::median_gap_ms),
        SummaryField(&scan::StudySummary::coalesced_share),
        SummaryField(&scan::StudySummary::avoided_pto_inflation_ms)});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   std::printf("%16s  %10s  %10s  %10s  %12s  %10s\n", "vantage", "ACK [ms]", "SH [ms]",
               "gap [ms]", "coal. [%]", "3x gap[ms]");

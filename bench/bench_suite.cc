@@ -1,13 +1,19 @@
 // bench_suite — runs any subset of the registered figure benches through the
-// sweep engine on the shared persistent thread pool.
+// sweep engine on the shared persistent thread pool, optionally as one shard
+// of a multi-process run, and merges partial results back into the exports a
+// single process would have written.
 //
 //   bench_suite --list                 # names + descriptions
 //   bench_suite                        # run everything
-//   bench_suite --filter=fig1         # substring-select benches
+//   bench_suite --filter=fig1          # substring-select benches
 //   bench_suite --threads=8            # pool size (QUICER_THREADS also works)
 //   bench_suite --data-dir=out/        # per-sweep CSV + JSON exports
 //   bench_suite --scale=4              # multiply repetitions, denser axes
 //   bench_suite --progress             # per-sweep progress lines on stderr
+//   bench_suite --budget-seconds=600   # suite-wide wall-clock ceiling
+//   bench_suite --shard=0/4            # execute shard 0 of 4 (partial JSON)
+//   bench_suite --points=3,17          # execute explicit point ids
+//   bench_suite merge --out-dir=out/ PARTIAL.json...   # recombine shards
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,11 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep_partial.h"
 #include "core/thread_pool.h"
 #include "registry.h"
 
 namespace {
 
+using quicer::bench::BenchContext;
 using quicer::bench::BenchInfo;
 using quicer::bench::Registry;
 
@@ -31,7 +39,9 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--list] [--filter=SUBSTR] [--threads=N] [--data-dir=DIR]\n"
-      "          [--scale=N] [--progress]\n"
+      "          [--scale=N] [--progress] [--budget-seconds=N]\n"
+      "          [--shard=I/N | --points=ID,ID,...]\n"
+      "       %s merge [--out-dir=DIR] PARTIAL.json...\n"
       "  --list        list registered benches and exit\n"
       "  --filter=S    run only benches whose name contains S\n"
       "  --threads=N   size of the shared thread pool (default: hardware)\n"
@@ -39,16 +49,84 @@ int Usage(const char* argv0) {
       "  --scale=N     multiply experiment-sweep repetitions by N and widen\n"
       "                RTT/delta axes (paper grids: --scale=4; default 1)\n"
       "  --progress    per-sweep progress lines on stderr (points done,\n"
-      "                runs/sec) via the SweepObserver hook\n",
-      argv0);
+      "                runs/sec) via the SweepObserver hook\n"
+      "  --budget-seconds=N  suite-wide wall-clock ceiling: once exceeded,\n"
+      "                remaining sweep points are budget-skipped and listed\n"
+      "                in partial-result JSON for a later --points rerun\n"
+      "  --shard=I/N   execute only points with id %% N == I (I in 0..N-1);\n"
+      "                every sweep then writes a partial-result JSON instead\n"
+      "                of its final exports\n"
+      "  --points=IDS  execute only the listed point ids (comma-separated),\n"
+      "                e.g. the budget_skipped_points of an earlier partial\n"
+      "  merge         parse partial-result JSONs, merge per sweep name and\n"
+      "                write final CSV/JSON exports (byte-identical to a\n"
+      "                single-process run) into --out-dir (default \".\")\n",
+      argv0, argv0);
   return 2;
+}
+
+int RunMerge(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown merge option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "merge: no partial-result files given\n");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create out dir '%s': %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  return quicer::core::MergeSweepPartialFiles(files, out_dir, stderr) ? 0 : 1;
+}
+
+bool ParseShard(const std::string& value, quicer::core::SweepShard& shard) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos) return false;
+  char* end = nullptr;
+  const long index = std::strtol(value.c_str(), &end, 10);
+  if (end != value.c_str() + slash) return false;
+  const long count = std::strtol(value.c_str() + slash + 1, &end, 10);
+  if (*end != '\0' || count < 1 || index < 0 || index >= count) return false;
+  shard.index = static_cast<std::size_t>(index);
+  shard.count = static_cast<std::size_t>(count);
+  return true;
+}
+
+bool ParsePoints(const std::string& value, std::vector<std::size_t>& points) {
+  const char* cursor = value.c_str();
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const long id = std::strtol(cursor, &end, 10);
+    if (end == cursor || id < 0) return false;
+    points.push_back(static_cast<std::size_t>(id));
+    cursor = *end == ',' ? end + 1 : end;
+    if (*end != '\0' && *end != ',') return false;
+  }
+  return !points.empty();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
+
   bool list = false;
   std::string filter;
+  BenchContext context;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -69,13 +147,36 @@ int main(int argc, char** argv) {
       }
       setenv("QUICER_DATA_DIR", dir, 1);
     } else if (arg.rfind("--scale=", 0) == 0) {
-      // Read by bench::ScaleFactor() before each sweep is built.
-      setenv("QUICER_BENCH_SCALE", arg.c_str() + std::strlen("--scale="), 1);
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--scale="), nullptr, 10);
+      context.scale = parsed >= 1 ? static_cast<int>(parsed) : 1;
     } else if (arg == "--progress") {
-      setenv("QUICER_BENCH_PROGRESS", "1", 1);
+      context.progress = true;
+    } else if (arg.rfind("--budget-seconds=", 0) == 0) {
+      context.budget_seconds =
+          std::strtod(arg.c_str() + std::strlen("--budget-seconds="), nullptr);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      if (!ParseShard(arg.substr(std::strlen("--shard=")), context.shard)) {
+        std::fprintf(stderr, "invalid --shard '%s' (expected I/N with 0 <= I < N)\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--points=", 0) == 0) {
+      if (!ParsePoints(arg.substr(std::strlen("--points=")), context.shard.points)) {
+        std::fprintf(stderr, "invalid --points '%s' (expected ID,ID,...)\n", arg.c_str());
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  // A sharded run's only useful product is its partial-result files; without
+  // a data dir the whole run would be silently discarded.
+  if (!context.shard.all() && std::getenv("QUICER_DATA_DIR") == nullptr) {
+    std::fprintf(stderr,
+                 "--shard/--points produce partial-result files: pass --data-dir=DIR "
+                 "(or set QUICER_DATA_DIR)\n");
+    return 2;
   }
 
   const std::vector<BenchInfo> selected = Registry::Instance().Match(filter);
@@ -96,11 +197,11 @@ int main(int argc, char** argv) {
     int exit_code;
   };
   std::vector<Timing> timings;
-  const auto suite_start = std::chrono::steady_clock::now();
+  context.suite_start = std::chrono::steady_clock::now();
   int failures = 0;
   for (const BenchInfo& bench : selected) {
     const auto start = std::chrono::steady_clock::now();
-    const int code = bench.run();
+    const int code = bench.run(context);
     timings.push_back({bench.name, SecondsSince(start), code});
     if (code != 0) ++failures;
   }
@@ -111,7 +212,7 @@ int main(int argc, char** argv) {
                 timing.exit_code == 0 ? "ok" : "FAILED");
   }
   std::printf("%-24s %10.2f  (%zu benches, pool of %u threads)\n", "total",
-              SecondsSince(suite_start), timings.size(),
+              SecondsSince(context.suite_start), timings.size(),
               quicer::core::ThreadPool::Global().size());
   return failures == 0 ? 0 : 1;
 }

@@ -43,8 +43,9 @@ QUICER_BENCH("table1", "Table 1: CDN-hosted domains and instant-ACK deployment")
         if (!result.success) return core::NoSample();
         return result.iack_observed ? 1.0 : 0.0;
       }});
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   struct Row {
     int domains = 0;

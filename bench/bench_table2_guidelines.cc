@@ -28,7 +28,7 @@ core::MetricSpec ProbesMetricSpec() {
           &ProbesMetric};
 }
 
-core::SweepSpec BaseSpec() {
+core::SweepSpec BaseSpec(const bench::BenchContext& ctx) {
   core::SweepSpec spec;
   spec.base.client = clients::ClientImpl::kNgtcp2;
   spec.base.rtt = sim::Millis(9);
@@ -36,7 +36,7 @@ core::SweepSpec BaseSpec() {
   spec.axes.behaviors = {quic::ServerBehavior::kWaitForCertificate,
                          quic::ServerBehavior::kInstantAck};
   spec.repetitions = 15;
-  bench::Tune(spec);
+  bench::Tune(spec, ctx);
   return spec;
 }
 
@@ -104,7 +104,7 @@ QUICER_BENCH("table2", "Table 2: deployment guidelines (advisor vs simulator)") 
 
   // Loss grid: the two measured loss scenarios at Δt = 0 with the small
   // certificate (the large-certificate loss cells are paper synthesis).
-  core::SweepSpec loss_spec = BaseSpec();
+  core::SweepSpec loss_spec = BaseSpec(ctx);
   loss_spec.name = "table2_loss";
   loss_spec.axes.losses = {
       {"first-server-flight-tail",
@@ -120,7 +120,7 @@ QUICER_BENCH("table2", "Table 2: deployment guidelines (advisor vs simulator)") 
   loss_probes.metrics = {ProbesMetricSpec()};
 
   // Δt grid: no loss, both certificate sizes, the two measured Δt values.
-  core::SweepSpec delay_spec = BaseSpec();
+  core::SweepSpec delay_spec = BaseSpec(ctx);
   delay_spec.name = "table2_delay";
   delay_spec.axes.certificate_sizes = {tls::kSmallCertificateBytes,
                                        tls::kLargeCertificateBytes};
@@ -133,6 +133,10 @@ QUICER_BENCH("table2", "Table 2: deployment guidelines (advisor vs simulator)") 
   const core::SweepResult loss_probes_r = core::RunSweep(loss_probes);
   const core::SweepResult delay_ttfb_r = core::RunSweep(delay_spec);
   const core::SweepResult delay_probes_r = core::RunSweep(delay_probes);
+  if (bench::AnyPartialExported(
+          {&loss_ttfb_r, &loss_probes_r, &delay_ttfb_r, &delay_probes_r})) {
+    return 0;
+  }
 
   auto loss_cell = [&](const std::string& label, quic::ServerBehavior behavior) {
     return Extract(loss_ttfb_r, loss_probes_r,

@@ -44,7 +44,9 @@ QUICER_BENCH("table3", "Table 3: first ACK Delay per server implementation") {
     return std::vector<double>{delay(profile.initial_ack_delay),
                                delay(profile.handshake_ack_delay)};
   };
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   std::printf("%12s  %16s  %18s\n", "server", "Initial [ms]", "Handshake [ms]");
   int zero_count = 0;

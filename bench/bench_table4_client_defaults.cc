@@ -28,8 +28,9 @@ QUICER_BENCH("table4", "Table 4: client default PTO and second-flight datagrams"
                    [](const core::ExperimentResult& r) {
                      return static_cast<double>(r.client.datagrams_sent);
                    }}};
-  bench::TuneObserver(spec);
+  bench::TuneObserver(spec, ctx);
   const core::SweepResult result = core::RunSweep(spec);
+  if (bench::PartialExported(result)) return 0;
 
   std::printf("%10s  %16s  %22s  %24s\n", "client", "default PTO [ms]",
               "second flight datagrams", "observed client datagrams");

@@ -6,6 +6,15 @@
 
 namespace quicer::bench {
 
+double BenchContext::RemainingBudgetSeconds() const {
+  if (budget_seconds <= 0.0) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_start).count();
+  // Never return the "unlimited" 0: an exhausted budget must skip the
+  // remaining sweeps' points, not unleash them.
+  return std::max(1e-3, budget_seconds - elapsed);
+}
+
 Registry& Registry::Instance() {
   static Registry* registry = new Registry();  // leaked: outlives static dtors
   return *registry;
@@ -34,17 +43,18 @@ const BenchInfo* Registry::Find(const std::string& name) const {
   return nullptr;
 }
 
-Registrar::Registrar(std::string name, std::string description, std::function<int()> run) {
+Registrar::Registrar(std::string name, std::string description,
+                     std::function<int(const BenchContext&)> run) {
   Registry::Instance().Add(BenchInfo{std::move(name), std::move(description), std::move(run)});
 }
 
-int RunByName(const std::string& name) {
+int RunByName(const std::string& name, const BenchContext& context) {
   const BenchInfo* bench = Registry::Instance().Find(name);
   if (bench == nullptr) {
     std::fprintf(stderr, "unknown bench: %s\n", name.c_str());
     return 2;
   }
-  return bench->run();
+  return bench->run(context);
 }
 
 }  // namespace quicer::bench

@@ -2,11 +2,17 @@
 // (bench_suite) can list and run any subset of the paper's figures/tables on
 // the shared thread pool.
 //
+// Suite-wide options (--scale, --progress, --shard, --budget-seconds) reach
+// the benches as an explicit BenchContext argument threaded through the
+// registry — not environment variables — so a bench body reads everything it
+// needs from its `ctx` parameter and standalone binaries run with the
+// defaults.
+//
 // A migrated bench file contains:
 //
 //   QUICER_BENCH("fig05", "Figure 5: TTFB under amplification limits") {
-//     ...            // bench body; returns an int exit code
-//   }
+//     ...            // bench body; `ctx` is the BenchContext; returns an
+//   }                // int exit code
 //   QUICER_BENCH_MAIN("fig05")
 //
 // Compiled standalone, QUICER_BENCH_MAIN stamps a main() so the file still
@@ -14,16 +20,44 @@
 // empty and the registration is aggregated into bench_suite.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
+
 namespace quicer::bench {
+
+/// Suite-wide options handed to every bench body, replacing the former
+/// QUICER_BENCH_SCALE / QUICER_BENCH_PROGRESS environment plumbing.
+struct BenchContext {
+  /// Repetition multiplier for experiment-driven sweeps (--scale; the
+  /// paper's grids correspond to 4). Scaled runs also widen RTT/Δt axes.
+  int scale = 1;
+  /// Stream per-sweep progress lines to stderr (--progress).
+  bool progress = false;
+  /// Suite-wide wall-clock ceiling in seconds, 0 = unlimited
+  /// (--budget-seconds). Each sweep receives the budget *remaining* at its
+  /// start, so the whole suite lands under one ceiling.
+  double budget_seconds = 0.0;
+  /// When the suite (or standalone binary) started, for the budget.
+  std::chrono::steady_clock::time_point suite_start = std::chrono::steady_clock::now();
+  /// Grid subset this process executes (--shard=i/N or --points=ids).
+  core::SweepShard shard;
+
+  /// True when a scaled run should also widen its RTT/Δt axes.
+  bool dense_axes() const { return scale > 1; }
+  /// Seconds left of the suite budget (0 = unlimited). Once the budget is
+  /// exhausted this stays at a tiny positive value, so subsequent sweeps
+  /// budget-skip all of their points instead of running unbounded.
+  double RemainingBudgetSeconds() const;
+};
 
 struct BenchInfo {
   std::string name;         // machine name, e.g. "fig05"
   std::string description;  // one-line human description
-  std::function<int()> run;
+  std::function<int(const BenchContext&)> run;
 };
 
 class Registry {
@@ -45,26 +79,30 @@ class Registry {
 };
 
 struct Registrar {
-  Registrar(std::string name, std::string description, std::function<int()> run);
+  Registrar(std::string name, std::string description,
+            std::function<int(const BenchContext&)> run);
 };
 
 /// Runs one registered bench by exact name; returns its exit code (2 if the
 /// name is unknown).
-int RunByName(const std::string& name);
+int RunByName(const std::string& name, const BenchContext& context = BenchContext{});
 
 #define QUICER_BENCH_CONCAT_(a, b) a##b
 #define QUICER_BENCH_CONCAT(a, b) QUICER_BENCH_CONCAT_(a, b)
 
 /// Registers one bench. A file may contain several QUICER_BENCH blocks (the
 /// ACK-Delay ablation registers its two sections separately); the line
-/// number keeps the registrar symbols distinct.
+/// number keeps the registrar symbols distinct. The body sees the suite
+/// options as `ctx`.
 #define QUICER_BENCH(name_str, description_str)                                         \
-  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)();                          \
+  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)(                            \
+      const ::quicer::bench::BenchContext& ctx);                                        \
   static const ::quicer::bench::Registrar QUICER_BENCH_CONCAT(                          \
       quicer_bench_registrar_, __LINE__){name_str, description_str,                     \
                                          &QUICER_BENCH_CONCAT(QuicerBenchBody,          \
                                                               __LINE__)};               \
-  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)()
+  static int QUICER_BENCH_CONCAT(QuicerBenchBody, __LINE__)(                            \
+      [[maybe_unused]] const ::quicer::bench::BenchContext& ctx)
 
 #ifdef QUICER_BENCH_SUITE
 #define QUICER_BENCH_MAIN(name_str)

@@ -1,0 +1,262 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace quicer::core {
+namespace {
+
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyItems;
+const std::vector<std::pair<std::string, JsonValue>> kEmptyMembers;
+
+}  // namespace
+
+const std::string& JsonValue::AsString() const {
+  return type_ == Type::kString ? string_ : kEmptyString;
+}
+
+const std::vector<JsonValue>& JsonValue::Items() const {
+  return type_ == Type::kArray ? items_ : kEmptyItems;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::Members() const {
+  return type_ == Type::kObject ? members_ : kEmptyMembers;
+}
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* value = Get(key);
+  return value == nullptr ? fallback : value->AsNumber(fallback);
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* value = Get(key);
+  return value == nullptr ? fallback : value->AsBool(fallback);
+}
+
+const std::string& JsonValue::GetString(std::string_view key) const {
+  const JsonValue* value = Get(key);
+  return value == nullptr ? kEmptyString : value->AsString();
+}
+
+/// Recursive-descent parser over the document text. Depth is bounded to
+/// keep adversarial inputs from exhausting the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    JsonValue value;
+    if (!ParseValue(value, 0)) {
+      if (error != nullptr) *error = error_ + " (offset " + std::to_string(pos_) + ")";
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters after document (offset " + std::to_string(pos_) + ")";
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escaped = text_[pos_++];
+      switch (escaped) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default: return Fail("unsupported escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("document too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of document");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        return ParseString(out.string_);
+      case 't':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out.type_ = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    // strtod accepts a superset (hex, inf); restrict the leading character
+    // to JSON's grammar and let it handle the rest — the documents here are
+    // machine-written with %.17g, which round-trips doubles exactly.
+    const char first = text_[pos_];
+    if (first != '-' && !std::isdigit(static_cast<unsigned char>(first))) {
+      return Fail("unexpected character");
+    }
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out.number_ = std::strtod(begin, &end);
+    if (end == begin) return Fail("malformed number");
+    out.type_ = JsonValue::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    if (!Consume('[')) return false;
+    out.type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    if (!Consume('{')) return false;
+    out.type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text, std::string* error) {
+  return JsonParser(text).Parse(error);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace quicer::core

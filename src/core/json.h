@@ -1,0 +1,74 @@
+// Minimal JSON document parser for the sweep partial-result files.
+//
+// The repo writes JSON in several places (sweep exports, qlog) but the
+// sharded sweep workflow is the first that must *read* it back: the merge
+// phase ingests partial-result files produced by other processes. This is a
+// small recursive-descent parser over an immutable value tree — enough for
+// machine-generated documents (objects, arrays, strings, doubles, bools,
+// null), not a general-purpose library (no \uXXXX escapes, no comments).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quicer::core {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (trailing whitespace allowed, trailing garbage
+  /// is an error). Returns nullopt and fills `error` on malformed input.
+  static std::optional<JsonValue> Parse(std::string_view text, std::string* error = nullptr);
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; the fallback is returned on type mismatch, so lookup
+  /// chains over optional fields stay branch-free at the call site.
+  bool AsBool(bool fallback = false) const { return type_ == Type::kBool ? bool_ : fallback; }
+  double AsNumber(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  const std::string& AsString() const;
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<JsonValue>& Items() const;
+  /// Object members in document order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const;
+
+  /// Object member by key, or nullptr (also for non-objects).
+  const JsonValue* Get(std::string_view key) const;
+
+  /// Convenience typed member lookups.
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  const std::string& GetString(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Writer-side helpers shared by the JSON-emitting modules (sweep exports,
+/// sweep partials).
+std::string JsonEscape(const std::string& s);
+/// Formats with %.17g, which round-trips doubles exactly — the property the
+/// sharded sweep workflow relies on for byte-identical merged exports. NaN
+/// renders as null.
+std::string JsonNumber(double v);
+
+}  // namespace quicer::core

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <optional>
 #include <utility>
 
 #include "core/csv.h"
+#include "core/json.h"
 #include "core/thread_pool.h"
 
 namespace quicer::core {
@@ -21,28 +21,6 @@ std::vector<std::optional<T>> AxisOrDefault(const std::vector<T>& axis) {
   out.reserve(axis.size());
   for (const T& v : axis) out.emplace_back(v);
   return out;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c; break;
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  if (std::isnan(v)) return "null";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-  return buffer;
 }
 
 /// All combinations of the extra axes, outermost first, in declaration
@@ -83,6 +61,14 @@ std::string_view ToString(MetricMode mode) {
   return "?";
 }
 
+bool SweepShard::Contains(std::size_t point_id) const {
+  if (!points.empty()) {
+    return std::find(points.begin(), points.end(), point_id) != points.end();
+  }
+  if (count <= 1) return true;
+  return point_id % count == index;
+}
+
 const SweepAxisValue* SweepPoint::Extra(std::string_view axis) const {
   for (const auto& [name, value] : extras) {
     if (name == axis) return &value;
@@ -98,6 +84,19 @@ std::string SweepPoint::ExtrasLabel() const {
     out += '=';
     out += value.label;
   }
+  return out;
+}
+
+std::string SweepPoint::Key() const {
+  std::string out = client;
+  for (const std::string* part : {&http, &behavior, &mode, &loss, &variant}) {
+    out += '|';
+    out += *part;
+  }
+  out += '|';
+  out += ExtrasLabel();
+  out += '|' + JsonNumber(rtt_ms) + '|' + JsonNumber(delta_ms) + '|' +
+         std::to_string(certificate_bytes);
   return out;
 }
 
@@ -206,9 +205,30 @@ const MetricSeries* SweepResult::FindMetric(
   return summary == nullptr ? nullptr : summary->Metric(metric);
 }
 
+bool SweepResult::partial() const {
+  if (sharded()) return true;
+  for (const PointSummary& summary : points) {
+    if (!summary.executed) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> SweepResult::BudgetSkippedPoints() const {
+  std::vector<std::size_t> skipped;
+  for (const PointSummary& summary : points) {
+    if (summary.budget_skipped) skipped.push_back(summary.point.index);
+  }
+  return skipped;
+}
+
 SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   SweepResult result;
   result.name = spec.name;
+  result.shard = spec.shard;
+  result.repetitions = spec.repetitions > 0 ? spec.repetitions : 0;
+  result.reservoir_capacity = spec.reservoir_capacity;
+  result.seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
+  result.seed_stride = spec.seed_stride;
 
   const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
   const std::size_t n_metrics = metrics.size();
@@ -231,9 +251,18 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
     result.points.push_back(std::move(summary));
   }
 
+  // The execute phase covers only the shard's points; the others keep their
+  // metadata and empty series (executed == false) so partial files carry
+  // the full grid for merge-time validation.
+  std::vector<std::size_t> selected;
+  selected.reserve(result.points.size());
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (spec.shard.Contains(i)) selected.push_back(i);
+  }
+
   const std::size_t reps =
       spec.repetitions > 0 ? static_cast<std::size_t>(spec.repetitions) : 0;
-  if (reps == 0 || result.points.empty()) return result;
+  if (reps == 0 || selected.empty()) return result;
 
   SweepRunner runner = spec.runner;
   if (!runner) {
@@ -252,7 +281,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
     };
   }
 
-  const std::uint64_t seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
+  const std::uint64_t seed_base = result.seed_base;
   const auto start = std::chrono::steady_clock::now();
 
   // Transient per-point value slots: allocated when the point's first
@@ -272,7 +301,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
     std::atomic<std::size_t> remaining{0};
     std::atomic<int> decision{0};
   };
-  std::vector<PointState> states(result.points.size());
+  std::vector<PointState> states(selected.size());
   for (PointState& state : states) {
     state.remaining.store(reps, std::memory_order_relaxed);
   }
@@ -288,17 +317,17 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   std::mutex progress_mutex;
   SweepProgress progress;
   progress.sweep = result.name;
-  progress.points_total = result.points.size();
-  progress.runs_total = result.points.size() * reps;
+  progress.points_total = selected.size();
+  progress.runs_total = selected.size() * reps;
 
-  const std::size_t total = result.points.size() * reps;
+  const std::size_t total = selected.size() * reps;
   ThreadPool::Global().ParallelFor(
       total,
       [&](std::size_t j) {
-        const std::size_t pi = j / reps;
+        const std::size_t si = j / reps;
         const std::size_t rep = j % reps;
-        PointState& state = states[pi];
-        PointSummary& summary = result.points[pi];
+        PointState& state = states[si];
+        PointSummary& summary = result.points[selected[si]];
 
         int decision = state.decision.load(std::memory_order_acquire);
         if (decision == 0) {
@@ -324,6 +353,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
           if (decision == 2) {
             summary.budget_skipped = true;
           } else {
+            summary.executed = true;
             for (std::size_t r = 0; r < reps; ++r) {
               for (std::size_t m = 0; m < n_metrics; ++m) {
                 const double v = state.slots[r * n_metrics + m];
@@ -367,6 +397,117 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   result.total_runs = total;
   result.executed_runs = progress.runs_completed;
   return result;
+}
+
+std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& partials,
+                                             std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<SweepResult> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (partials.empty()) return fail("no partial results to merge");
+
+  const SweepResult& first = partials.front();
+  for (const SweepResult& partial : partials) {
+    if (partial.name != first.name) {
+      return fail("sweep name mismatch: '" + partial.name + "' vs '" + first.name + "'");
+    }
+    if (partial.points.size() != first.points.size()) {
+      return fail("grid size mismatch in sweep '" + first.name + "': " +
+                  std::to_string(partial.points.size()) + " vs " +
+                  std::to_string(first.points.size()) + " points");
+    }
+    if (partial.repetitions != first.repetitions ||
+        partial.reservoir_capacity != first.reservoir_capacity ||
+        partial.seed_base != first.seed_base || partial.seed_stride != first.seed_stride) {
+      return fail("spec fingerprint mismatch in sweep '" + first.name +
+                  "' (repetitions / reservoir / seed schedule differ)");
+    }
+    for (std::size_t i = 0; i < partial.points.size(); ++i) {
+      if (partial.points[i].point.Key() != first.points[i].point.Key()) {
+        return fail("point " + std::to_string(i) + " of sweep '" + first.name +
+                    "' differs between partials: '" + partial.points[i].point.Key() +
+                    "' vs '" + first.points[i].point.Key() + "'");
+      }
+      if (partial.points[i].metrics.size() != first.points[i].metrics.size()) {
+        return fail("metric count mismatch at point " + std::to_string(i) + " of sweep '" +
+                    first.name + "'");
+      }
+      for (std::size_t m = 0; m < partial.points[i].metrics.size(); ++m) {
+        const MetricSeries& a = partial.points[i].metrics[m];
+        const MetricSeries& b = first.points[i].metrics[m];
+        if (a.name != b.name || a.mode != b.mode) {
+          return fail("metric " + std::to_string(m) + " of sweep '" + first.name +
+                      "' differs between partials: " + a.name + "/" +
+                      std::string(ToString(a.mode)) + " vs " + b.name + "/" +
+                      std::string(ToString(b.mode)));
+        }
+      }
+    }
+  }
+
+  SweepResult merged = first;
+  merged.shard = SweepShard{};
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < merged.points.size(); ++i) {
+    PointSummary& dst = merged.points[i];
+    dst.executed = false;
+    dst.budget_skipped = false;
+    // Fresh empty series; every executing partial folds in via Merge /
+    // trace concatenation, in partial order.
+    for (MetricSeries& series : dst.metrics) {
+      series.aborted = 0;
+      series.skipped = 0;
+      series.trace.clear();
+      if (series.mode == MetricMode::kSummary) {
+        series.summary = stats::Accumulator(merged.reservoir_capacity);
+      }
+    }
+    bool budget_skipped_somewhere = false;
+    for (const SweepResult& partial : partials) {
+      const PointSummary& src = partial.points[i];
+      budget_skipped_somewhere |= src.budget_skipped;
+      if (!src.executed) continue;
+      dst.executed = true;
+      for (std::size_t m = 0; m < dst.metrics.size(); ++m) {
+        MetricSeries& series = dst.metrics[m];
+        const MetricSeries& from = src.metrics[m];
+        series.aborted += from.aborted;
+        series.skipped += from.skipped;
+        if (series.mode == MetricMode::kTrace) {
+          series.trace.insert(series.trace.end(), from.trace.begin(), from.trace.end());
+        } else {
+          series.summary.Merge(from.summary);
+        }
+      }
+    }
+    if (!dst.executed) {
+      if (budget_skipped_somewhere) {
+        dst.budget_skipped = true;
+      } else {
+        missing.push_back(i);
+      }
+    }
+  }
+  if (!missing.empty()) {
+    std::string ids;
+    for (std::size_t id : missing) {
+      if (!ids.empty()) ids += ',';
+      ids += std::to_string(id);
+    }
+    return fail("sweep '" + merged.name + "': points " + ids +
+                " executed in no partial (and not budget-skipped)");
+  }
+
+  const std::size_t reps =
+      merged.repetitions > 0 ? static_cast<std::size_t>(merged.repetitions) : 0;
+  std::size_t executed_points = 0;
+  for (const PointSummary& summary : merged.points) {
+    if (summary.executed) ++executed_points;
+  }
+  merged.total_runs = merged.points.size() * reps;
+  merged.executed_runs = executed_points * reps;
+  return merged;
 }
 
 const std::vector<std::string>& SweepCsvHeader() {
@@ -457,16 +598,7 @@ std::string SweepResultJson(const SweepResult& result) {
   return out;
 }
 
-bool MaybeWriteSweepData(const SweepResult& result) {
-  const auto dir = DataDirFromEnv();
-  if (!dir || result.name.empty()) return false;
-  CsvWriter csv(*dir, result.name + "_sweep", SweepCsvHeader());
-  if (!csv.active()) return false;
-  WriteSweepCsv(result, csv);
-  std::ofstream json(*dir + "/" + result.name + "_sweep.json");
-  if (!json.is_open()) return false;
-  json << SweepResultJson(result);
-  return true;
-}
+// WriteSweepData / MaybeWriteSweepData live in sweep_partial.cc: sharded
+// results write partial-result files instead of the final export pair.
 
 }  // namespace quicer::core

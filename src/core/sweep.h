@@ -28,13 +28,33 @@
 // by its (repetition, metric) index, and a point's series are folded in
 // repetition order by whichever worker completes the point — so summaries
 // and traces are bit-identical to a serial run for any thread count.
+//
+// The engine is split into three point-addressable phases, so a grid can be
+// cut across processes or machines and recombined byte-identically:
+//
+//  * enumerate — Enumerate(spec) assigns every SweepPoint a stable id
+//    (SweepPoint::index), derived only from the spec's axes: independent of
+//    thread count, shard layout and execution order.
+//  * execute — RunSweep(spec) runs the subset selected by spec.shard (a
+//    round-robin i-of-N shard or an explicit point-id list; the default
+//    selects everything). Because the seed schedule depends only on the
+//    repetition index, any subset reproduces exactly the values the full
+//    run would produce for those points.
+//  * merge — MergeSweepResults combines partial results (disjoint or not)
+//    into one full result: summary series merge via stats::Accumulator::
+//    Merge, trace series concatenate in repetition order, and the merged
+//    exports are byte-identical to a single-process run when each point ran
+//    wholly in one partial. sweep_partial.h serialises partials to JSON for
+//    cross-process merging (the bench_suite --shard / merge workflow).
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +99,24 @@ struct SweepAxisValue {
 struct SweepExtraAxis {
   std::string name;
   std::vector<SweepAxisValue> values;
+};
+
+/// Which subset of the enumerated grid an execution covers. The default
+/// covers every point (a classic single-process run). A shard of `count`
+/// processes executes the points whose stable id is congruent to `index`
+/// modulo `count` — round-robin, so dense and sparse grid regions spread
+/// evenly — unless `points` lists explicit ids (re-running budget-skipped
+/// points from an earlier partial).
+struct SweepShard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+  /// Explicit point ids; overrides index/count when non-empty.
+  std::vector<std::size_t> points;
+
+  /// True when this shard selects the whole grid.
+  bool all() const { return count <= 1 && points.empty(); }
+  /// True when the point with stable id `point_id` belongs to this shard.
+  bool Contains(std::size_t point_id) const;
 };
 
 /// Axis values to sweep. An empty axis keeps the base config's value and
@@ -139,12 +177,17 @@ struct SweepPoint {
   double rtt_ms = 0.0;
   double delta_ms = 0.0;
   std::size_t certificate_bytes = 0;
+  /// Stable point id: the position in the enumerated grid, derived only
+  /// from the spec's axes (independent of thread count and shard layout).
   std::size_t index = 0;
 
   /// The value of the named extra axis at this point, or nullptr.
   const SweepAxisValue* Extra(std::string_view axis) const;
   /// "day=0|vantage=Hamburg, DE" — the CSV/JSON extras key.
   std::string ExtrasLabel() const;
+  /// Label fingerprint of the point ("client|http|...|rtt|delta|cert") —
+  /// the merge phase's check that two partials enumerate the same grid.
+  std::string Key() const;
 };
 
 /// Everything a runner needs to produce one repetition of one point.
@@ -216,6 +259,11 @@ struct SweepSpec {
   /// budget_skipped, no partial series); points already underway finish all
   /// their repetitions, so every non-skipped point stays deterministic.
   double time_budget_seconds = 0.0;
+
+  /// Subset of the grid this process executes (default: everything). Points
+  /// outside the shard stay in the result with their metadata but empty
+  /// series and executed == false.
+  SweepShard shard;
 };
 
 /// One metric's aggregated values at one point.
@@ -254,6 +302,9 @@ struct PointSummary {
   /// True when the wall-clock budget skipped this point before any
   /// repetition ran (all series empty).
   bool budget_skipped = false;
+  /// True when this process ran the point's repetitions (false for points
+  /// outside the shard and for budget-skipped points).
+  bool executed = false;
 
   /// Series of the named metric, or nullptr.
   const MetricSeries* Metric(std::string_view name) const;
@@ -270,11 +321,29 @@ struct PointSummary {
 struct SweepResult {
   std::string name;
   std::vector<PointSummary> points;
-  /// Scheduled runs (points × repetitions).
+  /// Scheduled runs (selected points × repetitions).
   std::size_t total_runs = 0;
   /// Repetitions actually executed (differs from total_runs only when a
   /// wall-clock budget skipped points).
   std::size_t executed_runs = 0;
+
+  /// Execution metadata, carried into partial-result files so the merge
+  /// phase can validate that partials come from the same spec.
+  SweepShard shard;
+  int repetitions = 0;
+  std::size_t reservoir_capacity = stats::Accumulator::kDefaultReservoirCapacity;
+  std::uint64_t seed_base = 0;
+  std::uint64_t seed_stride = 0;
+
+  /// True when this result covers a strict subset of the grid by
+  /// construction (spec.shard selected a subset).
+  bool sharded() const { return !shard.all(); }
+  /// True when some point lacks data — sharded, budget-skipped, or both —
+  /// i.e. the exports do not represent the full grid.
+  bool partial() const;
+  /// Stable ids of the points the wall-clock budget skipped; listed in
+  /// partial-result files so a later shard can re-run exactly those.
+  std::vector<std::size_t> BudgetSkippedPoints() const;
 
   /// First point matching `pred`, or nullptr. Enumeration order is
   /// outermost-to-innermost: extras (declaration order), http, variant,
@@ -286,12 +355,28 @@ struct SweepResult {
                                  std::string_view metric) const;
 };
 
-/// Enumerates the flat grid of a spec (no experiments run).
+/// Phase 1 — enumerates the flat grid of a spec (no experiments run). The
+/// position of a point in the returned vector is its stable id.
 std::vector<SweepPoint> Enumerate(const SweepSpec& spec);
 
-/// Runs the whole grid on the shared ThreadPool. `max_parallelism` caps
-/// concurrent jobs (0 = whole pool).
+/// Phase 2 — runs the subset of the grid selected by spec.shard (default:
+/// everything) on the shared ThreadPool. `max_parallelism` caps concurrent
+/// jobs (0 = whole pool).
 SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism = 0);
+
+/// Phase 3 — merges partial results of the same spec into one result
+/// covering every point executed in any partial. Per point, summary series
+/// fold via stats::Accumulator::Merge and trace series concatenate in
+/// partial order (repetition order when each partial ran a repetition
+/// range); aborted/skipped counters add. A point executed by exactly one
+/// partial — the --shard workflow — is reproduced bit-identically, so the
+/// merged CSV/JSON exports match a single-process run byte for byte.
+/// Points executed nowhere stay budget_skipped when some partial skipped
+/// them over budget; otherwise the merge fails. Returns nullopt and fills
+/// `error` when the partials disagree on the spec fingerprint (name, grid,
+/// repetitions, seeds) or leave points uncovered.
+std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& partials,
+                                             std::string* error = nullptr);
 
 /// Adapts a whole-grid computation into a runner: `compute` runs exactly
 /// once (triggered by the first repetition to arrive, other workers block),
@@ -314,6 +399,45 @@ SweepRunner SharedOutcomeRunner(
   };
 }
 
+/// Generalises SharedOutcomeRunner to sweeps whose shared computation
+/// depends on the point: `compute` runs once per distinct key (memoized,
+/// concurrency-safe via a per-key once_flag), and every (point, repetition)
+/// extracts its values from its key's outcome. `compute` receives the
+/// context of whichever repetition triggers it; determinism requires the
+/// outcome to depend only on the key (with its own RNG seeds) — never on
+/// the triggering repetition — so the set of keys actually computed, which
+/// depends on the shard, cannot change any outcome. The caching study keys
+/// one cluster simulation per (capacity, ttl) pair shared by its domain
+/// points; scan::StudyRunner keys one Cloudflare study per point.
+template <typename Outcome, typename Key>
+SweepRunner KeyedOutcomeRunner(
+    std::function<Key(const SweepRunContext&)> key_of,
+    std::function<Outcome(const Key&, const SweepRunContext&)> compute,
+    std::function<std::vector<double>(const Outcome&, const SweepRunContext&)> extract) {
+  struct Entry {
+    std::once_flag once;
+    Outcome outcome;
+  };
+  struct State {
+    std::mutex mutex;
+    std::map<Key, std::unique_ptr<Entry>> entries;
+  };
+  auto state = std::make_shared<State>();
+  return [state, key_of = std::move(key_of), compute = std::move(compute),
+          extract = std::move(extract)](const SweepRunContext& ctx) {
+    const Key key = key_of(ctx);
+    Entry* entry;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      std::unique_ptr<Entry>& slot = state->entries[key];
+      if (!slot) slot = std::make_unique<Entry>();
+      entry = slot.get();
+    }
+    std::call_once(entry->once, [&] { entry->outcome = compute(key, ctx); });
+    return extract(entry->outcome, ctx);
+  };
+}
+
 /// The NaN sentinel runners return for "no sample for this repetition".
 inline double NoSample() { return std::nan(""); }
 
@@ -330,8 +454,18 @@ void WriteSweepCsv(const SweepResult& result, CsvWriter& writer);
 /// a "metrics" array; kTrace series carry their full "trace" vector.
 std::string SweepResultJson(const SweepResult& result);
 
-/// When QUICER_DATA_DIR is set, writes <dir>/<name>_sweep.csv and
-/// <dir>/<name>_sweep.json. Returns true if files were written.
+/// Writes the result's machine-readable files into `directory`:
+///  * full results — <name>_sweep.csv and <name>_sweep.json;
+///  * sharded results — only <name>_sweep.<shard-tag>.json, the
+///    partial-result file the merge subcommand ingests (a shard must not
+///    clobber the merged export names);
+///  * unsharded results with budget-skipped points — the usual pair plus
+///    <name>_sweep.partial.json, so the skipped points can be re-run
+///    (--points) and merged in.
+/// Returns true if files were written.
+bool WriteSweepData(const SweepResult& result, const std::string& directory);
+
+/// WriteSweepData into QUICER_DATA_DIR, when set.
 bool MaybeWriteSweepData(const SweepResult& result);
 
 }  // namespace quicer::core

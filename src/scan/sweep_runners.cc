@@ -1,7 +1,5 @@
 #include "scan/sweep_runners.h"
 
-#include <mutex>
-#include <unordered_map>
 #include <utility>
 
 namespace quicer::scan {
@@ -85,39 +83,28 @@ core::SweepRunner ProbeRunner(std::shared_ptr<const TrancoPopulation> population
 core::SweepRunner StudyRunner(
     std::function<CloudflareStudyConfig(const core::SweepPoint&)> make_config,
     std::vector<StudyMetricFn> metrics) {
-  // Per-point memo: the map lookup is guarded briefly; the study itself runs
-  // under the point's own once_flag, so distinct points compute in parallel
-  // while repetitions of one point share a single run.
-  struct Cell {
-    std::once_flag once;
-    StudyOutcome outcome;
-  };
-  struct Memo {
-    std::mutex mutex;
-    std::unordered_map<std::size_t, std::shared_ptr<Cell>> cells;
-  };
-  auto memo = std::make_shared<Memo>();
-  return [memo, make_config = std::move(make_config),
-          metrics = std::move(metrics)](const core::SweepRunContext& ctx) {
-    std::shared_ptr<Cell> cell;
-    {
-      std::lock_guard<std::mutex> lock(memo->mutex);
-      std::shared_ptr<Cell>& slot = memo->cells[ctx.point.index];
-      if (!slot) slot = std::make_shared<Cell>();
-      cell = slot;
-    }
-    std::call_once(cell->once, [&] {
-      cell->outcome.points = RunCloudflareStudy(make_config(ctx.point));
-      cell->outcome.summary = SummarizeStudy(cell->outcome.points);
-    });
-
-    std::vector<double> values;
-    values.reserve(metrics.size());
-    for (const StudyMetricFn& metric : metrics) {
-      values.push_back(metric(cell->outcome, ctx));
-    }
-    return values;
-  };
+  // One study per point, shared by its repetitions: the generic keyed memo
+  // (per-key once_flag) keyed by the stable point id. The config depends
+  // only on the point, so the outcome depends only on the key, as the memo
+  // requires.
+  return core::KeyedOutcomeRunner<StudyOutcome, std::size_t>(
+      [](const core::SweepRunContext& ctx) { return ctx.point.index; },
+      [make_config = std::move(make_config)](const std::size_t&,
+                                             const core::SweepRunContext& ctx) {
+        StudyOutcome outcome;
+        outcome.points = RunCloudflareStudy(make_config(ctx.point));
+        outcome.summary = SummarizeStudy(outcome.points);
+        return outcome;
+      },
+      [metrics = std::move(metrics)](const StudyOutcome& outcome,
+                                     const core::SweepRunContext& ctx) {
+        std::vector<double> values;
+        values.reserve(metrics.size());
+        for (const StudyMetricFn& metric : metrics) {
+          values.push_back(metric(outcome, ctx));
+        }
+        return values;
+      });
 }
 
 }  // namespace quicer::scan

@@ -57,6 +57,82 @@ void Accumulator::Overflow() {
   sorted_valid_ = false;
 }
 
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (!other.overflowed_) {
+    // Sequential replay: bit-identical to single-stream accumulation.
+    for (double v : other.reservoir_) Add(v);
+    return;
+  }
+
+  // `other` lost its samples to its histogram; combine moments (Chan) and
+  // remap its bins. Force our own overflow first so both sides are in
+  // histogram mode — Overflow() derives the bin range from *our* min/max,
+  // which must happen before they absorb other's.
+  if (!overflowed_) Overflow();
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+
+  const double width = histo_hi_ - histo_lo_;
+  for (std::size_t b = 0; b < other.bins_.size(); ++b) {
+    if (other.bins_[b] == 0) continue;
+    const double center = other.histo_lo_ + (static_cast<double>(b) + 0.5) *
+                                                (other.histo_hi_ - other.histo_lo_) /
+                                                static_cast<double>(other.bins_.size());
+    std::size_t bin = 0;
+    if (width > 0.0) {
+      const double pos = (center - histo_lo_) / width * static_cast<double>(bins_.size());
+      bin = pos <= 0.0 ? 0 : std::min(bins_.size() - 1, static_cast<std::size_t>(pos));
+    }
+    bins_[bin] += other.bins_[b];
+  }
+}
+
+AccumulatorState Accumulator::state() const {
+  AccumulatorState s;
+  s.capacity = capacity_;
+  s.overflowed = overflowed_;
+  s.samples = reservoir_;
+  s.count = count_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.min = min_;
+  s.max = max_;
+  s.histo_lo = histo_lo_;
+  s.histo_hi = histo_hi_;
+  s.bins = bins_;
+  return s;
+}
+
+Accumulator Accumulator::FromState(const AccumulatorState& state) {
+  Accumulator acc(state.capacity);
+  if (!state.overflowed) {
+    for (double v : state.samples) acc.Add(v);
+    return acc;
+  }
+  acc.overflowed_ = true;
+  acc.count_ = state.count;
+  acc.mean_ = state.mean;
+  acc.m2_ = state.m2;
+  acc.min_ = state.min;
+  acc.max_ = state.max;
+  acc.histo_lo_ = state.histo_lo;
+  acc.histo_hi_ = state.histo_hi;
+  acc.bins_ = state.bins;
+  if (acc.bins_.empty()) acc.bins_.assign(kHistogramBins, 0);
+  return acc;
+}
+
 double Accumulator::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

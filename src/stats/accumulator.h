@@ -17,6 +17,27 @@
 
 namespace quicer::stats {
 
+/// The complete internal state of an Accumulator, exposed so sweep partials
+/// can serialise a per-point accumulator and rebuild it bit-identically in a
+/// merge process. While `overflowed` is false only `samples` matters (the
+/// moments are replayed); afterwards the moments and histogram are restored
+/// verbatim.
+struct AccumulatorState {
+  std::size_t capacity = 0;
+  bool overflowed = false;
+  /// Retained samples in insertion order (exact mode only).
+  std::vector<double> samples;
+  // Overflow-mode fields.
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double histo_lo = 0.0;
+  double histo_hi = 0.0;
+  std::vector<std::size_t> bins;
+};
+
 class Accumulator {
  public:
   static constexpr std::size_t kDefaultReservoirCapacity = 4096;
@@ -25,6 +46,27 @@ class Accumulator {
   explicit Accumulator(std::size_t reservoir_capacity = kDefaultReservoirCapacity);
 
   void Add(double x);
+
+  /// Folds `other` into this accumulator, as if other's samples had been
+  /// added after this one's. Equivalence with single-stream accumulation:
+  ///  * count / min / max — always exact;
+  ///  * while `other.exact()`, its retained samples are replayed through
+  ///    Add, so *every* statistic (moments, percentiles, retained samples)
+  ///    is bit-identical to the single-stream result — the case the sweep
+  ///    merge relies on for byte-identical exports;
+  ///  * once `other` has overflowed, mean/variance combine by Chan's
+  ///    parallel formulas (exact up to floating-point rounding) and other's
+  ///    histogram bins are remapped into this histogram by bin center —
+  ///    percentile error is bounded by the bin widths involved plus any
+  ///    clamping into this histogram's [lo, hi] range.
+  void Merge(const Accumulator& other);
+
+  /// Snapshot / restore for the sweep partial-result files. Restoring a
+  /// snapshot reproduces the accumulator bit-identically: exact-mode
+  /// snapshots replay their samples in insertion order, overflowed ones
+  /// restore the moments and histogram verbatim.
+  AccumulatorState state() const;
+  static Accumulator FromState(const AccumulatorState& state);
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }

@@ -17,6 +17,21 @@ void Histogram::Add(double value) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size()) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    return;
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] == 0) continue;
+    std::ptrdiff_t bin = static_cast<std::ptrdiff_t>((other.BinCenter(i) - lo_) / bin_width_);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(bin)] += other.counts_[i];
+    total_ += other.counts_[i];
+  }
+}
+
 double Histogram::BinCenter(std::size_t bin) const {
   return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
 }

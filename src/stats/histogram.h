@@ -15,6 +15,13 @@ class Histogram {
 
   void Add(double value);
 
+  /// Folds `other` into this histogram. With identical geometry (lo, hi,
+  /// bin count) the per-bin counts add exactly — the sweep-merge case of two
+  /// shards binning the same range. Otherwise each of other's non-empty bins
+  /// is remapped by its center (clamped into [lo, hi) like Add), so the
+  /// total is preserved and any error is bounded by the two bin widths.
+  void Merge(const Histogram& other);
+
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const { return total_; }

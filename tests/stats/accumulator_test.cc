@@ -74,6 +74,138 @@ TEST(Accumulator, OverflowWithConstantValues) {
   EXPECT_DOUBLE_EQ(acc.max(), 5.0);
 }
 
+// Merge of an exact-mode accumulator replays its samples: every statistic —
+// moments, percentiles, retained samples — is bit-identical to one stream
+// accumulated in the same order, at any cut point. The sweep engine's merge
+// phase relies on this for byte-identical sharded exports.
+TEST(Accumulator, MergeExactModeIsBitIdenticalToSingleStream) {
+  std::vector<double> values;
+  sim::Rng rng(11);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextDouble() * 40.0 - 5.0);
+
+  Accumulator single;
+  for (double v : values) single.Add(v);
+
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{77}, values.size()}) {
+    Accumulator left;
+    Accumulator right;
+    for (std::size_t i = 0; i < cut; ++i) left.Add(values[i]);
+    for (std::size_t i = cut; i < values.size(); ++i) right.Add(values[i]);
+    left.Merge(right);
+
+    EXPECT_EQ(left.count(), single.count()) << cut;
+    EXPECT_EQ(left.mean(), single.mean()) << cut;        // bit-identical
+    EXPECT_EQ(left.stddev(), single.stddev()) << cut;    // bit-identical
+    EXPECT_EQ(left.min(), single.min()) << cut;
+    EXPECT_EQ(left.max(), single.max()) << cut;
+    for (double p : {10.0, 50.0, 90.0}) {
+      EXPECT_EQ(left.Percentile(p), single.Percentile(p)) << cut << " p" << p;
+    }
+    EXPECT_EQ(left.samples(), single.samples()) << cut;
+  }
+}
+
+// Merging into an empty accumulator adopts the other wholesale — including
+// an overflowed histogram state — again bit-identically.
+TEST(Accumulator, MergeIntoEmptyAdoptsOtherState) {
+  Accumulator other(/*reservoir_capacity=*/8);
+  sim::Rng rng(5);
+  for (int i = 0; i < 500; ++i) other.Add(rng.NextDouble() * 100.0);
+  ASSERT_FALSE(other.exact());
+
+  Accumulator empty(/*reservoir_capacity=*/8);
+  empty.Merge(other);
+  EXPECT_EQ(empty.count(), other.count());
+  EXPECT_EQ(empty.mean(), other.mean());
+  EXPECT_EQ(empty.stddev(), other.stddev());
+  EXPECT_EQ(empty.Median(), other.Median());
+}
+
+// Merging when the combined count crosses the reservoir capacity overflows
+// exactly like a single stream would (the replay goes through Add).
+TEST(Accumulator, MergeAcrossOverflowBoundaryMatchesSingleStream) {
+  const std::size_t capacity = 32;
+  std::vector<double> values;
+  sim::Rng rng(3);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.NextDouble() * 10.0);
+
+  Accumulator single(capacity);
+  for (double v : values) single.Add(v);
+
+  Accumulator left(capacity);
+  Accumulator right(capacity);
+  for (std::size_t i = 0; i < 20; ++i) left.Add(values[i]);
+  for (std::size_t i = 20; i < values.size(); ++i) right.Add(values[i]);
+  ASSERT_FALSE(right.exact());  // 80 > 32: right overflowed on its own
+
+  // left (exact) absorbing an overflowed right goes through the moment /
+  // histogram path: count/min/max exact, mean near-exact (Chan), histogram
+  // percentiles within bounded error of the single-stream histogram.
+  left.Merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  EXPECT_EQ(left.min(), single.min());
+  EXPECT_EQ(left.max(), single.max());
+  EXPECT_NEAR(left.mean(), single.mean(), 1e-12);
+  EXPECT_NEAR(left.stddev(), single.stddev(), 1e-9);
+  const double bin = 10.0 / static_cast<double>(Accumulator::kHistogramBins);
+  for (double p : {10.0, 50.0, 90.0}) {
+    EXPECT_NEAR(left.Percentile(p), single.Percentile(p), 4.0 * bin) << p;
+  }
+}
+
+// Two independently-overflowed accumulators: count/min/max stay exact,
+// moments combine by Chan's formulas, percentiles carry bounded histogram
+// error (the documented overflow-mode contract).
+TEST(Accumulator, MergeOverflowedHalvesBoundedPercentileError) {
+  const std::size_t capacity = 64;
+  std::vector<double> values;
+  sim::Rng rng(17);
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextDouble() * 200.0);
+
+  Accumulator single(capacity);
+  Accumulator left(capacity);
+  Accumulator right(capacity);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    single.Add(values[i]);
+    (i < values.size() / 2 ? left : right).Add(values[i]);
+  }
+  ASSERT_FALSE(left.exact());
+  ASSERT_FALSE(right.exact());
+
+  left.Merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  EXPECT_EQ(left.min(), single.min());
+  EXPECT_EQ(left.max(), single.max());
+  EXPECT_NEAR(left.mean(), single.mean(), 1e-10);
+  EXPECT_NEAR(left.stddev(), single.stddev(), 1e-7);
+  const std::vector<double> sorted_error_bound = {10.0, 50.0, 90.0};
+  const double bin = 200.0 / static_cast<double>(Accumulator::kHistogramBins);
+  for (double p : sorted_error_bound) {
+    EXPECT_NEAR(left.Percentile(p), Percentile(values, p), 4.0 * bin) << p;
+  }
+}
+
+// state() / FromState round-trips reproduce the accumulator bit-identically
+// in both modes — the property the sweep partial files depend on.
+TEST(Accumulator, StateRoundTripIsBitIdentical) {
+  sim::Rng rng(23);
+  for (const std::size_t capacity : {std::size_t{4096}, std::size_t{16}}) {
+    Accumulator acc(capacity);
+    for (int i = 0; i < 100; ++i) acc.Add(rng.NextDouble() * 30.0);
+    const Accumulator restored = Accumulator::FromState(acc.state());
+    EXPECT_EQ(restored.exact(), acc.exact());
+    EXPECT_EQ(restored.count(), acc.count());
+    EXPECT_EQ(restored.mean(), acc.mean());
+    EXPECT_EQ(restored.stddev(), acc.stddev());
+    EXPECT_EQ(restored.min(), acc.min());
+    EXPECT_EQ(restored.max(), acc.max());
+    for (double p : {25.0, 50.0, 75.0}) {
+      EXPECT_EQ(restored.Percentile(p), acc.Percentile(p)) << capacity << " p" << p;
+    }
+    EXPECT_EQ(restored.samples(), acc.samples());
+  }
+}
+
 TEST(Accumulator, SummarizeMatchesStatsShape) {
   const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
   Accumulator acc;

@@ -31,6 +31,32 @@ TEST(Histogram, BinGeometry) {
   EXPECT_DOUBLE_EQ(h.BinLow(4), 18.0);
 }
 
+TEST(Histogram, MergeSameGeometryAddsBinCountsExactly) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.Add(0.5);
+  a.Add(5.5);
+  b.Add(5.9);
+  b.Add(9.9);
+  b.Add(-3.0);  // clamped into bin 0 by Add
+  a.Merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(5), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, MergeDifferentGeometryRemapsByBinCenter) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 20.0, 10);  // bin width 2: centers 1, 3, 5, ...
+  b.Add(2.5);                  // bin 1, center 3 -> a's bin 3
+  b.Add(15.0);                 // bin 7, center 15 -> clamped into a's bin 9
+  a.Merge(b);
+  EXPECT_EQ(a.count(3), 1u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 2u);  // total preserved even under clamping
+}
+
 TEST(Histogram, RenderEmpty) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_EQ(h.Render(), "(empty histogram)\n");
