@@ -42,8 +42,22 @@ inline core::SweepObserver StderrProgress() {
 /// repetition index is semantic (population rank, study hour) this is the
 /// whole tuning — scale there only via axes.
 inline core::SweepSpec& TuneObserver(core::SweepSpec& spec, const BenchContext& ctx) {
-  if (ctx.progress && !spec.observer) spec.observer = StderrProgress();
+  if (!spec.observer) {
+    if (ctx.observer && ctx.progress) {
+      spec.observer = [extra = ctx.observer,
+                       stderr_progress = StderrProgress()](const core::SweepProgress& p) {
+        extra(p);
+        stderr_progress(p);
+      };
+    } else if (ctx.observer) {
+      spec.observer = ctx.observer;
+    } else if (ctx.progress) {
+      spec.observer = StderrProgress();
+    }
+  }
   spec.shard = ctx.shard;
+  spec.only_sweep = ctx.sweep_filter;
+  spec.enumerate_sink = ctx.enumerate;
   if (ctx.budget_seconds > 0.0 && spec.time_budget_seconds == 0.0) {
     spec.time_budget_seconds = ctx.RemainingBudgetSeconds();
   }
@@ -63,6 +77,9 @@ inline core::SweepSpec& Tune(core::SweepSpec& spec, const BenchContext& ctx) {
 /// Call after RunSweep; when it returns true the partial has been exported
 /// and the bench should return 0 without further processing of `result`.
 inline bool PartialExported(const core::SweepResult& result) {
+  // Enumerate-only passes (queue-init, --points validation) produce no data
+  // and must not write or warn; the sink already saw everything.
+  if (result.enumerate_only) return true;
   if (!result.partial()) return false;
   const bool wrote = core::MaybeWriteSweepData(result);
   if (!wrote) {
@@ -92,6 +109,9 @@ inline bool PartialExported(const core::SweepResult& result) {
 /// exports, partial ones their partial files) and the joint analysis — which
 /// needs all of them complete — is skipped.
 inline bool AnyPartialExported(std::initializer_list<const core::SweepResult*> results) {
+  for (const core::SweepResult* result : results) {
+    if (result->enumerate_only) return true;
+  }
   bool any = false;
   for (const core::SweepResult* result : results) any = any || result->partial();
   if (!any) return false;

@@ -1,7 +1,10 @@
 // bench_suite — runs any subset of the registered figure benches through the
 // sweep engine on the shared persistent thread pool, optionally as one shard
 // of a multi-process run, and merges partial results back into the exports a
-// single process would have written.
+// single process would have written. The queue-init / worker / collect
+// subcommands drive the same benches through the file-based distributed work
+// queue (src/dist/), so any pool of hosts sharing a directory executes the
+// suite together.
 //
 //   bench_suite --list                 # names + descriptions
 //   bench_suite                        # run everything
@@ -13,17 +16,29 @@
 //   bench_suite --budget-seconds=600   # suite-wide wall-clock ceiling
 //   bench_suite --shard=0/4            # execute shard 0 of 4 (partial JSON)
 //   bench_suite --points=3,17          # execute explicit point ids
+//   bench_suite --rep-range=0:10       # execute a repetition window
 //   bench_suite merge --out-dir=out/ PARTIAL.json...   # recombine shards
+//
+//   bench_suite queue-init --queue=Q [--filter=S]... [--scale=N] [--unit-runs=N]
+//   bench_suite worker --queue=Q [--worker-id=W] [--lease-seconds=N] [--max-units=N]
+//   bench_suite collect --queue=Q [--out-dir=DIR]
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/sweep_partial.h"
 #include "core/thread_pool.h"
+#include "dist/collect.h"
+#include "dist/work_queue.h"
+#include "dist/worker.h"
 #include "registry.h"
 
 namespace {
@@ -40,8 +55,12 @@ int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--list] [--filter=SUBSTR] [--threads=N] [--data-dir=DIR]\n"
       "          [--scale=N] [--progress] [--budget-seconds=N]\n"
-      "          [--shard=I/N | --points=ID,ID,...]\n"
+      "          [--shard=I/N | --points=ID,ID,...] [--rep-range=A:B]\n"
       "       %s merge [--out-dir=DIR] PARTIAL.json...\n"
+      "       %s queue-init --queue=DIR [--filter=SUBSTR]... [--scale=N] [--unit-runs=N]\n"
+      "       %s worker --queue=DIR [--threads=N] [--worker-id=ID] [--progress]\n"
+      "                 [--lease-seconds=N] [--poll-seconds=N] [--max-units=N] [--no-wait]\n"
+      "       %s collect --queue=DIR [--out-dir=DIR]\n"
       "  --list        list registered benches and exit\n"
       "  --filter=S    run only benches whose name contains S\n"
       "  --threads=N   size of the shared thread pool (default: hardware)\n"
@@ -57,11 +76,28 @@ int Usage(const char* argv0) {
       "                every sweep then writes a partial-result JSON instead\n"
       "                of its final exports\n"
       "  --points=IDS  execute only the listed point ids (comma-separated),\n"
-      "                e.g. the budget_skipped_points of an earlier partial\n"
+      "                e.g. the budget_skipped_points of an earlier partial;\n"
+      "                ids are validated against the enumerated grids\n"
+      "  --rep-range=A:B  execute only repetitions [A, B) of the selected\n"
+      "                points (B omitted or 0 = to the end); windows of one\n"
+      "                point merge back bit-identically\n"
       "  merge         parse partial-result JSONs, merge per sweep name and\n"
       "                write final CSV/JSON exports (byte-identical to a\n"
-      "                single-process run) into --out-dir (default \".\")\n",
-      argv0, argv0);
+      "                single-process run) into --out-dir (default \".\")\n"
+      "  queue-init    enumerate the selected benches' sweeps (no experiments\n"
+      "                run) and populate a work-queue directory: one manifest\n"
+      "                plus work units of at most --unit-runs runs each\n"
+      "                (default 256; huge points split into repetition\n"
+      "                windows). The directory may be local, on NFS, or\n"
+      "                rsync'd between hosts.\n"
+      "  worker        claim units from the queue (atomic rename leases),\n"
+      "                execute them through the registered benches, publish\n"
+      "                partial results; heartbeats let peers reclaim units of\n"
+      "                crashed workers after --lease-seconds (default 60)\n"
+      "  collect       verify coverage (every point x repetition window\n"
+      "                exactly once) and merge every sweep's unit results\n"
+      "                into final exports under --out-dir (default \".\")\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -119,10 +155,307 @@ bool ParsePoints(const std::string& value, std::vector<std::size_t>& points) {
   return !points.empty();
 }
 
+bool ParseRepRange(const std::string& value, quicer::core::SweepShard& shard) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) return false;
+  char* end = nullptr;
+  const long begin = std::strtol(value.c_str(), &end, 10);
+  if (end != value.c_str() + colon || begin < 0) return false;
+  long stop = 0;  // "A:" means "A to the end"
+  if (colon + 1 < value.size()) {
+    stop = std::strtol(value.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || stop < 0 || (stop != 0 && stop <= begin)) return false;
+  }
+  shard.rep_begin = static_cast<std::size_t>(begin);
+  shard.rep_end = static_cast<std::size_t>(stop);
+  return true;
+}
+
+/// Runs the selected benches in enumerate-only mode — no experiments, no
+/// exports — collecting every sweep's grid size and repetition count. Bench
+/// bodies still print their human-readable headings, so stdout is parked on
+/// /dev/null for the duration.
+std::vector<quicer::dist::SweepInventory> EnumerateSweeps(
+    const std::vector<BenchInfo>& benches, int scale) {
+  std::vector<quicer::dist::SweepInventory> sweeps;
+  BenchContext context;
+  context.scale = scale;
+  const std::string* current_bench = nullptr;
+  context.enumerate = [&](const quicer::core::SweepSpec& spec,
+                          const quicer::core::SweepResult& result) {
+    quicer::dist::SweepInventory inventory;
+    inventory.bench = *current_bench;
+    inventory.sweep = spec.name;
+    inventory.point_count = result.points.size();
+    inventory.repetitions =
+        result.repetitions > 0 ? static_cast<std::size_t>(result.repetitions) : 1;
+    sweeps.push_back(std::move(inventory));
+  };
+
+  std::fflush(stdout);
+  const int saved_stdout = dup(STDOUT_FILENO);
+  const int null_fd = open("/dev/null", O_WRONLY);
+  if (null_fd >= 0) dup2(null_fd, STDOUT_FILENO);
+  for (const BenchInfo& bench : benches) {
+    current_bench = &bench.name;
+    bench.run(context);
+  }
+  std::fflush(stdout);
+  if (saved_stdout >= 0) {
+    dup2(saved_stdout, STDOUT_FILENO);
+    close(saved_stdout);
+  }
+  if (null_fd >= 0) close(null_fd);
+  return sweeps;
+}
+
+/// Union of benches matching any of the filters (all benches when none),
+/// deduplicated by name.
+std::vector<BenchInfo> MatchFilters(const std::vector<std::string>& filters) {
+  if (filters.empty()) return Registry::Instance().Match("");
+  std::vector<BenchInfo> selected;
+  for (const std::string& filter : filters) {
+    for (const BenchInfo& bench : Registry::Instance().Match(filter)) {
+      bool known = false;
+      for (const BenchInfo& have : selected) known = known || have.name == bench.name;
+      if (!known) selected.push_back(bench);
+    }
+  }
+  return selected;
+}
+
+int RunQueueInit(int argc, char** argv) {
+  std::string queue_dir;
+  std::vector<std::string> filters;
+  int scale = 1;
+  std::size_t unit_runs = 256;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queue=", 0) == 0) {
+      queue_dir = arg.substr(std::strlen("--queue="));
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filters.push_back(arg.substr(std::strlen("--filter=")));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--scale="), nullptr, 10);
+      scale = parsed >= 1 ? static_cast<int>(parsed) : 1;
+    } else if (arg.rfind("--unit-runs=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--unit-runs="), nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "invalid --unit-runs '%s' (expected a positive integer)\n",
+                     arg.c_str());
+        return 2;
+      }
+      unit_runs = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "unknown queue-init option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (queue_dir.empty()) {
+    std::fprintf(stderr, "queue-init: pass --queue=DIR\n");
+    return 2;
+  }
+  const std::vector<BenchInfo> selected = MatchFilters(filters);
+  if (selected.empty()) {
+    std::fprintf(stderr, "queue-init: no benches match the filters\n");
+    return 2;
+  }
+
+  const std::vector<quicer::dist::SweepInventory> sweeps = EnumerateSweeps(selected, scale);
+  const std::vector<quicer::dist::WorkUnit> units =
+      quicer::dist::PlanUnits(sweeps, unit_runs);
+
+  quicer::dist::WorkQueue::Manifest manifest;
+  manifest.scale = scale;
+  manifest.filters = filters;
+  manifest.max_runs_per_unit = unit_runs;
+  manifest.unit_count = units.size();
+  manifest.sweeps = sweeps;
+  std::string error;
+  if (!quicer::dist::WorkQueue::Init(queue_dir, manifest, units, &error)) {
+    std::fprintf(stderr, "queue-init: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::size_t total_runs = 0;
+  std::size_t windowed = 0;
+  for (const quicer::dist::WorkUnit& unit : units) {
+    total_runs += unit.runs;
+    if (unit.windowed()) ++windowed;
+  }
+  std::printf("queue '%s': %zu benches, %zu sweeps, %zu units (%zu repetition-window"
+              " units), %zu scheduled runs at scale %d\n",
+              queue_dir.c_str(), selected.size(), sweeps.size(), units.size(), windowed,
+              total_runs, scale);
+  std::printf("next: run `bench_suite worker --queue=%s` on any host sharing the"
+              " directory, then `bench_suite collect --queue=%s --out-dir=OUT`\n",
+              queue_dir.c_str(), queue_dir.c_str());
+  return 0;
+}
+
+int RunWorkerCommand(int argc, char** argv) {
+  std::string queue_dir;
+  quicer::dist::WorkerOptions options;
+  bool progress = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queue=", 0) == 0) {
+      queue_dir = arg.substr(std::strlen("--queue="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
+    } else if (arg.rfind("--worker-id=", 0) == 0) {
+      options.worker_id = arg.substr(std::strlen("--worker-id="));
+    } else if (arg.rfind("--lease-seconds=", 0) == 0) {
+      char* end = nullptr;
+      options.lease_timeout_seconds =
+          std::strtod(arg.c_str() + std::strlen("--lease-seconds="), &end);
+      if (*end != '\0' || !(options.lease_timeout_seconds > 0.0)) {
+        // A zero/garbage timeout would make every peer's lease instantly
+        // reclaimable and the pool thrash re-running each other's units.
+        std::fprintf(stderr, "invalid --lease-seconds '%s' (expected a positive number)\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--poll-seconds=", 0) == 0) {
+      char* end = nullptr;
+      options.poll_seconds = std::strtod(arg.c_str() + std::strlen("--poll-seconds="), &end);
+      if (*end != '\0' || !(options.poll_seconds > 0.0)) {
+        std::fprintf(stderr, "invalid --poll-seconds '%s' (expected a positive number)\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--max-units=", 0) == 0) {
+      char* end = nullptr;
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--max-units="), &end, 10);
+      if (*end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "invalid --max-units '%s' (expected a non-negative integer)\n",
+                     arg.c_str());
+        return 2;
+      }
+      options.max_units = static_cast<std::size_t>(parsed);
+    } else if (arg == "--no-wait") {
+      options.wait_for_stragglers = false;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else {
+      std::fprintf(stderr, "unknown worker option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (queue_dir.empty()) {
+    std::fprintf(stderr, "worker: pass --queue=DIR\n");
+    return 2;
+  }
+  std::string error;
+  std::optional<quicer::dist::WorkQueue> queue =
+      quicer::dist::WorkQueue::Open(queue_dir, &error);
+  if (!queue) {
+    std::fprintf(stderr, "worker: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string worker_id = quicer::dist::WorkQueue::SanitizeWorkerId(
+      options.worker_id.empty() ? quicer::dist::DefaultWorkerId() : options.worker_id);
+  options.worker_id = worker_id;
+
+  // Executes one unit through the registry: the unit's points / repetition
+  // window select the grid subset, sweep_filter deselects sibling sweeps of
+  // the same bench, and the partial files land in the claim's private stage
+  // directory (published atomically by the worker loop). The per-point
+  // observer refreshes the lease heartbeat at most once a second, so a long
+  // unit never looks stale while it makes progress.
+  quicer::dist::UnitRunner runner = [&](const quicer::dist::WorkUnit& unit,
+                                        const std::string& stage_dir) {
+    setenv("QUICER_DATA_DIR", stage_dir.c_str(), 1);
+    BenchContext context;
+    context.scale = queue->manifest().scale;
+    context.progress = progress;
+    context.shard.points = unit.points;
+    context.shard.rep_begin = unit.rep_begin;
+    context.shard.rep_end = unit.rep_end;
+    context.sweep_filter = unit.sweep;
+    auto last_beat = std::make_shared<std::chrono::steady_clock::time_point>(
+        std::chrono::steady_clock::now());
+    context.observer = [&queue, worker_id, last_beat](const quicer::core::SweepProgress&) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - *last_beat < std::chrono::seconds(1)) return;
+      *last_beat = now;
+      queue->Heartbeat(worker_id);
+    };
+    return quicer::bench::RunByName(unit.bench, context);
+  };
+
+  const quicer::dist::WorkerStats stats = RunWorker(*queue, options, runner, stderr);
+  return stats.units_failed == 0 ? 0 : 1;
+}
+
+int RunCollect(int argc, char** argv) {
+  std::string queue_dir;
+  std::string out_dir = ".";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queue=", 0) == 0) {
+      queue_dir = arg.substr(std::strlen("--queue="));
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else {
+      std::fprintf(stderr, "unknown collect option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (queue_dir.empty()) {
+    std::fprintf(stderr, "collect: pass --queue=DIR\n");
+    return 2;
+  }
+  std::string error;
+  const std::optional<quicer::dist::WorkQueue> queue =
+      quicer::dist::WorkQueue::Open(queue_dir, &error);
+  if (!queue) {
+    std::fprintf(stderr, "collect: %s\n", error.c_str());
+    return 1;
+  }
+  quicer::dist::CollectReport report;
+  const bool ok = quicer::dist::Collect(*queue, out_dir, &report, stderr);
+  std::printf("collect '%s': %zu/%zu units with results — %s\n", queue_dir.c_str(),
+              report.units_with_results, report.units_total,
+              ok ? ("exports written to '" + out_dir + "'").c_str() : "INCOMPLETE");
+  return ok ? 0 : 1;
+}
+
+/// --points ids are validated against the enumerated grids of the selected
+/// benches: an id no sweep can serve is an error, not a silent no-op.
+int ValidatePoints(const std::vector<BenchInfo>& selected, const BenchContext& context) {
+  const std::vector<quicer::dist::SweepInventory> sweeps =
+      EnumerateSweeps(selected, context.scale);
+  std::size_t max_points = 0;
+  for (const quicer::dist::SweepInventory& sweep : sweeps) {
+    max_points = std::max(max_points, sweep.point_count);
+  }
+  std::string unknown;
+  for (std::size_t id : context.shard.points) {
+    if (id >= max_points) {
+      if (!unknown.empty()) unknown += ',';
+      unknown += std::to_string(id);
+    }
+  }
+  if (unknown.empty()) return 0;
+  std::fprintf(stderr,
+               "--points: unknown point id(s) %s — no selected sweep has that many "
+               "points. Enumerated grids:\n",
+               unknown.c_str());
+  for (const quicer::dist::SweepInventory& sweep : sweeps) {
+    std::fprintf(stderr, "  %-24s %zu points (ids 0..%zu)\n", sweep.sweep.c_str(),
+                 sweep.point_count, sweep.point_count > 0 ? sweep.point_count - 1 : 0);
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "queue-init") == 0) return RunQueueInit(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "worker") == 0) return RunWorkerCommand(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "collect") == 0) return RunCollect(argc, argv);
 
   bool list = false;
   std::string filter;
@@ -165,6 +498,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid --points '%s' (expected ID,ID,...)\n", arg.c_str());
         return 2;
       }
+    } else if (arg.rfind("--rep-range=", 0) == 0) {
+      if (!ParseRepRange(arg.substr(std::strlen("--rep-range=")), context.shard)) {
+        std::fprintf(stderr, "invalid --rep-range '%s' (expected A:B with 0 <= A < B,"
+                     " or A: for 'to the end')\n", arg.c_str());
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -174,8 +513,8 @@ int main(int argc, char** argv) {
   // a data dir the whole run would be silently discarded.
   if (!context.shard.all() && std::getenv("QUICER_DATA_DIR") == nullptr) {
     std::fprintf(stderr,
-                 "--shard/--points produce partial-result files: pass --data-dir=DIR "
-                 "(or set QUICER_DATA_DIR)\n");
+                 "--shard/--points/--rep-range produce partial-result files: pass "
+                 "--data-dir=DIR (or set QUICER_DATA_DIR)\n");
     return 2;
   }
 
@@ -189,6 +528,10 @@ int main(int argc, char** argv) {
   if (selected.empty()) {
     std::fprintf(stderr, "no benches match filter '%s'\n", filter.c_str());
     return 2;
+  }
+  if (!context.shard.points.empty()) {
+    const int invalid = ValidatePoints(selected, context);
+    if (invalid != 0) return invalid;
   }
 
   struct Timing {

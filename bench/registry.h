@@ -43,8 +43,19 @@ struct BenchContext {
   double budget_seconds = 0.0;
   /// When the suite (or standalone binary) started, for the budget.
   std::chrono::steady_clock::time_point suite_start = std::chrono::steady_clock::now();
-  /// Grid subset this process executes (--shard=i/N or --points=ids).
+  /// Grid subset this process executes (--shard=i/N, --points=ids and/or
+  /// --rep-range=a:b).
   core::SweepShard shard;
+  /// When non-empty, only the sweep with this spec name executes; sibling
+  /// sweeps of the same bench enumerate but select nothing. The work-queue
+  /// worker targets one (bench, sweep) pair per unit.
+  std::string sweep_filter;
+  /// When set, every sweep enumerates its grid into this sink instead of
+  /// executing (the work-queue init phase and --points validation).
+  core::SweepEnumerateSink enumerate;
+  /// Extra per-point observer, chained before the --progress printer. The
+  /// work-queue worker refreshes its lease heartbeat here.
+  core::SweepObserver observer;
 
   /// True when a scaled run should also widen its RTT/Δt axes.
   bool dense_axes() const { return scale > 1; }

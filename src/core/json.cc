@@ -259,4 +259,13 @@ std::string JsonNumber(double v) {
   return buffer;
 }
 
+void AppendJsonSizeArray(std::string& out, const std::vector<std::size_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
 }  // namespace quicer::core

@@ -70,5 +70,8 @@ std::string JsonEscape(const std::string& s);
 /// sharded sweep workflow relies on for byte-identical merged exports. NaN
 /// renders as null.
 std::string JsonNumber(double v);
+/// Appends "[1, 2, 3]" — the id/bin-array shape shared by the sweep partial
+/// and work-unit documents.
+void AppendJsonSizeArray(std::string& out, const std::vector<std::size_t>& values);
 
 }  // namespace quicer::core

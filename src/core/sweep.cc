@@ -69,6 +69,13 @@ bool SweepShard::Contains(std::size_t point_id) const {
   return point_id % count == index;
 }
 
+std::pair<std::size_t, std::size_t> SweepShard::RepWindow(std::size_t repetitions) const {
+  const std::size_t begin = std::min(rep_begin, repetitions);
+  const std::size_t end =
+      rep_end == 0 ? repetitions : std::min(std::max(rep_end, begin), repetitions);
+  return {begin, end};
+}
+
 const SweepAxisValue* SweepPoint::Extra(std::string_view axis) const {
   for (const auto& [name, value] : extras) {
     if (name == axis) return &value;
@@ -251,18 +258,32 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
     result.points.push_back(std::move(summary));
   }
 
+  if (spec.enumerate_sink) {
+    result.enumerate_only = true;
+    spec.enumerate_sink(spec, result);
+    return result;
+  }
+
   // The execute phase covers only the shard's points; the others keep their
   // metadata and empty series (executed == false) so partial files carry
-  // the full grid for merge-time validation.
+  // the full grid for merge-time validation. A unit targeted at a sibling
+  // sweep of the same bench (only_sweep mismatch) selects nothing.
   std::vector<std::size_t> selected;
-  selected.reserve(result.points.size());
-  for (std::size_t i = 0; i < result.points.size(); ++i) {
-    if (spec.shard.Contains(i)) selected.push_back(i);
+  if (spec.only_sweep.empty() || spec.only_sweep == spec.name) {
+    selected.reserve(result.points.size());
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      if (spec.shard.Contains(i)) selected.push_back(i);
+    }
   }
 
   const std::size_t reps =
       spec.repetitions > 0 ? static_cast<std::size_t>(spec.repetitions) : 0;
-  if (reps == 0 || selected.empty()) return result;
+  // The repetition window this shard executes of every selected point.
+  const std::pair<std::size_t, std::size_t> window = spec.shard.RepWindow(reps);
+  const std::size_t win_begin = window.first;
+  const std::size_t win_end = window.second;
+  const std::size_t win = win_end - win_begin;
+  if (win == 0 || selected.empty()) return result;
 
   SweepRunner runner = spec.runner;
   if (!runner) {
@@ -303,7 +324,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   };
   std::vector<PointState> states(selected.size());
   for (PointState& state : states) {
-    state.remaining.store(reps, std::memory_order_relaxed);
+    state.remaining.store(win, std::memory_order_relaxed);
   }
 
   const bool budgeted = spec.time_budget_seconds > 0.0;
@@ -318,14 +339,14 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   SweepProgress progress;
   progress.sweep = result.name;
   progress.points_total = selected.size();
-  progress.runs_total = selected.size() * reps;
+  progress.runs_total = selected.size() * win;
 
-  const std::size_t total = selected.size() * reps;
+  const std::size_t total = selected.size() * win;
   ThreadPool::Global().ParallelFor(
       total,
       [&](std::size_t j) {
-        const std::size_t si = j / reps;
-        const std::size_t rep = j % reps;
+        const std::size_t si = j / win;
+        const std::size_t rep = win_begin + j % win;
         PointState& state = states[si];
         PointSummary& summary = result.points[selected[si]];
 
@@ -339,12 +360,13 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
         }
 
         if (decision == 1) {
-          std::call_once(state.init, [&] { state.slots.assign(reps * n_metrics, 0.0); });
+          std::call_once(state.init, [&] { state.slots.assign(win * n_metrics, 0.0); });
           SweepRunContext ctx{summary.point, static_cast<int>(rep),
                               seed_base + static_cast<std::uint64_t>(rep) * spec.seed_stride};
           const std::vector<double> values = runner(ctx);
           for (std::size_t m = 0; m < n_metrics; ++m) {
-            state.slots[rep * n_metrics + m] = m < values.size() ? values[m] : NoSample();
+            state.slots[(rep - win_begin) * n_metrics + m] =
+                m < values.size() ? values[m] : NoSample();
           }
         }
 
@@ -354,7 +376,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
             summary.budget_skipped = true;
           } else {
             summary.executed = true;
-            for (std::size_t r = 0; r < reps; ++r) {
+            for (std::size_t r = 0; r < win; ++r) {
               for (std::size_t m = 0; m < n_metrics; ++m) {
                 const double v = state.slots[r * n_metrics + m];
                 MetricSeries& series = summary.metrics[m];
@@ -378,7 +400,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
           if (decision == 2) {
             ++progress.points_skipped;
           } else {
-            progress.runs_completed += reps;
+            progress.runs_completed += win;
           }
           if (spec.observer) {
             progress.elapsed_seconds =
@@ -446,6 +468,18 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
     }
   }
 
+  // Fold partials in ascending repetition-window order (stable, so the
+  // caller's order decides between whole-point partials): the windows of a
+  // split point then concatenate in repetition order no matter how the
+  // partial files were globbed.
+  std::vector<const SweepResult*> ordered;
+  ordered.reserve(partials.size());
+  for (const SweepResult& partial : partials) ordered.push_back(&partial);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SweepResult* a, const SweepResult* b) {
+                     return a->shard.rep_begin < b->shard.rep_begin;
+                   });
+
   SweepResult merged = first;
   merged.shard = SweepShard{};
   std::vector<std::size_t> missing;
@@ -454,7 +488,7 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
     dst.executed = false;
     dst.budget_skipped = false;
     // Fresh empty series; every executing partial folds in via Merge /
-    // trace concatenation, in partial order.
+    // trace concatenation, in window order.
     for (MetricSeries& series : dst.metrics) {
       series.aborted = 0;
       series.skipped = 0;
@@ -464,8 +498,8 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
       }
     }
     bool budget_skipped_somewhere = false;
-    for (const SweepResult& partial : partials) {
-      const PointSummary& src = partial.points[i];
+    for (const SweepResult* partial : ordered) {
+      const PointSummary& src = partial->points[i];
       budget_skipped_somewhere |= src.budget_skipped;
       if (!src.executed) continue;
       dst.executed = true;

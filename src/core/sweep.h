@@ -36,10 +36,11 @@
 //    (SweepPoint::index), derived only from the spec's axes: independent of
 //    thread count, shard layout and execution order.
 //  * execute — RunSweep(spec) runs the subset selected by spec.shard (a
-//    round-robin i-of-N shard or an explicit point-id list; the default
-//    selects everything). Because the seed schedule depends only on the
-//    repetition index, any subset reproduces exactly the values the full
-//    run would produce for those points.
+//    round-robin i-of-N shard, an explicit point-id list, and/or a
+//    repetition window; the default selects everything). Because the seed
+//    schedule depends only on the repetition index, any subset reproduces
+//    exactly the values the full run would produce for those points (and
+//    repetition windows of one point concatenate back losslessly).
 //  * merge — MergeSweepResults combines partial results (disjoint or not)
 //    into one full result: summary series merge via stats::Accumulator::
 //    Merge, trace series concatenate in repetition order, and the merged
@@ -106,17 +107,31 @@ struct SweepExtraAxis {
 /// processes executes the points whose stable id is congruent to `index`
 /// modulo `count` — round-robin, so dense and sparse grid regions spread
 /// evenly — unless `points` lists explicit ids (re-running budget-skipped
-/// points from an earlier partial).
+/// points from an earlier partial). Orthogonally, `rep_begin`/`rep_end`
+/// restrict execution to a window of repetition indices, so one huge
+/// point's repetitions can be split across shards (the work-queue driver's
+/// repetition-range sharding).
 struct SweepShard {
   std::size_t index = 0;
   std::size_t count = 1;
   /// Explicit point ids; overrides index/count when non-empty.
   std::vector<std::size_t> points;
+  /// Repetition window [rep_begin, rep_end) executed for every selected
+  /// point; rep_end 0 means "to the last repetition". Seeds derive from the
+  /// absolute repetition index, so the windows of a split point merge
+  /// bit-identically to an unsplit run.
+  std::size_t rep_begin = 0;
+  std::size_t rep_end = 0;
 
-  /// True when this shard selects the whole grid.
-  bool all() const { return count <= 1 && points.empty(); }
+  /// True when this shard selects the whole grid at full repetitions.
+  bool all() const {
+    return count <= 1 && points.empty() && rep_begin == 0 && rep_end == 0;
+  }
   /// True when the point with stable id `point_id` belongs to this shard.
   bool Contains(std::size_t point_id) const;
+  /// The window resolved against a spec's repetition count, clamped to
+  /// [0, repetitions): {begin, end} with begin <= end.
+  std::pair<std::size_t, std::size_t> RepWindow(std::size_t repetitions) const;
 };
 
 /// Axis values to sweep. An empty axis keeps the base config's value and
@@ -221,6 +236,13 @@ struct SweepProgress {
 /// concurrently), from whichever worker finished the point.
 using SweepObserver = std::function<void(const SweepProgress&)>;
 
+struct SweepSpec;
+struct SweepResult;
+
+/// Receives the enumerated (but unexecuted) result when a spec carries an
+/// enumerate_sink; see SweepSpec::enumerate_sink.
+using SweepEnumerateSink = std::function<void(const SweepSpec&, const SweepResult&)>;
+
 struct SweepSpec {
   /// Short machine name ("fig05", "table2_probes"); names CSV/JSON output.
   std::string name;
@@ -264,6 +286,20 @@ struct SweepSpec {
   /// outside the shard stay in the result with their metadata but empty
   /// series and executed == false.
   SweepShard shard;
+
+  /// When non-empty and different from `name`, RunSweep executes nothing:
+  /// the grid is enumerated (metadata intact) but no point is selected. The
+  /// work-queue worker targets one sweep of a bench per unit; sibling
+  /// sweeps of the same bench body — including specs *copied* from a tuned
+  /// one, which inherit this field — must not execute.
+  std::string only_sweep;
+
+  /// When set, RunSweep enumerates the grid, hands (spec, result) to the
+  /// sink and returns without executing anything (the returned result has
+  /// enumerate_only set). The work-queue init phase uses this to learn
+  /// every bench's grids — point counts, repetitions, sweep names —
+  /// without running a single experiment.
+  SweepEnumerateSink enumerate_sink;
 };
 
 /// One metric's aggregated values at one point.
@@ -335,6 +371,10 @@ struct SweepResult {
   std::uint64_t seed_base = 0;
   std::uint64_t seed_stride = 0;
 
+  /// True when the spec carried an enumerate_sink: the grid metadata is
+  /// populated but nothing ran (and nothing should be exported).
+  bool enumerate_only = false;
+
   /// True when this result covers a strict subset of the grid by
   /// construction (spec.shard selected a subset).
   bool sharded() const { return !shard.all(); }
@@ -365,11 +405,13 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec);
 SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism = 0);
 
 /// Phase 3 — merges partial results of the same spec into one result
-/// covering every point executed in any partial. Per point, summary series
-/// fold via stats::Accumulator::Merge and trace series concatenate in
-/// partial order (repetition order when each partial ran a repetition
-/// range); aborted/skipped counters add. A point executed by exactly one
-/// partial — the --shard workflow — is reproduced bit-identically, so the
+/// covering every point executed in any partial. Partials fold in ascending
+/// repetition-window order (stable, so the given order decides between
+/// whole-point partials): per point, summary series fold via
+/// stats::Accumulator::Merge and trace series concatenate in repetition
+/// order; aborted/skipped counters add. A point executed by exactly one
+/// partial (the --shard workflow) or split into repetition windows (the
+/// --rep-range / work-queue workflow) is reproduced bit-identically, so the
 /// merged CSV/JSON exports match a single-process run byte for byte.
 /// Points executed nowhere stay budget_skipped when some partial skipped
 /// them over budget; otherwise the merge fails. Returns nullopt and fills

@@ -14,15 +14,6 @@ namespace {
 
 constexpr std::string_view kFormat = "quicer-sweep-partial-v1";
 
-void AppendSizeArray(std::string& out, const std::vector<std::size_t>& values) {
-  out += '[';
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += std::to_string(values[i]);
-  }
-  out += ']';
-}
-
 void AppendDoubleArray(std::string& out, const std::vector<double>& values) {
   out += '[';
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -64,8 +55,12 @@ std::string SweepPartialJson(const SweepResult& result) {
   out += "  \"shard_count\": " + std::to_string(result.shard.count) + ",\n";
   if (!result.shard.points.empty()) {
     out += "  \"shard_points\": ";
-    AppendSizeArray(out, result.shard.points);
+    AppendJsonSizeArray(out, result.shard.points);
     out += ",\n";
+  }
+  if (result.shard.rep_begin != 0 || result.shard.rep_end != 0) {
+    out += "  \"rep_begin\": " + std::to_string(result.shard.rep_begin) + ",\n";
+    out += "  \"rep_end\": " + std::to_string(result.shard.rep_end) + ",\n";
   }
   out += "  \"repetitions\": " + std::to_string(result.repetitions) + ",\n";
   out += "  \"reservoir_capacity\": " + std::to_string(result.reservoir_capacity) + ",\n";
@@ -75,7 +70,7 @@ std::string SweepPartialJson(const SweepResult& result) {
   out += "  \"seed_stride\": \"" + U64String(result.seed_stride) + "\",\n";
   out += "  \"points_total\": " + std::to_string(result.points.size()) + ",\n";
   out += "  \"budget_skipped_points\": ";
-  AppendSizeArray(out, result.BudgetSkippedPoints());
+  AppendJsonSizeArray(out, result.BudgetSkippedPoints());
   out += ",\n  \"points\": [\n";
 
   for (std::size_t i = 0; i < result.points.size(); ++i) {
@@ -125,7 +120,7 @@ std::string SweepPartialJson(const SweepResult& result) {
           out += ", \"lo\": " + JsonNumber(state.histo_lo);
           out += ", \"hi\": " + JsonNumber(state.histo_hi);
           out += ", \"bins\": ";
-          AppendSizeArray(out, state.bins);
+          AppendJsonSizeArray(out, state.bins);
           out += "}";
         }
       }
@@ -158,6 +153,8 @@ std::optional<SweepResult> ParseSweepPartialJson(std::string_view json, std::str
   if (const JsonValue* shard_points = doc->Get("shard_points")) {
     result.shard.points = ParseSizeArray(*shard_points);
   }
+  result.shard.rep_begin = static_cast<std::size_t>(doc->GetNumber("rep_begin"));
+  result.shard.rep_end = static_cast<std::size_t>(doc->GetNumber("rep_end"));
   result.repetitions = static_cast<int>(doc->GetNumber("repetitions"));
   result.reservoir_capacity = static_cast<std::size_t>(doc->GetNumber("reservoir_capacity"));
   result.seed_base = std::strtoull(doc->GetString("seed_base").c_str(), nullptr, 10);
@@ -240,12 +237,13 @@ std::optional<SweepResult> ParseSweepPartialJson(std::string_view json, std::str
 
   const std::size_t reps =
       result.repetitions > 0 ? static_cast<std::size_t>(result.repetitions) : 0;
+  const std::pair<std::size_t, std::size_t> window = result.shard.RepWindow(reps);
   std::size_t executed_points = 0;
   for (const PointSummary& summary : result.points) {
     if (summary.executed) ++executed_points;
   }
   result.total_runs = result.points.size() * reps;
-  result.executed_runs = executed_points * reps;
+  result.executed_runs = executed_points * (window.second - window.first);
   return result;
 }
 
@@ -261,12 +259,20 @@ std::optional<SweepResult> ReadSweepPartialFile(const std::string& path, std::st
 }
 
 std::string SweepPartialFileName(const SweepResult& result) {
-  if (!result.shard.points.empty()) return result.name + "_sweep.points.json";
-  if (result.shard.count > 1) {
-    return result.name + "_sweep.shard" + std::to_string(result.shard.index) + "of" +
-           std::to_string(result.shard.count) + ".json";
+  std::string stem = result.name + "_sweep";
+  if (!result.shard.points.empty()) {
+    stem += ".points";
+  } else if (result.shard.count > 1) {
+    stem += ".shard" + std::to_string(result.shard.index) + "of" +
+            std::to_string(result.shard.count);
   }
-  return result.name + "_sweep.partial.json";
+  if (result.shard.rep_begin != 0 || result.shard.rep_end != 0) {
+    stem += ".reps" + std::to_string(result.shard.rep_begin) + "to" +
+            (result.shard.rep_end == 0 ? std::string("end")
+                                       : std::to_string(result.shard.rep_end));
+  }
+  if (stem == result.name + "_sweep") stem += ".partial";
+  return stem + ".json";
 }
 
 bool WriteSweepData(const SweepResult& result, const std::string& directory) {

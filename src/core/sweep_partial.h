@@ -43,6 +43,8 @@ std::optional<SweepResult> ReadSweepPartialFile(const std::string& path,
 /// "<name>_sweep.shard<i>of<N>.json" for round-robin shards,
 /// "<name>_sweep.points.json" for explicit point-id runs, and
 /// "<name>_sweep.partial.json" for unsharded runs with budget skips.
+/// A repetition window appends ".reps<a>to<b>" before the extension, so
+/// windows of the same point-id set land in distinct files.
 std::string SweepPartialFileName(const SweepResult& result);
 
 /// Driver of the `merge` subcommand: reads every file, groups the partials

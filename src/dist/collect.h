@@ -1,0 +1,41 @@
+// Collect phase of the distributed sweep queue: coverage verification and
+// the final merge.
+//
+// Before touching any data, Collect proves the queue's results are exactly
+// the planned grid: every unit present in the manifest has published its
+// results directory, the units of each sweep tile every point's repetition
+// range [0, repetitions) exactly once (no gap, no overlap), and each unit's
+// partial file executed exactly the points the unit claimed. Only then are
+// the partials merged — per sweep, ordered by repetition window so split
+// points concatenate in repetition order — through core::MergeSweepResults
+// into the same byte-identical CSV/JSON exports a single-process run
+// writes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/work_queue.h"
+
+namespace quicer::dist {
+
+struct CollectReport {
+  /// True when every unit had published results and coverage verified.
+  bool complete = false;
+  std::size_t units_total = 0;
+  std::size_t units_with_results = 0;
+  /// "u00012 [active (worker-3)]" — units without results, with the current
+  /// location of their lease.
+  std::vector<std::string> missing_units;
+  /// First coverage / consistency / merge failure (empty when none).
+  std::string error;
+};
+
+/// Verifies coverage and merges every sweep's partials into final exports
+/// under `out_dir`. Returns true when the exports were written; on failure
+/// `report` (optional) and `log` (optional) say what is missing or wrong.
+bool Collect(const WorkQueue& queue, const std::string& out_dir,
+             CollectReport* report = nullptr, std::FILE* log = nullptr);
+
+}  // namespace quicer::dist

@@ -1,0 +1,364 @@
+#include "dist/work_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <system_error>
+
+#include "core/json.h"
+
+namespace quicer::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kManifestFormat = "quicer-dist-queue-v1";
+
+std::string ManifestJson(const WorkQueue::Manifest& manifest) {
+  std::string out = "{\n";
+  out += "  \"format\": \"" + std::string(kManifestFormat) + "\",\n";
+  out += "  \"scale\": " + std::to_string(manifest.scale) + ",\n";
+  out += "  \"filters\": [";
+  for (std::size_t i = 0; i < manifest.filters.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + core::JsonEscape(manifest.filters[i]) + "\"";
+  }
+  out += "],\n";
+  out += "  \"max_runs_per_unit\": " + std::to_string(manifest.max_runs_per_unit) + ",\n";
+  out += "  \"unit_count\": " + std::to_string(manifest.unit_count) + ",\n";
+  out += "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < manifest.sweeps.size(); ++i) {
+    const SweepInventory& sweep = manifest.sweeps[i];
+    out += "    {\"bench\": \"" + core::JsonEscape(sweep.bench) + "\", \"sweep\": \"" +
+           core::JsonEscape(sweep.sweep) +
+           "\", \"points\": " + std::to_string(sweep.point_count) +
+           ", \"repetitions\": " + std::to_string(sweep.repetitions) + "}";
+    out += i + 1 < manifest.sweeps.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::optional<WorkQueue::Manifest> ParseManifestJson(std::string_view json,
+                                                     std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<WorkQueue::Manifest> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const std::optional<core::JsonValue> doc = core::JsonValue::Parse(json, &parse_error);
+  if (!doc) return fail("invalid JSON: " + parse_error);
+  if (doc->GetString("format") != kManifestFormat) {
+    return fail("not a queue manifest (format '" + doc->GetString("format") + "')");
+  }
+  WorkQueue::Manifest manifest;
+  manifest.scale = static_cast<int>(doc->GetNumber("scale", 1.0));
+  if (const core::JsonValue* filters = doc->Get("filters")) {
+    for (const core::JsonValue& filter : filters->Items()) {
+      manifest.filters.push_back(filter.AsString());
+    }
+  }
+  manifest.max_runs_per_unit =
+      static_cast<std::size_t>(doc->GetNumber("max_runs_per_unit"));
+  manifest.unit_count = static_cast<std::size_t>(doc->GetNumber("unit_count"));
+  const core::JsonValue* sweeps = doc->Get("sweeps");
+  if (sweeps == nullptr) return fail("manifest misses its 'sweeps' array");
+  for (const core::JsonValue& entry : sweeps->Items()) {
+    SweepInventory sweep;
+    sweep.bench = entry.GetString("bench");
+    sweep.sweep = entry.GetString("sweep");
+    sweep.point_count = static_cast<std::size_t>(entry.GetNumber("points"));
+    sweep.repetitions = static_cast<std::size_t>(entry.GetNumber("repetitions"));
+    manifest.sweeps.push_back(std::move(sweep));
+  }
+  return manifest;
+}
+
+std::optional<std::string> Slurp(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool Spill(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+/// Sorted file names (not paths) of a directory; missing directories list
+/// as empty.
+std::vector<std::string> ListDir(const fs::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// "u00042@worker.json" -> {"u00042", "worker"}; nullopt for other shapes.
+std::optional<std::pair<std::string, std::string>> SplitLeaseName(const std::string& name) {
+  if (name.size() < 5 || name.substr(name.size() - 5) != ".json") return std::nullopt;
+  const std::string stem = name.substr(0, name.size() - 5);
+  const std::size_t at = stem.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= stem.size()) return std::nullopt;
+  return std::make_pair(stem.substr(0, at), stem.substr(at + 1));
+}
+
+/// Seconds between `now` and the file's last write; a huge value when the
+/// file is missing (treat as maximally stale).
+double AgeSeconds(const fs::path& path, fs::file_time_type now) {
+  std::error_code ec;
+  const fs::file_time_type written = fs::last_write_time(path, ec);
+  if (ec) return 1e18;
+  return std::chrono::duration<double>(now - written).count();
+}
+
+}  // namespace
+
+std::string WorkQueue::SanitizeWorkerId(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '-';
+  }
+  return out.empty() ? "worker" : out;
+}
+
+bool WorkQueue::Init(const std::string& root, const Manifest& manifest,
+                     const std::vector<WorkUnit>& units, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const fs::path base(root);
+  if (fs::exists(base / "manifest.json")) {
+    return fail("'" + root + "' already holds a queue (manifest.json exists)");
+  }
+  // A manifest-less root with populated state directories is the wreck of an
+  // interrupted init (the manifest lands last): a fresh plan must not
+  // inherit its stale units.
+  for (const char* dir : {"todo", "active", "done", "failed", "results"}) {
+    if (!ListDir(base / dir).empty()) {
+      return fail("'" + root + "' holds leftover state in " + dir +
+                  "/ but no manifest (an interrupted queue-init?); remove the "
+                  "directory and re-initialise");
+    }
+  }
+  if (units.empty()) return fail("refusing to initialise an empty queue (no units)");
+
+  std::set<std::string> sweep_names;
+  for (const SweepInventory& sweep : manifest.sweeps) {
+    if (!sweep_names.insert(sweep.sweep).second) {
+      return fail("duplicate sweep name '" + sweep.sweep +
+                  "' across benches; collect merges by sweep name, which must be "
+                  "unique queue-wide");
+    }
+  }
+
+  std::error_code ec;
+  for (const char* dir : {"todo", "active", "done", "failed", "heartbeat", "results", "tmp"}) {
+    fs::create_directories(base / dir, ec);
+    if (ec) return fail("cannot create '" + (base / dir).string() + "': " + ec.message());
+  }
+  for (const WorkUnit& unit : units) {
+    if (!Spill(base / "todo" / (unit.id + ".json"), WorkUnitJson(unit))) {
+      return fail("cannot write unit '" + unit.id + "'");
+    }
+  }
+  // The manifest lands last, atomically: its presence marks the queue ready.
+  const fs::path staged = base / "manifest.json.tmp";
+  if (!Spill(staged, ManifestJson(manifest))) return fail("cannot write the manifest");
+  fs::rename(staged, base / "manifest.json", ec);
+  if (ec) return fail("cannot finalise the manifest: " + ec.message());
+  return true;
+}
+
+std::optional<WorkQueue> WorkQueue::Open(const std::string& root, std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<WorkQueue> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  const std::optional<std::string> text = Slurp(fs::path(root) / "manifest.json");
+  if (!text) return fail("no queue at '" + root + "' (cannot read manifest.json)");
+  std::string parse_error;
+  std::optional<Manifest> manifest = ParseManifestJson(*text, &parse_error);
+  if (!manifest) return fail("queue manifest at '" + root + "': " + parse_error);
+  WorkQueue queue(root);
+  queue.manifest_ = std::move(*manifest);
+  return queue;
+}
+
+std::optional<WorkQueue::Claim> WorkQueue::TryClaim(const std::string& worker_id) const {
+  const std::string worker = SanitizeWorkerId(worker_id);
+  const fs::path base(root_);
+  for (const std::string& name : ListDir(base / "todo")) {
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".json") continue;
+    const std::string unit_id = name.substr(0, name.size() - 5);
+    const fs::path lease = base / "active" / (unit_id + "@" + worker + ".json");
+    std::error_code ec;
+    fs::rename(base / "todo" / name, lease, ec);
+    if (ec) continue;  // another worker won the rename — try the next unit
+    const std::optional<std::string> text = Slurp(lease);
+    std::optional<WorkUnit> unit =
+        text ? ParseWorkUnitJson(*text) : std::nullopt;
+    if (!unit || unit->id != unit_id) {
+      // Corrupt unit file: park it in failed/ so the claim loop never spins
+      // on it, and keep looking.
+      fs::rename(lease, base / "failed" / (unit_id + "@" + worker + ".json"), ec);
+      continue;
+    }
+    return Claim{std::move(*unit), worker};
+  }
+  return std::nullopt;
+}
+
+bool WorkQueue::Heartbeat(const std::string& worker_id) const {
+  const std::string worker = SanitizeWorkerId(worker_id);
+  return Spill(fs::path(root_) / "heartbeat" / worker, worker + "\n");
+}
+
+std::string WorkQueue::StageDir(const Claim& claim) const {
+  const fs::path dir = fs::path(root_) / "tmp" / (claim.unit.id + "@" + claim.worker);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  return dir.string();
+}
+
+bool WorkQueue::Publish(const Claim& claim) const {
+  const fs::path base(root_);
+  const fs::path staged = base / "tmp" / (claim.unit.id + "@" + claim.worker);
+  const fs::path target = base / "results" / claim.unit.id;
+  std::error_code ec;
+  fs::rename(staged, target, ec);
+  if (ec) {
+    // Lost the publish race (the unit was reclaimed and finished elsewhere):
+    // results are deterministic, so the other copy is identical — discard
+    // ours. Anything else (staging missing, target absent) is a failure.
+    if (!fs::exists(target)) return false;
+    fs::remove_all(staged, ec);
+  }
+  // Completion marker; fails harmlessly when the lease was reclaimed.
+  fs::rename(base / "active" / (claim.unit.id + "@" + claim.worker + ".json"),
+             base / "done" / (claim.unit.id + ".json"), ec);
+  return true;
+}
+
+bool WorkQueue::Fail(const Claim& claim) const {
+  const fs::path base(root_);
+  std::error_code ec;
+  fs::remove_all(base / "tmp" / (claim.unit.id + "@" + claim.worker), ec);
+  fs::rename(base / "active" / (claim.unit.id + "@" + claim.worker + ".json"),
+             base / "failed" / (claim.unit.id + "@" + claim.worker + ".json"), ec);
+  return !ec;
+}
+
+std::size_t WorkQueue::ReclaimStale(double timeout_seconds, const std::string& self_worker,
+                                    std::FILE* log) const {
+  const fs::path base(root_);
+  // "Now" is the mtime of our own just-touched heartbeat when we have one:
+  // then both sides of every age comparison were stamped by the shared
+  // filesystem and host clock skew cannot cause spurious reclaims (or keep
+  // dead leases alive). The local clock is the single-host fallback.
+  fs::file_time_type now = fs::file_time_type::clock::now();
+  if (!self_worker.empty() && Heartbeat(self_worker)) {
+    std::error_code ec;
+    const fs::file_time_type own = fs::last_write_time(
+        base / "heartbeat" / SanitizeWorkerId(self_worker), ec);
+    if (!ec) now = own;
+  }
+  std::size_t reclaimed = 0;
+  for (const std::string& name : ListDir(base / "active")) {
+    const auto lease = SplitLeaseName(name);
+    if (!lease) continue;
+    const auto& [unit_id, worker] = *lease;
+    // Freshness is the newer of the worker's heartbeat and the lease file
+    // itself (a claim whose worker never heartbeated still ages out).
+    const double age = std::min(AgeSeconds(base / "heartbeat" / worker, now),
+                                AgeSeconds(base / "active" / name, now));
+    if (age <= timeout_seconds) continue;
+    std::error_code ec;
+    fs::rename(base / "active" / name, base / "todo" / (unit_id + ".json"), ec);
+    if (ec) continue;  // someone else reclaimed it first
+    ++reclaimed;
+    if (log != nullptr) {
+      std::fprintf(log, "reclaimed %s from stale worker %s (idle %.1fs > %.1fs)\n",
+                   unit_id.c_str(), worker.c_str(), age, timeout_seconds);
+    }
+  }
+  return reclaimed;
+}
+
+WorkQueue::Status WorkQueue::GetStatus() const {
+  const fs::path base(root_);
+  Status status;
+  status.todo = ListDir(base / "todo").size();
+  status.active = ListDir(base / "active").size();
+  status.done = ListDir(base / "done").size();
+  status.failed = ListDir(base / "failed").size();
+  status.results = ListDir(base / "results").size();
+  return status;
+}
+
+std::vector<WorkUnit> WorkQueue::Units(std::string* error) const {
+  const fs::path base(root_);
+  std::vector<WorkUnit> units;
+  std::set<std::string> seen;
+  for (const char* dir : {"todo", "active", "done", "failed"}) {
+    for (const std::string& name : ListDir(base / dir)) {
+      const std::optional<std::string> text = Slurp(base / dir / name);
+      if (!text) continue;
+      std::string parse_error;
+      std::optional<WorkUnit> unit = ParseWorkUnitJson(*text, &parse_error);
+      if (!unit) {
+        if (error != nullptr && error->empty()) {
+          *error = (base / dir / name).string() + ": " + parse_error;
+        }
+        continue;
+      }
+      if (!seen.insert(unit->id).second) continue;  // rename race: same unit twice
+      units.push_back(std::move(*unit));
+    }
+  }
+  std::sort(units.begin(), units.end(),
+            [](const WorkUnit& a, const WorkUnit& b) { return a.id < b.id; });
+  return units;
+}
+
+bool WorkQueue::HasResult(const std::string& unit_id) const {
+  std::error_code ec;
+  return fs::is_directory(fs::path(root_) / "results" / unit_id, ec);
+}
+
+std::string WorkQueue::ResultDir(const std::string& unit_id) const {
+  return (fs::path(root_) / "results" / unit_id).string();
+}
+
+std::string WorkQueue::UnitState(const std::string& unit_id) const {
+  const fs::path base(root_);
+  std::error_code ec;
+  if (fs::exists(base / "todo" / (unit_id + ".json"), ec)) return "todo";
+  if (fs::exists(base / "done" / (unit_id + ".json"), ec)) return "done";
+  for (const char* dir : {"active", "failed"}) {
+    for (const std::string& name : ListDir(base / dir)) {
+      const auto lease = SplitLeaseName(name);
+      if (lease && lease->first == unit_id) {
+        return std::string(dir) + " (" + lease->second + ")";
+      }
+    }
+  }
+  return "lost";
+}
+
+}  // namespace quicer::dist

@@ -1,0 +1,111 @@
+#include "dist/work_unit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/json.h"
+
+namespace quicer::dist {
+namespace {
+
+constexpr std::string_view kFormat = "quicer-dist-unit-v1";
+
+}  // namespace
+
+std::string WorkUnitJson(const WorkUnit& unit) {
+  std::string out = "{\n";
+  out += "  \"format\": \"" + std::string(kFormat) + "\",\n";
+  out += "  \"id\": \"" + core::JsonEscape(unit.id) + "\",\n";
+  out += "  \"bench\": \"" + core::JsonEscape(unit.bench) + "\",\n";
+  out += "  \"sweep\": \"" + core::JsonEscape(unit.sweep) + "\",\n";
+  out += "  \"points\": ";
+  core::AppendJsonSizeArray(out, unit.points);
+  out += ",\n";
+  out += "  \"rep_begin\": " + std::to_string(unit.rep_begin) + ",\n";
+  out += "  \"rep_end\": " + std::to_string(unit.rep_end) + ",\n";
+  out += "  \"runs\": " + std::to_string(unit.runs) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::optional<WorkUnit> ParseWorkUnitJson(std::string_view json, std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<WorkUnit> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const std::optional<core::JsonValue> doc = core::JsonValue::Parse(json, &parse_error);
+  if (!doc) return fail("invalid JSON: " + parse_error);
+  if (doc->GetString("format") != kFormat) {
+    return fail("not a work-unit document (format '" + doc->GetString("format") + "')");
+  }
+  WorkUnit unit;
+  unit.id = doc->GetString("id");
+  unit.bench = doc->GetString("bench");
+  unit.sweep = doc->GetString("sweep");
+  if (unit.id.empty() || unit.bench.empty() || unit.sweep.empty()) {
+    return fail("work unit misses id/bench/sweep");
+  }
+  const core::JsonValue* points = doc->Get("points");
+  if (points == nullptr) return fail("work unit misses its 'points' array");
+  for (const core::JsonValue& point : points->Items()) {
+    unit.points.push_back(static_cast<std::size_t>(point.AsNumber()));
+  }
+  unit.rep_begin = static_cast<std::size_t>(doc->GetNumber("rep_begin"));
+  unit.rep_end = static_cast<std::size_t>(doc->GetNumber("rep_end"));
+  unit.runs = static_cast<std::size_t>(doc->GetNumber("runs"));
+  return unit;
+}
+
+std::vector<WorkUnit> PlanUnits(const std::vector<SweepInventory>& sweeps,
+                                std::size_t max_runs_per_unit) {
+  const std::size_t max_runs = std::max<std::size_t>(max_runs_per_unit, 1);
+  std::vector<WorkUnit> units;
+  auto emit = [&units](WorkUnit unit) {
+    char id[16];
+    std::snprintf(id, sizeof(id), "u%05zu", units.size());
+    unit.id = id;
+    units.push_back(std::move(unit));
+  };
+
+  for (const SweepInventory& sweep : sweeps) {
+    const std::size_t reps = std::max<std::size_t>(sweep.repetitions, 1);
+    WorkUnit open;  // the unit currently accumulating whole points
+    open.bench = sweep.bench;
+    open.sweep = sweep.sweep;
+    auto flush = [&] {
+      if (open.points.empty()) return;
+      open.runs = open.points.size() * reps;
+      emit(open);
+      open.points.clear();
+    };
+
+    if (reps > max_runs) {
+      // Repetition-range sharding: every point is split into windows of at
+      // most max_runs repetitions.
+      for (std::size_t p = 0; p < sweep.point_count; ++p) {
+        for (std::size_t begin = 0; begin < reps; begin += max_runs) {
+          WorkUnit unit;
+          unit.bench = sweep.bench;
+          unit.sweep = sweep.sweep;
+          unit.points = {p};
+          unit.rep_begin = begin;
+          unit.rep_end = std::min(begin + max_runs, reps);
+          unit.runs = unit.rep_end - unit.rep_begin;
+          emit(std::move(unit));
+        }
+      }
+      continue;
+    }
+
+    const std::size_t points_per_unit = std::max<std::size_t>(max_runs / reps, 1);
+    for (std::size_t p = 0; p < sweep.point_count; ++p) {
+      open.points.push_back(p);
+      if (open.points.size() >= points_per_unit) flush();
+    }
+    flush();
+  }
+  return units;
+}
+
+}  // namespace quicer::dist

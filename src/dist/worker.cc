@@ -1,0 +1,67 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace quicer::dist {
+
+WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
+                      const UnitRunner& runner, std::FILE* log) {
+  const std::string worker = WorkQueue::SanitizeWorkerId(
+      options.worker_id.empty() ? DefaultWorkerId() : options.worker_id);
+  WorkerStats stats;
+  for (;;) {
+    if (options.max_units > 0 &&
+        stats.units_done + stats.units_failed >= options.max_units) {
+      break;
+    }
+    queue.Heartbeat(worker);
+    if (std::optional<WorkQueue::Claim> claim = queue.TryClaim(worker)) {
+      const std::string stage = queue.StageDir(*claim);
+      if (log != nullptr) {
+        const std::string rep_end = claim->unit.rep_end == 0
+                                        ? "end"
+                                        : std::to_string(claim->unit.rep_end);
+        std::fprintf(log, "[%s] unit %s: bench %s sweep %s, %zu points, reps [%zu, %s)\n",
+                     worker.c_str(), claim->unit.id.c_str(), claim->unit.bench.c_str(),
+                     claim->unit.sweep.c_str(), claim->unit.points.size(),
+                     claim->unit.rep_begin, rep_end.c_str());
+      }
+      const int code = runner(claim->unit, stage);
+      if (code == 0 && queue.Publish(*claim)) {
+        ++stats.units_done;
+      } else {
+        queue.Fail(*claim);
+        ++stats.units_failed;
+        if (log != nullptr) {
+          std::fprintf(log, "[%s] unit %s FAILED (exit %d)\n", worker.c_str(),
+                       claim->unit.id.c_str(), code);
+        }
+      }
+      continue;
+    }
+
+    stats.units_reclaimed += queue.ReclaimStale(options.lease_timeout_seconds, worker, log);
+    const WorkQueue::Status status = queue.GetStatus();
+    if (status.todo > 0) continue;  // a reclaim (or a peer's return) refilled todo
+    if (status.active == 0 || !options.wait_for_stragglers) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_seconds));
+  }
+  if (log != nullptr) {
+    std::fprintf(log, "[%s] done: %zu units executed, %zu failed, %zu reclaimed\n",
+                 worker.c_str(), stats.units_done, stats.units_failed,
+                 stats.units_reclaimed);
+  }
+  return stats;
+}
+
+std::string DefaultWorkerId() {
+  char host[256] = "host";
+  gethostname(host, sizeof(host) - 1);
+  host[sizeof(host) - 1] = '\0';
+  return WorkQueue::SanitizeWorkerId(std::string(host) + "-" + std::to_string(getpid()));
+}
+
+}  // namespace quicer::dist

@@ -1,0 +1,54 @@
+// The claim → execute → publish loop of a distributed sweep worker.
+//
+// A worker owns no state beyond its id: it claims units from the queue via
+// atomic renames, executes each through a pluggable UnitRunner (bench_suite
+// wires the bench registry in; tests wire synthetic sweeps), stages the
+// partial-result files privately and publishes them with one rename. While
+// the todo directory is empty but other workers still hold leases, the
+// worker polls — reclaiming stale leases — so a crashed peer's units are
+// re-executed instead of lost, and the queue always drains.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "dist/work_queue.h"
+
+namespace quicer::dist {
+
+struct WorkerOptions {
+  /// File-name-safe identity; must be unique per live worker (the default
+  /// host-pid id from DefaultWorkerId is).
+  std::string worker_id;
+  /// A lease whose worker has not heartbeated for this long is reclaimable.
+  double lease_timeout_seconds = 60.0;
+  /// Idle poll interval while waiting for stragglers.
+  double poll_seconds = 0.5;
+  /// Stop after this many executed units (0 = run until the queue drains).
+  std::size_t max_units = 0;
+  /// When false, exit as soon as todo/ is empty instead of waiting for
+  /// (and potentially reclaiming from) workers still holding leases.
+  bool wait_for_stragglers = true;
+};
+
+struct WorkerStats {
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_reclaimed = 0;
+};
+
+/// Executes one claimed unit, writing its partial-result files into
+/// `stage_dir`; returns a process-style exit code (0 = success).
+using UnitRunner = std::function<int(const WorkUnit& unit, const std::string& stage_dir)>;
+
+/// Runs the worker loop until the queue drains (todo empty and, with
+/// wait_for_stragglers, no active leases left) or max_units is reached.
+/// Diagnostics go to `log` (may be null).
+WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
+                      const UnitRunner& runner, std::FILE* log = nullptr);
+
+/// "<hostname>-<pid>", sanitized for file names.
+std::string DefaultWorkerId();
+
+}  // namespace quicer::dist

@@ -1,0 +1,178 @@
+// Edge cases of the minimal JSON parser behind the sweep partial-result
+// files: escapes, nesting limits, truncated input, duplicate keys — and a
+// partial-file round trip that includes budget-skipped points, the shape a
+// clipped distributed run hands to the merge phase.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.h"
+#include "core/sweep.h"
+#include "core/sweep_partial.h"
+
+namespace quicer::core {
+namespace {
+
+std::optional<JsonValue> Parse(const std::string& text, std::string* error = nullptr) {
+  return JsonValue::Parse(text, error);
+}
+
+TEST(JsonParser, StringEscapes) {
+  const std::optional<JsonValue> parsed =
+      Parse(R"({"s": "quote:\" back:\\ slash:\/ nl:\n tab:\t cr:\r bs:\b ff:\f"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->GetString("s"),
+            "quote:\" back:\\ slash:/ nl:\n tab:\t cr:\r bs:\b ff:\f");
+
+  // \uXXXX is deliberately unsupported (machine-written documents never
+  // emit it); the parser must reject it rather than mangle it.
+  std::string error;
+  EXPECT_FALSE(Parse("{\"s\": \"\\u0041\"}", &error).has_value());
+  EXPECT_NE(error.find("unsupported escape"), std::string::npos);
+  EXPECT_FALSE(Parse("\"\\x41\"").has_value());
+
+  // A backslash at end-of-input is an unterminated string, not a crash.
+  EXPECT_FALSE(Parse("\"abc\\").has_value());
+}
+
+TEST(JsonParser, WriterEscapesRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te";
+  const std::optional<JsonValue> parsed = Parse("\"" + JsonEscape(nasty) + "\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), nasty);
+}
+
+TEST(JsonParser, DeeplyNestedValuesAreBoundedNotFatal) {
+  auto nested = [](int depth) {
+    std::string doc(depth, '[');
+    doc += "1";
+    doc += std::string(depth, ']');
+    return doc;
+  };
+  // Comfortably within the depth bound.
+  std::optional<JsonValue> ok = Parse(nested(60));
+  ASSERT_TRUE(ok.has_value());
+  const JsonValue* cursor = &*ok;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(cursor->Items().size(), 1u);
+    cursor = &cursor->Items()[0];
+  }
+  EXPECT_EQ(cursor->AsNumber(), 1.0);
+
+  // Past the bound: a clean error, not a stack overflow.
+  std::string error;
+  EXPECT_FALSE(Parse(nested(100), &error).has_value());
+  EXPECT_NE(error.find("too deep"), std::string::npos);
+
+  // Mixed object/array nesting counts too.
+  std::string mixed;
+  for (int i = 0; i < 50; ++i) mixed += "{\"k\": [";
+  mixed += "null";
+  for (int i = 0; i < 50; ++i) mixed += "]}";
+  EXPECT_FALSE(Parse(mixed).has_value());
+}
+
+TEST(JsonParser, TruncatedInputFailsCleanly) {
+  for (const char* doc : {"", "{", "[", "{\"a\"", "{\"a\":", "{\"a\": 1", "{\"a\": 1,",
+                          "[1, 2", "[1,", "\"abc", "tru", "fals", "nul", "-", "{\"a\": }",
+                          "[1 2]", "{\"a\" 1}", "{,}", "[,]"}) {
+    std::string error;
+    EXPECT_FALSE(Parse(doc, &error).has_value()) << "'" << doc << "'";
+    EXPECT_FALSE(error.empty()) << "'" << doc << "'";
+  }
+}
+
+TEST(JsonParser, DuplicateKeysKeepDocumentOrderAndGetReturnsTheFirst) {
+  const std::optional<JsonValue> parsed = Parse(R"({"a": 1, "b": 2, "a": 3})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Members().size(), 3u);
+  EXPECT_EQ(parsed->GetNumber("a"), 1.0);
+  EXPECT_EQ(parsed->Members()[2].second.AsNumber(), 3.0);
+}
+
+TEST(JsonParser, NumbersAndLiterals) {
+  const std::optional<JsonValue> parsed =
+      Parse(R"([0, -0.5, 3e2, 2.5e-3, 1e15, true, false, null])");
+  ASSERT_TRUE(parsed.has_value());
+  const auto& items = parsed->Items();
+  ASSERT_EQ(items.size(), 8u);
+  EXPECT_EQ(items[0].AsNumber(), 0.0);
+  EXPECT_EQ(items[1].AsNumber(), -0.5);
+  EXPECT_EQ(items[2].AsNumber(), 300.0);
+  EXPECT_EQ(items[3].AsNumber(), 0.0025);
+  EXPECT_EQ(items[4].AsNumber(), 1e15);
+  EXPECT_TRUE(items[5].AsBool());
+  EXPECT_FALSE(items[6].AsBool(true));
+  EXPECT_TRUE(items[7].is_null());
+
+  // Type-mismatch accessors fall back instead of failing.
+  EXPECT_EQ(items[5].AsNumber(-1.0), -1.0);
+  EXPECT_EQ(items[0].AsString(), "");
+  EXPECT_TRUE(items[0].Items().empty());
+  EXPECT_EQ(items[0].Get("missing"), nullptr);
+}
+
+/// A tiny synthetic spec for the partial-file round trip.
+SweepSpec BudgetSpec() {
+  SweepSpec spec;
+  spec.name = "json_budget_test";
+  spec.axes.extras = {{"k", {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}}}};
+  spec.repetitions = 3;
+  spec.metrics = {{"v", MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
+  spec.runner = [](const SweepRunContext& ctx) {
+    return std::vector<double>{static_cast<double>(ctx.point.Extra("k")->value) * 10.0 +
+                               ctx.repetition};
+  };
+  return spec;
+}
+
+// A budget-clipped run's partial file lists its skipped points and round
+// trips through disk with every flag intact; re-running exactly those
+// points merges back to the full result.
+TEST(JsonParser, PartialFileRoundTripIncludesBudgetSkippedPoints) {
+  SweepSpec clipped_spec = BudgetSpec();
+  clipped_spec.time_budget_seconds = 1e-9;  // expires before any point starts
+  const SweepResult clipped = RunSweep(clipped_spec);
+  const std::vector<std::size_t> skipped = clipped.BudgetSkippedPoints();
+  ASSERT_EQ(skipped.size(), 4u);
+
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(WriteSweepData(clipped, dir));
+  const std::string path = dir + "/" + SweepPartialFileName(clipped);
+
+  std::string error;
+  const std::optional<SweepResult> reread = ReadSweepPartialFile(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(reread.has_value()) << error;
+  EXPECT_EQ(reread->name, clipped.name);
+  EXPECT_EQ(reread->BudgetSkippedPoints(), skipped);
+  for (const PointSummary& summary : reread->points) {
+    EXPECT_TRUE(summary.budget_skipped);
+    EXPECT_FALSE(summary.executed);
+  }
+
+  SweepSpec rerun_spec = BudgetSpec();
+  rerun_spec.shard.points = skipped;
+  std::optional<SweepResult> rerun =
+      ParseSweepPartialJson(SweepPartialJson(RunSweep(rerun_spec)), &error);
+  ASSERT_TRUE(rerun.has_value()) << error;
+  const std::optional<SweepResult> merged = MergeSweepResults({*reread, *rerun}, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(SweepResultJson(*merged), SweepResultJson(RunSweep(BudgetSpec())));
+}
+
+TEST(JsonParser, PartialDocumentRejectsWrongShapes) {
+  std::string error;
+  EXPECT_FALSE(ParseSweepPartialJson("{}", &error).has_value());
+  EXPECT_NE(error.find("format"), std::string::npos);
+  EXPECT_FALSE(ParseSweepPartialJson("[1, 2]", &error).has_value());
+  EXPECT_FALSE(
+      ParseSweepPartialJson(R"({"format": "quicer-sweep-partial-v1"})", &error).has_value());
+  EXPECT_NE(error.find("points"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicer::core
