@@ -1,9 +1,13 @@
 // Shared helpers for the per-figure benchmark binaries.
 #pragma once
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -13,6 +17,60 @@
 #include "stats/stats.h"
 
 namespace quicer::bench {
+
+/// One sweep's full live spec (closures included), captured from a bench's
+/// enumerate pass — the input of the scenario codec's export and label
+/// resolution.
+struct CapturedSpec {
+  std::string bench;
+  core::SweepSpec spec;
+  std::size_t point_count = 0;
+};
+
+/// Runs the given benches in enumerate-only mode — no experiments, no
+/// exports — capturing every sweep's fully tuned spec and grid size. Bench
+/// bodies still print their human-readable headings, so stdout is parked on
+/// /dev/null for the duration. Shared by bench_suite (export-grid, --grid,
+/// queue-init, --points validation) and the grid round-trip test, so both
+/// see identical capture semantics.
+inline std::vector<CapturedSpec> CaptureSpecs(const std::vector<BenchInfo>& benches,
+                                              int scale) {
+  std::vector<CapturedSpec> specs;
+  BenchContext context;
+  context.scale = scale;
+  const std::string* current_bench = nullptr;
+  context.enumerate = [&](const core::SweepSpec& spec, const core::SweepResult& result) {
+    CapturedSpec captured;
+    captured.bench = *current_bench;
+    captured.spec = spec;
+    captured.point_count = result.points.size();
+    // Strip the capture-pass execution state: the copy represents the
+    // sweep's data and closures, not this enumerate run.
+    captured.spec.enumerate_sink = nullptr;
+    captured.spec.observer = nullptr;
+    captured.spec.shard = core::SweepShard{};
+    captured.spec.only_sweep.clear();
+    captured.spec.export_only = false;
+    captured.spec.time_budget_seconds = 0.0;
+    specs.push_back(std::move(captured));
+  };
+
+  std::fflush(stdout);
+  const int saved_stdout = dup(STDOUT_FILENO);
+  const int null_fd = open("/dev/null", O_WRONLY);
+  if (null_fd >= 0) dup2(null_fd, STDOUT_FILENO);
+  for (const BenchInfo& bench : benches) {
+    current_bench = &bench.name;
+    bench.run(context);
+  }
+  std::fflush(stdout);
+  if (saved_stdout >= 0) {
+    dup2(saved_stdout, STDOUT_FILENO);
+    close(saved_stdout);
+  }
+  if (null_fd >= 0) close(null_fd);
+  return specs;
+}
 
 /// Repetitions per (client, mode) point. The paper uses 100; 25 keeps every
 /// bench binary comfortably fast while the medians are already stable
@@ -61,6 +119,9 @@ inline core::SweepSpec& TuneObserver(core::SweepSpec& spec, const BenchContext& 
   if (ctx.budget_seconds > 0.0 && spec.time_budget_seconds == 0.0) {
     spec.time_budget_seconds = ctx.RemainingBudgetSeconds();
   }
+  // The grid rewrite runs last, so a scenario file's data (repetitions,
+  // axes, base config) wins over --scale and the compiled-in grid.
+  if (ctx.rewrite) ctx.rewrite(spec);
   return spec;
 }
 
@@ -78,9 +139,25 @@ inline core::SweepSpec& Tune(core::SweepSpec& spec, const BenchContext& ctx) {
 /// and the bench should return 0 without further processing of `result`.
 inline bool PartialExported(const core::SweepResult& result) {
   // Enumerate-only passes (queue-init, --points validation) produce no data
-  // and must not write or warn; the sink already saw everything.
-  if (result.enumerate_only) return true;
-  if (!result.partial()) return false;
+  // and must not write or warn; the sink already saw everything. Sweeps
+  // deselected by only_sweep (siblings of a targeted sweep) ran nothing and
+  // write nothing.
+  if (result.enumerate_only || result.deselected) return true;
+  if (!result.partial()) {
+    if (!result.export_only) return false;
+    // A full grid-driven run: export the final data pair but skip the
+    // bench's printed analysis, which may index points a data-defined grid
+    // dropped.
+    if (!core::MaybeWriteSweepData(result)) {
+      std::fprintf(stderr,
+                   "[%s] WARNING: grid-run result NOT exported (set QUICER_DATA_DIR / "
+                   "--data-dir)\n",
+                   result.name.c_str());
+    }
+    std::printf("[%s] grid run: %zu points, %zu runs — data exported, analysis skipped.\n",
+                result.name.c_str(), result.points.size(), result.executed_runs);
+    return true;
+  }
   const bool wrote = core::MaybeWriteSweepData(result);
   if (!wrote) {
     std::fprintf(stderr,
@@ -113,9 +190,18 @@ inline bool AnyPartialExported(std::initializer_list<const core::SweepResult*> r
     if (result->enumerate_only) return true;
   }
   bool any = false;
-  for (const core::SweepResult* result : results) any = any || result->partial();
+  bool any_partial = false;
+  for (const core::SweepResult* result : results) {
+    if (result->deselected) {
+      any = true;  // a sibling executed instead; the joint analysis cannot run
+      continue;
+    }
+    any_partial = any_partial || result->partial();
+    any = any || result->partial() || result->export_only;
+  }
   if (!any) return false;
   for (const core::SweepResult* result : results) {
+    if (result->deselected) continue;  // nothing ran, nothing to write
     if (!core::MaybeWriteSweepData(*result)) {
       std::fprintf(stderr,
                    "[%s] WARNING: partial result NOT exported (set QUICER_DATA_DIR / "
@@ -123,8 +209,14 @@ inline bool AnyPartialExported(std::initializer_list<const core::SweepResult*> r
                    result->name.c_str());
     }
   }
-  std::printf("(partial run — analysis skipped; combine the partial exports with "
-              "`bench_suite merge`.)\n");
+  if (any_partial) {
+    std::printf("(partial run — analysis skipped; combine the partial exports with "
+                "`bench_suite merge`.)\n");
+  } else {
+    // Full grid-driven runs wrote final exports, not partials — pointing
+    // the user at `merge` would have them feed it non-partial documents.
+    std::printf("(grid run — data exported, analysis skipped.)\n");
+  }
   return true;
 }
 

@@ -6,6 +6,12 @@
 // queue (src/dist/), so any pool of hosts sharing a directory executes the
 // suite together.
 //
+// Grids are also first-class data (core/scenario.h): export-grid serializes
+// any registered bench's sweeps as a scenario file, `run --grid` executes a
+// (possibly hand-edited) scenario file through the identical enumerate →
+// execute → merge pipeline, and `queue-init --grid` plans a distributed run
+// from one — scenario authorship is a data task, not a C++ task.
+//
 //   bench_suite --list                 # names + descriptions
 //   bench_suite                        # run everything
 //   bench_suite --filter=fig1          # substring-select benches
@@ -19,8 +25,13 @@
 //   bench_suite --rep-range=0:10       # execute a repetition window
 //   bench_suite merge --out-dir=out/ PARTIAL.json...   # recombine shards
 //
-//   bench_suite queue-init --queue=Q [--filter=S]... [--scale=N] [--unit-runs=N]
-//   bench_suite worker --queue=Q [--worker-id=W] [--lease-seconds=N] [--max-units=N]
+//   bench_suite export-grid [BENCH...] [--scale=N] [--out=FILE] [--check]
+//   bench_suite run --grid=FILE [--data-dir=DIR] [--shard=I/N] [--rep-range=A:B]
+//   bench_suite schema                 # scenario base-field table (markdown)
+//
+//   bench_suite queue-init --queue=Q [--filter=S]... [--grid=FILE] [--scale=N] [--unit-runs=N]
+//   bench_suite worker --queue=Q [--worker-id=W] [--lease-seconds=N] [--retries=N]
+//   bench_suite queue-status --queue=Q
 //   bench_suite collect --queue=Q [--out-dir=DIR]
 #include <fcntl.h>
 #include <unistd.h>
@@ -30,10 +41,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "core/scenario.h"
 #include "core/sweep_partial.h"
 #include "core/thread_pool.h"
 #include "dist/collect.h"
@@ -57,9 +75,16 @@ int Usage(const char* argv0) {
       "          [--scale=N] [--progress] [--budget-seconds=N]\n"
       "          [--shard=I/N | --points=ID,ID,...] [--rep-range=A:B]\n"
       "       %s merge [--out-dir=DIR] PARTIAL.json...\n"
-      "       %s queue-init --queue=DIR [--filter=SUBSTR]... [--scale=N] [--unit-runs=N]\n"
+      "       %s export-grid [BENCH...] [--scale=N] [--out=FILE] [--check]\n"
+      "       %s run --grid=FILE [--data-dir=DIR] [--threads=N] [--progress]\n"
+      "              [--budget-seconds=N] [--shard=I/N | --points=IDS] [--rep-range=A:B]\n"
+      "       %s schema\n"
+      "       %s queue-init --queue=DIR [--filter=SUBSTR]... [--grid=FILE] [--scale=N]\n"
+      "                 [--unit-runs=N]\n"
       "       %s worker --queue=DIR [--threads=N] [--worker-id=ID] [--progress]\n"
-      "                 [--lease-seconds=N] [--poll-seconds=N] [--max-units=N] [--no-wait]\n"
+      "                 [--lease-seconds=N] [--poll-seconds=N] [--max-units=N]\n"
+      "                 [--retries=N] [--no-wait]\n"
+      "       %s queue-status --queue=DIR\n"
       "       %s collect --queue=DIR [--out-dir=DIR]\n"
       "  --list        list registered benches and exit\n"
       "  --filter=S    run only benches whose name contains S\n"
@@ -84,20 +109,38 @@ int Usage(const char* argv0) {
       "  merge         parse partial-result JSONs, merge per sweep name and\n"
       "                write final CSV/JSON exports (byte-identical to a\n"
       "                single-process run) into --out-dir (default \".\")\n"
+      "  export-grid   serialize the named benches' sweeps (all benches when\n"
+      "                none given) as a scenario file on stdout (no\n"
+      "                experiments run); --check instead verifies the\n"
+      "                export → parse → re-export round trip byte-identically\n"
+      "  run --grid=F  execute the scenarios of file F (data-defined grids)\n"
+      "                through the standard pipeline; exports are\n"
+      "                byte-identical to the compiled-in run for unedited\n"
+      "                export-grid output, and composable with --shard /\n"
+      "                --rep-range / merge for edited grids\n"
+      "  schema        print the scenario base-config field table (markdown,\n"
+      "                generated from the codec's descriptor table)\n"
       "  queue-init    enumerate the selected benches' sweeps (no experiments\n"
       "                run) and populate a work-queue directory: one manifest\n"
       "                plus work units of at most --unit-runs runs each\n"
       "                (default 256; huge points split into repetition\n"
-      "                windows). The directory may be local, on NFS, or\n"
-      "                rsync'd between hosts.\n"
+      "                windows). With --grid=FILE the plan comes from a\n"
+      "                scenario file (copied into the queue), not from the\n"
+      "                compiled-in grids. The directory may be local, on\n"
+      "                NFS, or rsync'd between hosts.\n"
       "  worker        claim units from the queue (atomic rename leases),\n"
       "                execute them through the registered benches, publish\n"
       "                partial results; heartbeats let peers reclaim units of\n"
-      "                crashed workers after --lease-seconds (default 60)\n"
+      "                crashed workers after --lease-seconds (default 60);\n"
+      "                failed units re-queue up to --retries times\n"
+      "                (default 1) before parking in failed/\n"
+      "  queue-status  todo/active/done/failed unit counts, per-worker\n"
+      "                heartbeat ages and the failed-unit list\n"
       "  collect       verify coverage (every point x repetition window\n"
-      "                exactly once) and merge every sweep's unit results\n"
-      "                into final exports under --out-dir (default \".\")\n",
-      argv0, argv0, argv0, argv0, argv0);
+      "                exactly once, spec hashes in agreement) and merge\n"
+      "                every sweep's unit results into final exports under\n"
+      "                --out-dir (default \".\")\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -171,41 +214,25 @@ bool ParseRepRange(const std::string& value, quicer::core::SweepShard& shard) {
   return true;
 }
 
-/// Runs the selected benches in enumerate-only mode — no experiments, no
-/// exports — collecting every sweep's grid size and repetition count. Bench
-/// bodies still print their human-readable headings, so stdout is parked on
-/// /dev/null for the duration.
-std::vector<quicer::dist::SweepInventory> EnumerateSweeps(
-    const std::vector<BenchInfo>& benches, int scale) {
-  std::vector<quicer::dist::SweepInventory> sweeps;
-  BenchContext context;
-  context.scale = scale;
-  const std::string* current_bench = nullptr;
-  context.enumerate = [&](const quicer::core::SweepSpec& spec,
-                          const quicer::core::SweepResult& result) {
-    quicer::dist::SweepInventory inventory;
-    inventory.bench = *current_bench;
-    inventory.sweep = spec.name;
-    inventory.point_count = result.points.size();
-    inventory.repetitions =
-        result.repetitions > 0 ? static_cast<std::size_t>(result.repetitions) : 1;
-    sweeps.push_back(std::move(inventory));
-  };
+using quicer::bench::CapturedSpec;
+using quicer::bench::CaptureSpecs;
 
-  std::fflush(stdout);
-  const int saved_stdout = dup(STDOUT_FILENO);
-  const int null_fd = open("/dev/null", O_WRONLY);
-  if (null_fd >= 0) dup2(null_fd, STDOUT_FILENO);
-  for (const BenchInfo& bench : benches) {
-    current_bench = &bench.name;
-    bench.run(context);
+/// Queue inventories of captured sweeps (grid size, repetitions, spec hash).
+std::vector<quicer::dist::SweepInventory> InventoriesOf(
+    const std::vector<CapturedSpec>& specs) {
+  std::vector<quicer::dist::SweepInventory> sweeps;
+  sweeps.reserve(specs.size());
+  for (const CapturedSpec& captured : specs) {
+    quicer::dist::SweepInventory inventory;
+    inventory.bench = captured.bench;
+    inventory.sweep = captured.spec.name;
+    inventory.point_count = captured.point_count;
+    inventory.repetitions =
+        captured.spec.repetitions > 0 ? static_cast<std::size_t>(captured.spec.repetitions)
+                                      : 1;
+    inventory.spec_hash = quicer::core::ScenarioHash(captured.spec);
+    sweeps.push_back(std::move(inventory));
   }
-  std::fflush(stdout);
-  if (saved_stdout >= 0) {
-    dup2(saved_stdout, STDOUT_FILENO);
-    close(saved_stdout);
-  }
-  if (null_fd >= 0) close(null_fd);
   return sweeps;
 }
 
@@ -224,10 +251,334 @@ std::vector<BenchInfo> MatchFilters(const std::vector<std::string>& filters) {
   return selected;
 }
 
+/// Reads a whole file; "-" reads stdin (the `export-grid B | run --grid=-`
+/// pipeline).
+std::optional<std::string> SlurpFile(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-file plumbing shared by export-grid --check, run --grid,
+// queue-init --grid and the worker.
+// ---------------------------------------------------------------------------
+
+/// One scenario of a grid file, validated against the registry: the bench
+/// exists, the sweep exists in it, and the scenario resolves cleanly onto
+/// the captured live spec.
+struct GridScenario {
+  quicer::core::Scenario scenario;
+  const CapturedSpec* live = nullptr;       // owned by GridPlan::captured
+  quicer::core::SweepSpec applied;          // live spec + scenario data
+  std::size_t point_count = 0;              // of the applied spec
+};
+
+struct GridPlan {
+  std::vector<quicer::core::Scenario> scenarios;
+  // One capture pass per distinct bench (insertion order preserved for
+  // deterministic unit planning).
+  std::vector<std::pair<std::string, std::vector<CapturedSpec>>> captured;
+  std::vector<GridScenario> entries;
+};
+
+/// Parses `text` and validates every scenario against the compiled-in
+/// benches. Returns nullopt and fills `error` on the first violation.
+std::optional<GridPlan> LoadGrid(const std::string& text, std::string& error) {
+  GridPlan plan;
+  std::optional<std::vector<quicer::core::Scenario>> scenarios =
+      quicer::core::ParseScenarioFile(text, &error);
+  if (!scenarios) return std::nullopt;
+  plan.scenarios = std::move(*scenarios);
+
+  for (const quicer::core::Scenario& scenario : plan.scenarios) {
+    if (scenario.bench.empty()) {
+      error = "scenario for sweep '" + scenario.sweep +
+              "' misses its 'bench' (the registry name that owns the sweep)";
+      return std::nullopt;
+    }
+    const BenchInfo* bench = Registry::Instance().Find(scenario.bench);
+    if (bench == nullptr) {
+      error = "unknown bench '" + scenario.bench + "' (see bench_suite --list)";
+      return std::nullopt;
+    }
+    std::vector<CapturedSpec>* specs = nullptr;
+    for (auto& [name, captured] : plan.captured) {
+      if (name == scenario.bench) specs = &captured;
+    }
+    if (specs == nullptr) {
+      plan.captured.emplace_back(scenario.bench, CaptureSpecs({*bench}, /*scale=*/1));
+      specs = &plan.captured.back().second;
+    }
+    const CapturedSpec* live = nullptr;
+    for (const CapturedSpec& captured : *specs) {
+      if (captured.spec.name == scenario.sweep) live = &captured;
+    }
+    if (live == nullptr) {
+      error = "bench '" + scenario.bench + "' has no sweep '" + scenario.sweep + "' (sweeps:";
+      for (const CapturedSpec& captured : *specs) error += " " + captured.spec.name;
+      error += ")";
+      return std::nullopt;
+    }
+    GridScenario entry;
+    entry.scenario = scenario;
+    entry.live = live;
+    entry.applied = live->spec;
+    if (!quicer::core::ApplyScenario(scenario, entry.applied, &error)) return std::nullopt;
+    entry.point_count = quicer::core::Enumerate(entry.applied).size();
+    plan.entries.push_back(std::move(entry));
+  }
+
+  // collect merges per sweep name: two scenarios for the same sweep would
+  // race on the same export files.
+  for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.entries.size(); ++j) {
+      if (plan.entries[i].scenario.sweep == plan.entries[j].scenario.sweep) {
+        error = "duplicate scenario for sweep '" + plan.entries[i].scenario.sweep + "'";
+        return std::nullopt;
+      }
+    }
+  }
+  return plan;
+}
+
+/// The rewrite hook a grid scenario installs: overwrites the matching
+/// sweep's data with the scenario's and flips it to data-export-only mode
+/// (a data-defined grid may drop the points the bench's printed analysis
+/// indexes). Resolution errors deselect the sweep outright — the run then
+/// produces no export for it, which the caller reports.
+std::function<void(quicer::core::SweepSpec&)> GridRewrite(
+    std::shared_ptr<quicer::core::Scenario> scenario) {
+  return [scenario](quicer::core::SweepSpec& spec) {
+    if (spec.name != scenario->sweep) return;
+    std::string error;
+    if (!quicer::core::ApplyScenario(*scenario, spec, &error)) {
+      // Validated at load time; a failure here means the compiled grid
+      // changed under us. Refuse to run anything rather than run the wrong
+      // grid.
+      std::fprintf(stderr, "[%s] grid rewrite failed: %s\n", spec.name.c_str(),
+                   error.c_str());
+      spec.only_sweep = "!grid-rewrite-failed";
+      return;
+    }
+    spec.export_only = true;
+  };
+}
+
+int RunExportGrid(int argc, char** argv) {
+  std::vector<std::string> names;
+  std::string out_path;
+  int scale = 1;
+  bool check = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--scale="), nullptr, 10);
+      scale = parsed >= 1 ? static_cast<int>(parsed) : 1;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown export-grid option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      names.push_back(arg);
+    }
+  }
+  std::vector<BenchInfo> selected;
+  if (names.empty()) {
+    selected = Registry::Instance().Match("");
+  } else {
+    for (const std::string& name : names) {
+      const BenchInfo* bench = Registry::Instance().Find(name);
+      if (bench == nullptr) {
+        std::fprintf(stderr, "export-grid: unknown bench '%s' (see --list)\n", name.c_str());
+        return 2;
+      }
+      selected.push_back(*bench);
+    }
+  }
+
+  const std::vector<CapturedSpec> captured = CaptureSpecs(selected, scale);
+  std::vector<std::pair<std::string, const quicer::core::SweepSpec*>> entries;
+  entries.reserve(captured.size());
+  for (const CapturedSpec& spec : captured) entries.emplace_back(spec.bench, &spec.spec);
+  const std::string json = quicer::core::ScenarioFileJson(entries);
+
+  if (check) {
+    // export → parse → apply-to-live → re-export must reproduce the bytes.
+    std::string error;
+    const std::optional<GridPlan> plan = LoadGrid(json, error);
+    if (!plan) {
+      std::fprintf(stderr, "export-grid --check: exported file does not parse back: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::vector<std::pair<std::string, const quicer::core::SweepSpec*>> reexport;
+    reexport.reserve(plan->entries.size());
+    for (const GridScenario& entry : plan->entries) {
+      reexport.emplace_back(entry.scenario.bench, &entry.applied);
+    }
+    const std::string second = quicer::core::ScenarioFileJson(reexport);
+    if (second != json) {
+      std::size_t at = 0;
+      while (at < json.size() && at < second.size() && json[at] == second[at]) ++at;
+      std::fprintf(stderr,
+                   "export-grid --check: re-export differs from the export at byte %zu:\n"
+                   "  first:  %.60s\n  second: %.60s\n",
+                   at, json.c_str() + (at < 30 ? 0 : at - 30),
+                   second.c_str() + (at < 30 ? 0 : at - 30));
+      return 1;
+    }
+    std::printf("export-grid --check: %zu sweeps of %zu benches round-trip byte-identically\n",
+                captured.size(), selected.size());
+    return 0;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "export-grid: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "export-grid: wrote %zu sweeps of %zu benches to '%s'\n",
+               captured.size(), selected.size(), out_path.c_str());
+  return 0;
+}
+
+int RunGrid(int argc, char** argv) {
+  std::string grid_path;
+  BenchContext context;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--grid=", 0) == 0) {
+      grid_path = arg.substr(std::strlen("--grid="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      const char* dir = arg.c_str() + std::strlen("--data-dir=");
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create data dir '%s': %s\n", dir, ec.message().c_str());
+        return 2;
+      }
+      setenv("QUICER_DATA_DIR", dir, 1);
+    } else if (arg == "--progress") {
+      context.progress = true;
+    } else if (arg.rfind("--budget-seconds=", 0) == 0) {
+      context.budget_seconds =
+          std::strtod(arg.c_str() + std::strlen("--budget-seconds="), nullptr);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      if (!ParseShard(arg.substr(std::strlen("--shard=")), context.shard)) {
+        std::fprintf(stderr, "invalid --shard '%s' (expected I/N with 0 <= I < N)\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--points=", 0) == 0) {
+      if (!ParsePoints(arg.substr(std::strlen("--points=")), context.shard.points)) {
+        std::fprintf(stderr, "invalid --points '%s' (expected ID,ID,...)\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--rep-range=", 0) == 0) {
+      if (!ParseRepRange(arg.substr(std::strlen("--rep-range=")), context.shard)) {
+        std::fprintf(stderr, "invalid --rep-range '%s' (expected A:B with 0 <= A < B,"
+                     " or A: for 'to the end')\n", arg.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown run option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (grid_path.empty()) {
+    std::fprintf(stderr, "run: pass --grid=FILE (a scenario file; see export-grid)\n");
+    return 2;
+  }
+  const std::optional<std::string> text = SlurpFile(grid_path);
+  if (!text) {
+    std::fprintf(stderr, "run: cannot read '%s'\n", grid_path.c_str());
+    return 2;
+  }
+  std::string error;
+  std::optional<GridPlan> plan = LoadGrid(*text, error);
+  if (!plan) {
+    std::fprintf(stderr, "run: %s: %s\n", grid_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!context.shard.all() && std::getenv("QUICER_DATA_DIR") == nullptr) {
+    std::fprintf(stderr,
+                 "--shard/--points/--rep-range produce partial-result files: pass "
+                 "--data-dir=DIR (or set QUICER_DATA_DIR)\n");
+    return 2;
+  }
+  // --points ids must exist in some scenario's grid.
+  for (std::size_t id : context.shard.points) {
+    bool known = false;
+    for (const GridScenario& entry : plan->entries) known = known || id < entry.point_count;
+    if (!known) {
+      std::fprintf(stderr, "--points: unknown point id %zu — no scenario grid has that"
+                   " many points\n", id);
+      for (const GridScenario& entry : plan->entries) {
+        std::fprintf(stderr, "  %-24s %zu points\n", entry.scenario.sweep.c_str(),
+                     entry.point_count);
+      }
+      return 2;
+    }
+  }
+
+  struct Timing {
+    std::string sweep;
+    double seconds;
+    int exit_code;
+  };
+  std::vector<Timing> timings;
+  context.suite_start = std::chrono::steady_clock::now();
+  int failures = 0;
+  for (const GridScenario& entry : plan->entries) {
+    BenchContext scenario_context = context;
+    scenario_context.sweep_filter = entry.scenario.sweep;
+    scenario_context.rewrite =
+        GridRewrite(std::make_shared<quicer::core::Scenario>(entry.scenario));
+    const auto start = std::chrono::steady_clock::now();
+    const int code = quicer::bench::RunByName(entry.scenario.bench, scenario_context);
+    timings.push_back({entry.scenario.sweep, SecondsSince(start), code});
+    if (code != 0) ++failures;
+  }
+
+  std::printf("\n%-24s %10s  %s\n", "sweep", "wall [s]", "status");
+  for (const Timing& timing : timings) {
+    std::printf("%-24s %10.2f  %s\n", timing.sweep.c_str(), timing.seconds,
+                timing.exit_code == 0 ? "ok" : "FAILED");
+  }
+  std::printf("%-24s %10.2f  (%zu scenarios from '%s', pool of %u threads)\n", "total",
+              SecondsSince(context.suite_start), timings.size(), grid_path.c_str(),
+              quicer::core::ThreadPool::Global().size());
+  return failures == 0 ? 0 : 1;
+}
+
+int RunSchema() {
+  std::fputs(quicer::core::ScenarioSchemaMarkdown().c_str(), stdout);
+  return 0;
+}
+
 int RunQueueInit(int argc, char** argv) {
   std::string queue_dir;
+  std::string grid_path;
   std::vector<std::string> filters;
   int scale = 1;
+  bool scale_given = false;
   std::size_t unit_runs = 256;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -235,9 +586,12 @@ int RunQueueInit(int argc, char** argv) {
       queue_dir = arg.substr(std::strlen("--queue="));
     } else if (arg.rfind("--filter=", 0) == 0) {
       filters.push_back(arg.substr(std::strlen("--filter=")));
+    } else if (arg.rfind("--grid=", 0) == 0) {
+      grid_path = arg.substr(std::strlen("--grid="));
     } else if (arg.rfind("--scale=", 0) == 0) {
       const long parsed = std::strtol(arg.c_str() + std::strlen("--scale="), nullptr, 10);
       scale = parsed >= 1 ? static_cast<int>(parsed) : 1;
+      scale_given = true;
     } else if (arg.rfind("--unit-runs=", 0) == 0) {
       const long parsed = std::strtol(arg.c_str() + std::strlen("--unit-runs="), nullptr, 10);
       if (parsed < 1) {
@@ -255,22 +609,96 @@ int RunQueueInit(int argc, char** argv) {
     std::fprintf(stderr, "queue-init: pass --queue=DIR\n");
     return 2;
   }
-  const std::vector<BenchInfo> selected = MatchFilters(filters);
-  if (selected.empty()) {
-    std::fprintf(stderr, "queue-init: no benches match the filters\n");
-    return 2;
+
+  std::vector<quicer::dist::SweepInventory> sweeps;
+  std::string grid_text;
+  std::size_t bench_count = 0;
+  if (!grid_path.empty()) {
+    // Data-defined plan: the scenario file is the single source of truth
+    // for grids and repetitions; --filter/--scale would contradict it.
+    if (!filters.empty() || scale_given) {
+      std::fprintf(stderr, "queue-init: --grid excludes --filter and --scale (the scenario"
+                   " file defines the grids)\n");
+      return 2;
+    }
+    const std::optional<std::string> text = SlurpFile(grid_path);
+    if (!text) {
+      std::fprintf(stderr, "queue-init: cannot read '%s'\n", grid_path.c_str());
+      return 2;
+    }
+    grid_text = *text;
+    std::string error;
+    const std::optional<GridPlan> plan = LoadGrid(grid_text, error);
+    if (!plan) {
+      std::fprintf(stderr, "queue-init: %s: %s\n", grid_path.c_str(), error.c_str());
+      return 2;
+    }
+    std::vector<std::string> benches_seen;
+    for (const GridScenario& entry : plan->entries) {
+      quicer::dist::SweepInventory inventory;
+      inventory.bench = entry.scenario.bench;
+      inventory.sweep = entry.scenario.sweep;
+      inventory.point_count = entry.point_count;
+      inventory.repetitions =
+          entry.applied.repetitions > 0
+              ? static_cast<std::size_t>(entry.applied.repetitions)
+              : 1;
+      inventory.spec_hash = quicer::core::ScenarioHash(entry.applied);
+      sweeps.push_back(std::move(inventory));
+      bool seen = false;
+      for (const std::string& name : benches_seen) seen = seen || name == entry.scenario.bench;
+      if (!seen) benches_seen.push_back(entry.scenario.bench);
+    }
+    bench_count = benches_seen.size();
+  } else {
+    const std::vector<BenchInfo> selected = MatchFilters(filters);
+    if (selected.empty()) {
+      std::fprintf(stderr, "queue-init: no benches match the filters\n");
+      return 2;
+    }
+    sweeps = InventoriesOf(CaptureSpecs(selected, scale));
+    bench_count = selected.size();
   }
 
-  const std::vector<quicer::dist::SweepInventory> sweeps = EnumerateSweeps(selected, scale);
   const std::vector<quicer::dist::WorkUnit> units =
       quicer::dist::PlanUnits(sweeps, unit_runs);
 
   quicer::dist::WorkQueue::Manifest manifest;
-  manifest.scale = scale;
+  manifest.scale = grid_path.empty() ? scale : 1;
   manifest.filters = filters;
   manifest.max_runs_per_unit = unit_runs;
   manifest.unit_count = units.size();
   manifest.sweeps = sweeps;
+  if (!grid_path.empty()) {
+    // The scenario file rides inside the queue, so every worker — on any
+    // host — runs exactly the grid this plan hashed. It must land before
+    // the manifest (whose presence marks the queue ready) — but never on
+    // top of an existing queue's grid: WorkQueue::Init would reject the
+    // directory only after the copy had already clobbered the evidence of
+    // what a live (or interrupted) queue was running.
+    const std::filesystem::path queue_root(queue_dir);
+    if (std::filesystem::exists(queue_root / "manifest.json") ||
+        std::filesystem::exists(queue_root / "grid.json")) {
+      std::fprintf(stderr,
+                   "queue-init: '%s' already holds a queue (or the wreck of one); remove "
+                   "the directory and re-initialise\n",
+                   queue_dir.c_str());
+      return 1;
+    }
+    manifest.grid_file = "grid.json";
+    std::error_code ec;
+    std::filesystem::create_directories(queue_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "queue-init: cannot create '%s': %s\n", queue_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::ofstream grid_copy(std::filesystem::path(queue_dir) / "grid.json", std::ios::trunc);
+    if (!grid_copy.is_open() || !(grid_copy << grid_text)) {
+      std::fprintf(stderr, "queue-init: cannot copy the grid into '%s'\n", queue_dir.c_str());
+      return 1;
+    }
+  }
   std::string error;
   if (!quicer::dist::WorkQueue::Init(queue_dir, manifest, units, &error)) {
     std::fprintf(stderr, "queue-init: %s\n", error.c_str());
@@ -284,9 +712,10 @@ int RunQueueInit(int argc, char** argv) {
     if (unit.windowed()) ++windowed;
   }
   std::printf("queue '%s': %zu benches, %zu sweeps, %zu units (%zu repetition-window"
-              " units), %zu scheduled runs at scale %d\n",
-              queue_dir.c_str(), selected.size(), sweeps.size(), units.size(), windowed,
-              total_runs, scale);
+              " units), %zu scheduled runs at scale %d%s\n",
+              queue_dir.c_str(), bench_count, sweeps.size(), units.size(), windowed,
+              total_runs, manifest.scale,
+              grid_path.empty() ? "" : (" from grid '" + grid_path + "'").c_str());
   std::printf("next: run `bench_suite worker --queue=%s` on any host sharing the"
               " directory, then `bench_suite collect --queue=%s --out-dir=OUT`\n",
               queue_dir.c_str(), queue_dir.c_str());
@@ -333,6 +762,15 @@ int RunWorkerCommand(int argc, char** argv) {
         return 2;
       }
       options.max_units = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      char* end = nullptr;
+      const long parsed = std::strtol(arg.c_str() + std::strlen("--retries="), &end, 10);
+      if (*end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "invalid --retries '%s' (expected a non-negative integer)\n",
+                     arg.c_str());
+        return 2;
+      }
+      options.retry_budget = static_cast<std::size_t>(parsed);
     } else if (arg == "--no-wait") {
       options.wait_for_stragglers = false;
     } else if (arg == "--progress") {
@@ -357,6 +795,26 @@ int RunWorkerCommand(int argc, char** argv) {
       options.worker_id.empty() ? quicer::dist::DefaultWorkerId() : options.worker_id);
   options.worker_id = worker_id;
 
+  // A grid-planned queue carries its scenario file: every unit's spec is
+  // rewritten from it, so this worker executes the same data-defined grid
+  // the plan hashed — validated up front, before any unit is claimed.
+  std::shared_ptr<GridPlan> grid;
+  if (!queue->manifest().grid_file.empty()) {
+    const std::string grid_path =
+        (std::filesystem::path(queue_dir) / queue->manifest().grid_file).string();
+    const std::optional<std::string> text = SlurpFile(grid_path);
+    if (!text) {
+      std::fprintf(stderr, "worker: cannot read the queue's grid '%s'\n", grid_path.c_str());
+      return 1;
+    }
+    std::optional<GridPlan> plan = LoadGrid(*text, error);
+    if (!plan) {
+      std::fprintf(stderr, "worker: %s: %s\n", grid_path.c_str(), error.c_str());
+      return 1;
+    }
+    grid = std::make_shared<GridPlan>(std::move(*plan));
+  }
+
   // Executes one unit through the registry: the unit's points / repetition
   // window select the grid subset, sweep_filter deselects sibling sweeps of
   // the same bench, and the partial files land in the claim's private stage
@@ -373,6 +831,22 @@ int RunWorkerCommand(int argc, char** argv) {
     context.shard.rep_begin = unit.rep_begin;
     context.shard.rep_end = unit.rep_end;
     context.sweep_filter = unit.sweep;
+    if (grid) {
+      const GridScenario* entry = nullptr;
+      for (const GridScenario& candidate : grid->entries) {
+        if (candidate.scenario.bench == unit.bench && candidate.scenario.sweep == unit.sweep) {
+          entry = &candidate;
+        }
+      }
+      if (entry == nullptr) {
+        std::fprintf(stderr, "[%s] unit %s targets sweep '%s' of bench '%s', which the"
+                     " queue's grid does not define\n", worker_id.c_str(), unit.id.c_str(),
+                     unit.sweep.c_str(), unit.bench.c_str());
+        return 1;
+      }
+      context.rewrite =
+          GridRewrite(std::make_shared<quicer::core::Scenario>(entry->scenario));
+    }
     auto last_beat = std::make_shared<std::chrono::steady_clock::time_point>(
         std::chrono::steady_clock::now());
     context.observer = [&queue, worker_id, last_beat](const quicer::core::SweepProgress&) {
@@ -386,6 +860,62 @@ int RunWorkerCommand(int argc, char** argv) {
 
   const quicer::dist::WorkerStats stats = RunWorker(*queue, options, runner, stderr);
   return stats.units_failed == 0 ? 0 : 1;
+}
+
+int RunQueueStatus(int argc, char** argv) {
+  std::string queue_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queue=", 0) == 0) {
+      queue_dir = arg.substr(std::strlen("--queue="));
+    } else {
+      std::fprintf(stderr, "unknown queue-status option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (queue_dir.empty()) {
+    std::fprintf(stderr, "queue-status: pass --queue=DIR\n");
+    return 2;
+  }
+  std::string error;
+  const std::optional<quicer::dist::WorkQueue> queue =
+      quicer::dist::WorkQueue::Open(queue_dir, &error);
+  if (!queue) {
+    std::fprintf(stderr, "queue-status: %s\n", error.c_str());
+    return 1;
+  }
+  const quicer::dist::WorkQueue::Status status = queue->GetStatus();
+  std::printf("queue '%s': %zu units planned (%zu sweeps, scale %d%s)\n", queue_dir.c_str(),
+              queue->manifest().unit_count, queue->manifest().sweeps.size(),
+              queue->manifest().scale,
+              queue->manifest().grid_file.empty()
+                  ? ""
+                  : (", grid " + queue->manifest().grid_file).c_str());
+  std::printf("  todo %zu | active %zu | done %zu | failed %zu | results %zu\n",
+              status.todo, status.active, status.done, status.failed, status.results);
+
+  const std::vector<quicer::dist::WorkQueue::HeartbeatAge> workers = queue->HeartbeatAges();
+  if (workers.empty()) {
+    std::printf("  no worker heartbeats yet\n");
+  } else {
+    std::printf("  workers:\n");
+    for (const quicer::dist::WorkQueue::HeartbeatAge& worker : workers) {
+      std::printf("    %-24s last beat %7.1fs ago, %zu active unit%s\n",
+                  worker.worker.c_str(), worker.age_seconds, worker.active_units,
+                  worker.active_units == 1 ? "" : "s");
+    }
+  }
+  if (status.failed > 0) {
+    std::printf("  failed units:\n");
+    for (const quicer::dist::WorkUnit& unit : queue->Units()) {
+      const std::string state = queue->UnitState(unit.id);
+      if (state.rfind("failed", 0) == 0) {
+        std::printf("    %s [%s] bench %s sweep %s, attempt %zu\n", unit.id.c_str(),
+                    state.c_str(), unit.bench.c_str(), unit.sweep.c_str(), unit.attempt);
+      }
+    }
+  }
+  return 0;
 }
 
 int RunCollect(int argc, char** argv) {
@@ -425,7 +955,7 @@ int RunCollect(int argc, char** argv) {
 /// benches: an id no sweep can serve is an error, not a silent no-op.
 int ValidatePoints(const std::vector<BenchInfo>& selected, const BenchContext& context) {
   const std::vector<quicer::dist::SweepInventory> sweeps =
-      EnumerateSweeps(selected, context.scale);
+      InventoriesOf(CaptureSpecs(selected, context.scale));
   std::size_t max_points = 0;
   for (const quicer::dist::SweepInventory& sweep : sweeps) {
     max_points = std::max(max_points, sweep.point_count);
@@ -453,8 +983,12 @@ int ValidatePoints(const std::vector<BenchInfo>& selected, const BenchContext& c
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return RunMerge(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "export-grid") == 0) return RunExportGrid(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "run") == 0) return RunGrid(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "schema") == 0) return RunSchema();
   if (argc > 1 && std::strcmp(argv[1], "queue-init") == 0) return RunQueueInit(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "worker") == 0) return RunWorkerCommand(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "queue-status") == 0) return RunQueueStatus(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "collect") == 0) return RunCollect(argc, argv);
 
   bool list = false;

@@ -56,6 +56,11 @@ struct BenchContext {
   /// Extra per-point observer, chained before the --progress printer. The
   /// work-queue worker refreshes its lease heartbeat here.
   core::SweepObserver observer;
+  /// When set, applied to every tuned spec right before execution (after
+  /// --scale and the other context options). The --grid workflow overwrites
+  /// the compiled-in grid data with a scenario file's here — the hook
+  /// itself decides which sweep names it touches.
+  std::function<void(core::SweepSpec&)> rewrite;
 
   /// True when a scaled run should also widen its RTT/Δt axes.
   bool dense_axes() const { return scale > 1; }

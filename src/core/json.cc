@@ -254,8 +254,15 @@ std::string JsonEscape(const std::string& s) {
 
 std::string JsonNumber(double v) {
   if (std::isnan(v)) return "null";
+  // Shortest representation that still round-trips exactly: scenario files
+  // are hand-edited, so "2.8" beats "2.7999999999999998" — but byte-exact
+  // parse-back is what the sharded/merged byte-identity rests on, so wider
+  // precision is used whenever the short form is lossy.
   char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v) break;
+  }
   return buffer;
 }
 

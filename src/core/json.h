@@ -66,9 +66,10 @@ class JsonValue {
 /// Writer-side helpers shared by the JSON-emitting modules (sweep exports,
 /// sweep partials).
 std::string JsonEscape(const std::string& s);
-/// Formats with %.17g, which round-trips doubles exactly — the property the
-/// sharded sweep workflow relies on for byte-identical merged exports. NaN
-/// renders as null.
+/// Formats the shortest %g representation that round-trips the double
+/// exactly (falling back to %.17g) — exact parse-back is the property the
+/// sharded sweep workflow relies on for byte-identical merged exports, and
+/// the short form keeps scenario files hand-editable. NaN renders as null.
 std::string JsonNumber(double v);
 /// Appends "[1, 2, 3]" — the id/bin-array shape shared by the sweep partial
 /// and work-unit documents.

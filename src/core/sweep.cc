@@ -9,6 +9,7 @@
 
 #include "core/csv.h"
 #include "core/json.h"
+#include "core/scenario.h"
 #include "core/thread_pool.h"
 
 namespace quicer::core {
@@ -236,6 +237,9 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   result.reservoir_capacity = spec.reservoir_capacity;
   result.seed_base = spec.seed_base != 0 ? spec.seed_base : spec.base.seed;
   result.seed_stride = spec.seed_stride;
+  result.export_only = spec.export_only;
+  result.deselected = !spec.only_sweep.empty() && spec.only_sweep != spec.name;
+  result.spec_hash = ScenarioHash(spec);
 
   const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
   const std::size_t n_metrics = metrics.size();
@@ -445,6 +449,16 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
       return fail("spec fingerprint mismatch in sweep '" + first.name +
                   "' (repetitions / reservoir / seed schedule differ)");
     }
+    // The content-hash covers everything the fingerprint above cannot see —
+    // base config, axis values, metric set. Hash 0 means "unknown" (a
+    // pre-hash document) and is tolerated.
+    if (partial.spec_hash != 0 && first.spec_hash != 0 &&
+        partial.spec_hash != first.spec_hash) {
+      return fail("spec content-hash mismatch in sweep '" + first.name + "': " +
+                  ScenarioHashHex(partial.spec_hash) + " vs " +
+                  ScenarioHashHex(first.spec_hash) +
+                  " — the partials were produced from different grid definitions");
+    }
     for (std::size_t i = 0; i < partial.points.size(); ++i) {
       if (partial.points[i].point.Key() != first.points[i].point.Key()) {
         return fail("point " + std::to_string(i) + " of sweep '" + first.name +
@@ -482,6 +496,9 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
 
   SweepResult merged = first;
   merged.shard = SweepShard{};
+  for (const SweepResult& partial : partials) {
+    if (merged.spec_hash == 0) merged.spec_hash = partial.spec_hash;
+  }
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < merged.points.size(); ++i) {
     PointSummary& dst = merged.points[i];

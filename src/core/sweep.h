@@ -300,6 +300,12 @@ struct SweepSpec {
   /// every bench's grids — point counts, repetitions, sweep names —
   /// without running a single experiment.
   SweepEnumerateSink enumerate_sink;
+
+  /// When true, the bench should export machine-readable data and skip its
+  /// human-readable analysis even for a full (unsharded) run. The --grid
+  /// workflow sets this: a data-defined grid may drop the very points a
+  /// bench's printed tables index.
+  bool export_only = false;
 };
 
 /// One metric's aggregated values at one point.
@@ -374,6 +380,21 @@ struct SweepResult {
   /// True when the spec carried an enumerate_sink: the grid metadata is
   /// populated but nothing ran (and nothing should be exported).
   bool enumerate_only = false;
+
+  /// True when only_sweep deselected this whole sweep (a sibling of the
+  /// targeted sweep): nothing ran and nothing — not even an empty partial —
+  /// should be written.
+  bool deselected = false;
+
+  /// Mirrors SweepSpec::export_only (the --grid workflow).
+  bool export_only = false;
+
+  /// Content-hash of the spec's serializable data (core::ScenarioHash),
+  /// stamped by RunSweep, carried through partial files and work units, and
+  /// required to agree by the merge/collect phases — partials of two
+  /// different grid definitions never mix silently. 0 = unknown (documents
+  /// written before the hash existed).
+  std::uint64_t spec_hash = 0;
 
   /// True when this result covers a strict subset of the grid by
   /// construction (spec.shard selected a subset).

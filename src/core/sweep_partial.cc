@@ -8,6 +8,7 @@
 
 #include "core/csv.h"
 #include "core/json.h"
+#include "core/scenario.h"
 
 namespace quicer::core {
 namespace {
@@ -51,6 +52,9 @@ std::string SweepPartialJson(const SweepResult& result) {
   std::string out = "{\n";
   out += "  \"format\": \"" + std::string(kFormat) + "\",\n";
   out += "  \"sweep\": \"" + JsonEscape(result.name) + "\",\n";
+  if (result.spec_hash != 0) {
+    out += "  \"spec_hash\": \"" + ScenarioHashHex(result.spec_hash) + "\",\n";
+  }
   out += "  \"shard_index\": " + std::to_string(result.shard.index) + ",\n";
   out += "  \"shard_count\": " + std::to_string(result.shard.count) + ",\n";
   if (!result.shard.points.empty()) {
@@ -148,6 +152,7 @@ std::optional<SweepResult> ParseSweepPartialJson(std::string_view json, std::str
 
   SweepResult result;
   result.name = doc->GetString("sweep");
+  result.spec_hash = std::strtoull(doc->GetString("spec_hash").c_str(), nullptr, 16);
   result.shard.index = static_cast<std::size_t>(doc->GetNumber("shard_index"));
   result.shard.count = static_cast<std::size_t>(doc->GetNumber("shard_count", 1.0));
   if (const JsonValue* shard_points = doc->Get("shard_points")) {
@@ -277,6 +282,10 @@ std::string SweepPartialFileName(const SweepResult& result) {
 
 bool WriteSweepData(const SweepResult& result, const std::string& directory) {
   if (result.name.empty()) return false;
+  // A sweep deselected by only_sweep (the sibling of a targeted sweep) ran
+  // nothing: writing even an empty partial would clobber or pollute the
+  // exports of the run that actually targets it.
+  if (result.deselected) return true;
   if (!result.sharded()) {
     CsvWriter csv(directory, result.name + "_sweep", SweepCsvHeader());
     if (!csv.active()) return false;

@@ -5,9 +5,12 @@
 // the full grid's point metadata — as a partial-result JSON document. A
 // merge process (bench_suite's `merge` subcommand) parses any set of these
 // files, recombines them with MergeSweepResults, and emits the usual
-// CSV/JSON exports. Numbers are written with %.17g, which round-trips
-// doubles exactly, so the merged exports are byte-identical to what a
-// single-process run of the same spec would have written.
+// CSV/JSON exports. Numbers are written in their shortest exactly
+// round-tripping form (core::JsonNumber), so the merged exports are
+// byte-identical to what a single-process run of the same spec would have
+// written. Every document carries the spec content-hash (core::
+// ScenarioHash); the merge phase refuses to combine partials whose hashes
+// differ.
 //
 // The document also lists budget-skipped point ids, so a later run can
 // re-execute exactly those (`bench_suite --points=...`) and the rerun's

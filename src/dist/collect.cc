@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "core/scenario.h"
 #include "core/sweep.h"
 #include "core/sweep_partial.h"
 
@@ -90,6 +91,19 @@ std::optional<core::SweepResult> ReadUnitPartial(const WorkQueue& queue,
 /// anything else means the results directory holds output of a different
 /// plan (a stale or hand-edited queue).
 std::string VerifyUnitPartial(const WorkUnit& unit, const core::SweepResult& partial) {
+  // The spec content-hash pins the grid's serializable data: a partial
+  // produced from a different scenario file, or from a binary whose
+  // compiled-in axes/base/metric set changed, must never merge into this
+  // queue's exports. (It cannot see closure *bodies* — a binary that
+  // changed only a loss/variant lambda under the same label hashes
+  // identically; keep worker binaries at one revision per queue.) Hash 0
+  // means "unknown" and is tolerated for pre-hash documents.
+  if (unit.spec_hash != 0 && partial.spec_hash != 0 && unit.spec_hash != partial.spec_hash) {
+    return "unit " + unit.id + " published results with spec hash " +
+           core::ScenarioHashHex(partial.spec_hash) + " but the plan expects " +
+           core::ScenarioHashHex(unit.spec_hash) +
+           " — the results come from a different grid definition";
+  }
   std::vector<std::size_t> expected = unit.points;
   std::sort(expected.begin(), expected.end());
   std::vector<std::size_t> executed;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -9,6 +10,7 @@
 #include <system_error>
 
 #include "core/json.h"
+#include "core/scenario.h"
 
 namespace quicer::dist {
 namespace {
@@ -29,13 +31,20 @@ std::string ManifestJson(const WorkQueue::Manifest& manifest) {
   out += "],\n";
   out += "  \"max_runs_per_unit\": " + std::to_string(manifest.max_runs_per_unit) + ",\n";
   out += "  \"unit_count\": " + std::to_string(manifest.unit_count) + ",\n";
+  if (!manifest.grid_file.empty()) {
+    out += "  \"grid_file\": \"" + core::JsonEscape(manifest.grid_file) + "\",\n";
+  }
   out += "  \"sweeps\": [\n";
   for (std::size_t i = 0; i < manifest.sweeps.size(); ++i) {
     const SweepInventory& sweep = manifest.sweeps[i];
     out += "    {\"bench\": \"" + core::JsonEscape(sweep.bench) + "\", \"sweep\": \"" +
            core::JsonEscape(sweep.sweep) +
            "\", \"points\": " + std::to_string(sweep.point_count) +
-           ", \"repetitions\": " + std::to_string(sweep.repetitions) + "}";
+           ", \"repetitions\": " + std::to_string(sweep.repetitions);
+    if (sweep.spec_hash != 0) {
+      out += ", \"spec_hash\": \"" + core::ScenarioHashHex(sweep.spec_hash) + "\"";
+    }
+    out += "}";
     out += i + 1 < manifest.sweeps.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
@@ -66,12 +75,14 @@ std::optional<WorkQueue::Manifest> ParseManifestJson(std::string_view json,
   manifest.unit_count = static_cast<std::size_t>(doc->GetNumber("unit_count"));
   const core::JsonValue* sweeps = doc->Get("sweeps");
   if (sweeps == nullptr) return fail("manifest misses its 'sweeps' array");
+  manifest.grid_file = doc->GetString("grid_file");
   for (const core::JsonValue& entry : sweeps->Items()) {
     SweepInventory sweep;
     sweep.bench = entry.GetString("bench");
     sweep.sweep = entry.GetString("sweep");
     sweep.point_count = static_cast<std::size_t>(entry.GetNumber("points"));
     sweep.repetitions = static_cast<std::size_t>(entry.GetNumber("repetitions"));
+    sweep.spec_hash = std::strtoull(entry.GetString("spec_hash").c_str(), nullptr, 16);
     manifest.sweeps.push_back(std::move(sweep));
   }
   return manifest;
@@ -262,6 +273,59 @@ bool WorkQueue::Fail(const Claim& claim) const {
   fs::rename(base / "active" / (claim.unit.id + "@" + claim.worker + ".json"),
              base / "failed" / (claim.unit.id + "@" + claim.worker + ".json"), ec);
   return !ec;
+}
+
+bool WorkQueue::Retry(const Claim& claim) const {
+  const fs::path base(root_);
+  const fs::path lease = base / "active" / (claim.unit.id + "@" + claim.worker + ".json");
+  std::error_code ec;
+  fs::remove_all(base / "tmp" / (claim.unit.id + "@" + claim.worker), ec);
+  if (!fs::exists(lease, ec)) return false;  // reclaimed by a peer meanwhile
+  // Stage the bumped unit next to todo/ and rename it in: claimants only
+  // consider *.json names, so the .retry staging file is never claimable,
+  // and the rename makes the re-queue atomic.
+  WorkUnit bumped = claim.unit;
+  ++bumped.attempt;
+  const fs::path staged = base / "todo" / (claim.unit.id + ".retry");
+  if (!Spill(staged, WorkUnitJson(bumped))) return false;
+  fs::rename(staged, base / "todo" / (claim.unit.id + ".json"), ec);
+  if (ec) return false;
+  fs::remove(lease, ec);
+  return true;
+}
+
+std::vector<WorkQueue::HeartbeatAge> WorkQueue::HeartbeatAges() const {
+  const fs::path base(root_);
+  const fs::file_time_type now = fs::file_time_type::clock::now();
+  std::vector<HeartbeatAge> ages;
+  for (const std::string& worker : ListDir(base / "heartbeat")) {
+    HeartbeatAge age;
+    age.worker = worker;
+    age.age_seconds = AgeSeconds(base / "heartbeat" / worker, now);
+    ages.push_back(std::move(age));
+  }
+  for (const std::string& name : ListDir(base / "active")) {
+    const auto lease = SplitLeaseName(name);
+    if (!lease) continue;
+    bool known = false;
+    for (HeartbeatAge& age : ages) {
+      if (age.worker == lease->second) {
+        ++age.active_units;
+        known = true;
+      }
+    }
+    if (!known) {
+      // A lease whose holder never heartbeated still deserves a row.
+      HeartbeatAge age;
+      age.worker = lease->second;
+      age.age_seconds = AgeSeconds(base / "active" / name, now);
+      age.active_units = 1;
+      ages.push_back(std::move(age));
+    }
+  }
+  std::sort(ages.begin(), ages.end(),
+            [](const HeartbeatAge& a, const HeartbeatAge& b) { return a.worker < b.worker; });
+  return ages;
 }
 
 std::size_t WorkQueue::ReclaimStale(double timeout_seconds, const std::string& self_worker,

@@ -50,6 +50,11 @@ class WorkQueue {
     std::size_t max_runs_per_unit = 0;
     std::size_t unit_count = 0;
     std::vector<SweepInventory> sweeps;
+    /// Name of the scenario file (relative to the queue root) this queue
+    /// was planned from; empty for compiled-in grids. Workers parse it and
+    /// rewrite every unit's spec with the scenario data, so every host runs
+    /// the same data-defined grid.
+    std::string grid_file;
   };
 
   /// A successfully claimed unit, held by `worker`.
@@ -98,9 +103,26 @@ class WorkQueue {
   /// published the identical results first and ours were discarded.
   bool Publish(const Claim& claim) const;
 
-  /// Moves a claim whose runner failed into failed/ (kept for inspection;
-  /// never retried automatically).
+  /// Moves a claim whose runner failed into failed/ (kept for inspection).
   bool Fail(const Claim& claim) const;
+
+  /// Re-queues a claim whose runner failed: the unit returns to todo/ with
+  /// its attempt count incremented (persisted in the unit file, so the
+  /// budget holds across workers and hosts). Returns false when the lease
+  /// is gone (reclaimed by a peer) — nothing to retry then.
+  bool Retry(const Claim& claim) const;
+
+  /// One worker's heartbeat freshness, for queue-status.
+  struct HeartbeatAge {
+    std::string worker;
+    double age_seconds = 0.0;
+    std::size_t active_units = 0;  // leases currently held in active/
+  };
+
+  /// Every worker with a heartbeat file, sorted by name, with the age of
+  /// its last beat (against this process's clock — same filesystem) and its
+  /// live lease count.
+  std::vector<HeartbeatAge> HeartbeatAges() const;
 
   /// Renames every active unit whose worker's heartbeat (or, if absent, the
   /// lease file itself) is older than `timeout_seconds` back into todo/.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/json.h"
+#include "core/scenario.h"
 
 namespace quicer::dist {
 namespace {
@@ -23,7 +25,11 @@ std::string WorkUnitJson(const WorkUnit& unit) {
   out += ",\n";
   out += "  \"rep_begin\": " + std::to_string(unit.rep_begin) + ",\n";
   out += "  \"rep_end\": " + std::to_string(unit.rep_end) + ",\n";
-  out += "  \"runs\": " + std::to_string(unit.runs) + "\n";
+  out += "  \"runs\": " + std::to_string(unit.runs) + ",\n";
+  if (unit.spec_hash != 0) {
+    out += "  \"spec_hash\": \"" + core::ScenarioHashHex(unit.spec_hash) + "\",\n";
+  }
+  out += "  \"attempt\": " + std::to_string(unit.attempt) + "\n";
   out += "}\n";
   return out;
 }
@@ -54,6 +60,8 @@ std::optional<WorkUnit> ParseWorkUnitJson(std::string_view json, std::string* er
   unit.rep_begin = static_cast<std::size_t>(doc->GetNumber("rep_begin"));
   unit.rep_end = static_cast<std::size_t>(doc->GetNumber("rep_end"));
   unit.runs = static_cast<std::size_t>(doc->GetNumber("runs"));
+  unit.spec_hash = std::strtoull(doc->GetString("spec_hash").c_str(), nullptr, 16);
+  unit.attempt = static_cast<std::size_t>(doc->GetNumber("attempt"));
   return unit;
 }
 
@@ -73,6 +81,7 @@ std::vector<WorkUnit> PlanUnits(const std::vector<SweepInventory>& sweeps,
     WorkUnit open;  // the unit currently accumulating whole points
     open.bench = sweep.bench;
     open.sweep = sweep.sweep;
+    open.spec_hash = sweep.spec_hash;
     auto flush = [&] {
       if (open.points.empty()) return;
       open.runs = open.points.size() * reps;
@@ -88,6 +97,7 @@ std::vector<WorkUnit> PlanUnits(const std::vector<SweepInventory>& sweeps,
           WorkUnit unit;
           unit.bench = sweep.bench;
           unit.sweep = sweep.sweep;
+          unit.spec_hash = sweep.spec_hash;
           unit.points = {p};
           unit.rep_begin = begin;
           unit.rep_end = std::min(begin + max_runs, reps);

@@ -29,6 +29,15 @@ struct WorkUnit {
   std::size_t rep_begin = 0;        // repetition window [rep_begin, rep_end)
   std::size_t rep_end = 0;          // 0 = all repetitions
   std::size_t runs = 0;
+  /// Content-hash of the sweep's spec (core::ScenarioHash) at planning
+  /// time; the collect phase requires every published partial to carry the
+  /// same hash, so results of a different grid definition never merge in.
+  /// 0 = unknown (pre-hash queues).
+  std::uint64_t spec_hash = 0;
+  /// How many times this unit's runner has already failed; the worker's
+  /// retry budget re-queues a failed unit (attempt + 1) until the budget is
+  /// spent, then parks it in failed/.
+  std::size_t attempt = 0;
 
   /// True when the unit covers a strict repetition window (a split point).
   bool windowed() const { return rep_begin != 0 || rep_end != 0; }
@@ -45,6 +54,9 @@ struct SweepInventory {
   std::string sweep;
   std::size_t point_count = 0;
   std::size_t repetitions = 0;
+  /// Content-hash of the sweep's spec (core::ScenarioHash) as enumerated by
+  /// queue-init; copied into every planned unit. 0 = unknown.
+  std::uint64_t spec_hash = 0;
 };
 
 /// Splits the inventories into units of at most `max_runs_per_unit` runs

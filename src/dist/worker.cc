@@ -32,12 +32,19 @@ WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
       const int code = runner(claim->unit, stage);
       if (code == 0 && queue.Publish(*claim)) {
         ++stats.units_done;
+      } else if (claim->unit.attempt < options.retry_budget && queue.Retry(*claim)) {
+        ++stats.units_retried;
+        if (log != nullptr) {
+          std::fprintf(log, "[%s] unit %s failed (exit %d), re-queued (attempt %zu of %zu)\n",
+                       worker.c_str(), claim->unit.id.c_str(), code,
+                       claim->unit.attempt + 1, options.retry_budget);
+        }
       } else {
         queue.Fail(*claim);
         ++stats.units_failed;
         if (log != nullptr) {
-          std::fprintf(log, "[%s] unit %s FAILED (exit %d)\n", worker.c_str(),
-                       claim->unit.id.c_str(), code);
+          std::fprintf(log, "[%s] unit %s FAILED (exit %d, attempt %zu, budget spent)\n",
+                       worker.c_str(), claim->unit.id.c_str(), code, claim->unit.attempt);
         }
       }
       continue;
@@ -50,8 +57,8 @@ WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
     std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_seconds));
   }
   if (log != nullptr) {
-    std::fprintf(log, "[%s] done: %zu units executed, %zu failed, %zu reclaimed\n",
-                 worker.c_str(), stats.units_done, stats.units_failed,
+    std::fprintf(log, "[%s] done: %zu units executed, %zu failed, %zu retried, %zu reclaimed\n",
+                 worker.c_str(), stats.units_done, stats.units_failed, stats.units_retried,
                  stats.units_reclaimed);
   }
   return stats;

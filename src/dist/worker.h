@@ -30,12 +30,18 @@ struct WorkerOptions {
   /// When false, exit as soon as todo/ is empty instead of waiting for
   /// (and potentially reclaiming from) workers still holding leases.
   bool wait_for_stragglers = true;
+  /// How many automatic re-queues a failed unit gets before parking in
+  /// failed/. The attempt count persists in the unit file, so the budget
+  /// holds across workers and hosts (a transiently-OOMing host's unit can
+  /// succeed on a bigger peer). 0 = park on first failure.
+  std::size_t retry_budget = 1;
 };
 
 struct WorkerStats {
   std::size_t units_done = 0;
   std::size_t units_failed = 0;
   std::size_t units_reclaimed = 0;
+  std::size_t units_retried = 0;  // failed but re-queued within the budget
 };
 
 /// Executes one claimed unit, writing its partial-result files into

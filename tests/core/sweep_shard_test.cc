@@ -250,12 +250,21 @@ TEST(SweepShard, MergeRejectsMismatchedPartials) {
   EXPECT_FALSE(MergeSweepResults({partial0, renamed}, &error).has_value());
   EXPECT_NE(error.find("name mismatch"), std::string::npos);
 
-  // A different grid (point labels) is caught by the point-key check.
+  // A different grid is caught by the spec content-hash before anything
+  // else gets compared.
   SweepSpec other_axes = spec;
   other_axes.axes.rtts = {sim::Millis(5), sim::Millis(21), sim::Millis(50)};
   other_axes.shard = {1, 2, {}};
   const SweepResult wrong_grid = RunSweep(other_axes);
   EXPECT_FALSE(MergeSweepResults({partial0, wrong_grid}, &error).has_value());
+  EXPECT_NE(error.find("content-hash mismatch"), std::string::npos);
+
+  // Pre-hash documents (spec_hash 0) still trip the point-key check.
+  SweepResult legacy0 = partial0;
+  SweepResult legacy1 = wrong_grid;
+  legacy0.spec_hash = 0;
+  legacy1.spec_hash = 0;
+  EXPECT_FALSE(MergeSweepResults({legacy0, legacy1}, &error).has_value());
   EXPECT_NE(error.find("differs between partials"), std::string::npos);
 }
 

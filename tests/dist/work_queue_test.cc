@@ -146,6 +146,8 @@ TEST(WorkUnitJson, RoundTrips) {
   unit.rep_begin = 5;
   unit.rep_end = 10;
   unit.runs = 15;
+  unit.spec_hash = 0xfcf4900536dafe9full;
+  unit.attempt = 2;
   std::string error;
   const std::optional<WorkUnit> parsed = ParseWorkUnitJson(WorkUnitJson(unit), &error);
   ASSERT_TRUE(parsed.has_value()) << error;
@@ -156,9 +158,20 @@ TEST(WorkUnitJson, RoundTrips) {
   EXPECT_EQ(parsed->rep_begin, 5u);
   EXPECT_EQ(parsed->rep_end, 10u);
   EXPECT_EQ(parsed->runs, 15u);
+  EXPECT_EQ(parsed->spec_hash, 0xfcf4900536dafe9full);
+  EXPECT_EQ(parsed->attempt, 2u);
 
   EXPECT_FALSE(ParseWorkUnitJson("{}", &error).has_value());
   EXPECT_FALSE(ParseWorkUnitJson("not json", &error).has_value());
+}
+
+TEST(PlanUnits, PropagatesTheSweepSpecHash) {
+  std::vector<SweepInventory> sweeps = Inventories();
+  sweeps[0].spec_hash = 0x1111u;
+  sweeps[1].spec_hash = 0x2222u;
+  for (const WorkUnit& unit : PlanUnits(sweeps, 5)) {
+    EXPECT_EQ(unit.spec_hash, unit.sweep == "alpha" ? 0x1111u : 0x2222u) << unit.id;
+  }
 }
 
 TEST(WorkQueue, ClaimsAreExclusiveAndMoveThroughStates) {
@@ -338,6 +351,114 @@ TEST(Collect, ReportsMissingUnitsWithTheirState) {
   ASSERT_EQ(report.missing_units.size(), 17u);
   EXPECT_NE(report.missing_units.front().find("[todo]"), std::string::npos);
   EXPECT_NE(report.error.find("units have no results yet"), std::string::npos);
+}
+
+TEST(WorkQueue, RetryRequeuesWithAPersistedAttemptCount) {
+  const std::string root = Scratch("retry");
+  const WorkQueue queue = MakeQueue(root, 1000);  // 2 units
+  std::optional<WorkQueue::Claim> claim = queue.TryClaim("w1");
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->unit.attempt, 0u);
+
+  // Retry moves the unit back to todo with the bumped attempt recorded in
+  // the unit file, so the budget survives a different worker claiming it.
+  ASSERT_TRUE(queue.Retry(*claim));
+  EXPECT_EQ(queue.UnitState(claim->unit.id), "todo");
+  std::optional<WorkQueue::Claim> again = queue.TryClaim("w2");
+  while (again.has_value() && again->unit.id != claim->unit.id) {
+    again = queue.TryClaim("w2");
+  }
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->unit.attempt, 1u);
+
+  ASSERT_TRUE(queue.Retry(*again));
+  std::optional<WorkQueue::Claim> third = queue.TryClaim("w3");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->unit.attempt, 2u);
+
+  // Retrying a lease that no longer exists (reclaimed elsewhere) is a no-op.
+  ASSERT_TRUE(queue.Fail(*third));
+  EXPECT_FALSE(queue.Retry(*third));
+}
+
+TEST(Worker, RetryBudgetRequeuesThenParks) {
+  const std::string root = Scratch("retry_budget");
+  const WorkQueue queue = MakeQueue(root, 1000);  // one alpha unit, one beta unit
+
+  // beta's runner fails deterministically; alpha succeeds.
+  UnitRunner runner = [](const WorkUnit& unit, const std::string& stage_dir) {
+    if (unit.sweep == "beta") return 9;
+    return SyntheticRunner()(unit, stage_dir);
+  };
+  WorkerOptions options;
+  options.worker_id = "w1";
+  options.wait_for_stragglers = false;
+  options.retry_budget = 2;
+  const WorkerStats stats = RunWorker(queue, options, runner);
+  EXPECT_EQ(stats.units_done, 1u);
+  EXPECT_EQ(stats.units_retried, 2u);  // attempts 0 and 1 re-queued
+  EXPECT_EQ(stats.units_failed, 1u);   // attempt 2 spent the budget
+  EXPECT_EQ(queue.GetStatus().failed, 1u);
+  EXPECT_EQ(queue.GetStatus().todo, 0u);
+
+  // With a zero budget the unit parks on first failure.
+  const std::string root2 = Scratch("retry_budget0");
+  const WorkQueue queue2 = MakeQueue(root2, 1000);
+  options.retry_budget = 0;
+  const WorkerStats stats2 = RunWorker(queue2, options, runner);
+  EXPECT_EQ(stats2.units_retried, 0u);
+  EXPECT_EQ(stats2.units_failed, 1u);
+}
+
+TEST(WorkQueue, HeartbeatAgesListWorkersAndTheirLeases) {
+  const std::string root = Scratch("heartbeats");
+  const WorkQueue queue = MakeQueue(root, 1000);
+  ASSERT_TRUE(queue.Heartbeat("idle-worker"));
+  std::optional<WorkQueue::Claim> claim = queue.TryClaim("busy-worker");
+  ASSERT_TRUE(claim.has_value());
+  queue.Heartbeat("busy-worker");
+
+  const std::vector<WorkQueue::HeartbeatAge> ages = queue.HeartbeatAges();
+  ASSERT_EQ(ages.size(), 2u);
+  EXPECT_EQ(ages[0].worker, "busy-worker");
+  EXPECT_EQ(ages[0].active_units, 1u);
+  EXPECT_LT(ages[0].age_seconds, 60.0);
+  EXPECT_EQ(ages[1].worker, "idle-worker");
+  EXPECT_EQ(ages[1].active_units, 0u);
+}
+
+TEST(Collect, RejectsASpecHashMismatch) {
+  // The manifest plans the grid with one content-hash; a worker publishes
+  // results computed from a different grid definition (RunSweep stamps the
+  // real hash into the partial). Collect must refuse to merge them.
+  const std::string root = Scratch("hash_mismatch");
+  std::vector<SweepInventory> sweeps = {{"synthetic", "beta", 3, 4, 0xdeadbeefu}};
+  const std::vector<WorkUnit> units = PlanUnits(sweeps, 1000);
+  WorkQueue::Manifest manifest;
+  manifest.unit_count = units.size();
+  manifest.sweeps = sweeps;
+  std::string error;
+  ASSERT_TRUE(WorkQueue::Init(root, manifest, units, &error)) << error;
+  std::optional<WorkQueue> queue = WorkQueue::Open(root, &error);
+  ASSERT_TRUE(queue.has_value()) << error;
+
+  WorkerOptions options;
+  options.worker_id = "w1";
+  options.wait_for_stragglers = false;
+  UnitRunner runner = [](const WorkUnit& unit, const std::string& stage_dir) {
+    core::SweepSpec spec = BetaSpec();
+    spec.shard.points = unit.points;
+    spec.only_sweep = unit.sweep;
+    return core::WriteSweepData(core::RunSweep(spec), stage_dir) ? 0 : 1;
+  };
+  const WorkerStats stats = RunWorker(*queue, options, runner);
+  ASSERT_EQ(stats.units_done, 1u);
+
+  CollectReport report;
+  EXPECT_FALSE(Collect(*queue, Scratch("hash_mismatch_out"), &report));
+  EXPECT_NE(report.error.find("spec hash"), std::string::npos) << report.error;
+  EXPECT_NE(report.error.find("different grid definition"), std::string::npos)
+      << report.error;
 }
 
 TEST(Collect, RejectsACoverageGap) {
