@@ -331,7 +331,7 @@ std::optional<GridPlan> LoadGrid(const std::string& text, std::string& error) {
     entry.live = live;
     entry.applied = live->spec;
     if (!quicer::core::ApplyScenario(scenario, entry.applied, &error)) return std::nullopt;
-    entry.point_count = quicer::core::Enumerate(entry.applied).size();
+    entry.point_count = quicer::core::EnumerateCount(entry.applied);
     plan.entries.push_back(std::move(entry));
   }
 

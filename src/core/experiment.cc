@@ -59,46 +59,55 @@ std::optional<HandshakeMode> HandshakeModeFromString(std::string_view label) {
   return std::nullopt;
 }
 
-ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  return RunExperiment(config, {});
-}
+RunContext::~RunContext() = default;
 
-ExperimentResult RunExperiment(
-    const ExperimentConfig& config,
-    const std::function<void(const quic::ClientConnection&, const quic::ServerConnection&)>&
-        inspect) {
-  sim::EventQueue queue;
+ExperimentResult RunContext::Run(const ExperimentConfig& config) { return Run(config, {}); }
+
+ExperimentResult RunContext::Run(const ExperimentConfig& config, const InspectFn& inspect) {
+  // Reset drops any events left over from the previous run (invalidating
+  // their handles) before the old endpoints are replaced below, so no stale
+  // callback can outlive the objects it captured.
+  queue_.Reset();
+  sim::EventQueue& queue = queue_;
   sim::Rng rng(config.seed);
 
   sim::Link::Config link_config;
   link_config.one_way_delay = config.rtt / 2;
   link_config.bandwidth_bps = config.bandwidth_bps;
   link_config.jitter = config.path_jitter;
-  sim::Link link(queue, link_config, rng.Fork(1));
+  link_.emplace(queue, link_config, rng.Fork(1));
+  sim::Link& link = *link_;
   link.set_loss_pattern(config.loss);
 
   quic::ClientConfig client_config{BuildClientConfig(config)};
   client_config.enable_0rtt = config.mode == HandshakeMode::k0Rtt;
   client_config.use_retry_as_rtt_sample = config.client_use_retry_rtt_sample;
-  auto client = std::make_unique<quic::ClientConnection>(queue, client_config, rng.Fork(2));
-  auto server = std::make_unique<quic::ServerConnection>(queue, BuildServerConfig(config),
-                                                         rng.Fork(3));
+  client_.emplace(queue, client_config, rng.Fork(2));
+  server_.emplace(queue, BuildServerConfig(config), rng.Fork(3));
 
-  quic::ClientConnection* client_ptr = client.get();
-  quic::ServerConnection* server_ptr = server.get();
+  quic::ClientConnection* client_ptr = &*client_;
+  quic::ServerConnection* server_ptr = &*server_;
+  quic::ClientConnection* client = client_ptr;
+  quic::ServerConnection* server = server_ptr;
 
+  // The datagram is stamped with the index the link will assign and then
+  // moved into the delivery closure — no shared ownership, no copy on
+  // delivery, and the capture fits the closure's inline buffer.
   client->set_send_function([&link, server_ptr](quic::Datagram&& datagram) {
-    datagram.index = 0;
     const std::size_t size = datagram.WireSize();
-    auto shared = std::make_shared<quic::Datagram>(std::move(datagram));
-    shared->index = link.Send(sim::Direction::kClientToServer, size,
-                              [server_ptr, shared] { server_ptr->OnDatagramReceived(*shared); });
+    datagram.index = link.PeekNextIndex(sim::Direction::kClientToServer);
+    link.Send(sim::Direction::kClientToServer, size,
+              [server_ptr, d = std::move(datagram)]() mutable {
+                server_ptr->OnDatagramReceived(std::move(d));
+              });
   });
   server->set_send_function([&link, client_ptr](quic::Datagram&& datagram) {
     const std::size_t size = datagram.WireSize();
-    auto shared = std::make_shared<quic::Datagram>(std::move(datagram));
-    shared->index = link.Send(sim::Direction::kServerToClient, size,
-                              [client_ptr, shared] { client_ptr->OnDatagramReceived(*shared); });
+    datagram.index = link.PeekNextIndex(sim::Direction::kServerToClient);
+    link.Send(sim::Direction::kServerToClient, size,
+              [client_ptr, d = std::move(datagram)]() mutable {
+                client_ptr->OnDatagramReceived(std::move(d));
+              });
   });
 
   client->Start();
@@ -119,9 +128,34 @@ ExperimentResult RunExperiment(
   result.end_time = queue.now();
   result.client_to_server = link.stats(sim::Direction::kClientToServer);
   result.server_to_client = link.stats(sim::Direction::kServerToClient);
-  result.client_metric_updates = client->trace().metrics();
+  result.client_metric_updates = client->trace().TakeMetrics();
   result.client_packets_with_new_acks = client->trace().packets_with_new_acks();
   return result;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  return RunExperiment(config, {});
+}
+
+ExperimentResult RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const quic::ClientConnection&, const quic::ServerConnection&)>&
+        inspect) {
+  // Every caller on a thread shares one warm context; a re-entrant call
+  // (e.g. an inspect hook running a nested experiment) falls back to a
+  // fresh context rather than corrupting the one in use.
+  thread_local RunContext context;
+  thread_local bool context_busy = false;
+  if (context_busy) {
+    RunContext fresh;
+    return fresh.Run(config, inspect);
+  }
+  context_busy = true;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&context_busy};
+  return context.Run(config, inspect);
 }
 
 std::vector<double> RunRepetitions(ExperimentConfig config, int repetitions,

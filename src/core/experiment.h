@@ -105,6 +105,35 @@ struct ExperimentResult {
   }
 };
 
+/// Reusable run context: owns the event queue, link and both endpoints and
+/// replays them across runs. Run() resets the queue (retaining its slot and
+/// heap capacity) and re-emplaces the link/endpoints in place, so repeated
+/// runs — sweep repetitions, thread-pool workers — skip the per-run setup
+/// allocations of a cold start. Reuse is invisible to results: every run
+/// re-seeds its RNG forks and rebuilds endpoint state from the config, and
+/// exports are byte-identical to fresh-context runs.
+class RunContext {
+ public:
+  using InspectFn =
+      std::function<void(const quic::ClientConnection&, const quic::ServerConnection&)>;
+
+  RunContext() = default;
+  ~RunContext();
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Runs one experiment, reusing this context's storage.
+  ExperimentResult Run(const ExperimentConfig& config);
+  ExperimentResult Run(const ExperimentConfig& config, const InspectFn& inspect);
+
+ private:
+  sim::EventQueue queue_;  // declared first: destroyed last, after its users
+  std::optional<sim::Link> link_;
+  std::optional<quic::ClientConnection> client_;
+  std::optional<quic::ServerConnection> server_;
+};
+
 /// Runs a single experiment.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 

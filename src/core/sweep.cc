@@ -199,6 +199,38 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
   return points;
 }
 
+std::size_t EnumerateCount(const SweepSpec& spec) {
+  std::size_t extras = 1;
+  for (const SweepExtraAxis& axis : spec.axes.extras) {
+    if (!axis.values.empty()) extras *= axis.values.size();
+  }
+  const auto non_empty = [](std::size_t n) { return n == 0 ? 1 : n; };
+
+  // Count the (http, client) pairs that survive the support filter; every
+  // other axis multiplies through unfiltered.
+  const auto https = AxisOrDefault(spec.axes.http_versions);
+  const auto clients = AxisOrDefault(spec.axes.clients);
+  std::size_t pairs = 0;
+  for (const auto& http : https) {
+    const http::Version version = http ? *http : spec.base.http;
+    for (const auto& client : clients) {
+      const clients::ClientImpl impl = client ? *client : spec.base.client;
+      if (spec.skip_unsupported_http3 && version == http::Version::kHttp3 &&
+          !clients::SupportsHttp3(impl)) {
+        continue;
+      }
+      ++pairs;
+    }
+  }
+
+  return extras * pairs * non_empty(spec.axes.variants.size()) *
+         non_empty(spec.axes.losses.size()) *
+         non_empty(spec.axes.certificate_sizes.size()) *
+         non_empty(spec.axes.cert_fetch_delays.size()) *
+         non_empty(spec.axes.rtts.size()) * non_empty(spec.axes.modes.size()) *
+         non_empty(spec.axes.behaviors.size());
+}
+
 const PointSummary* SweepResult::Find(
     const std::function<bool(const SweepPoint&)>& pred) const {
   for (const PointSummary& summary : points) {
@@ -240,6 +272,13 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   result.export_only = spec.export_only;
   result.deselected = !spec.only_sweep.empty() && spec.only_sweep != spec.name;
   result.spec_hash = ScenarioHash(spec);
+
+  // A deselected sweep (the sibling of an only_sweep target) runs nothing
+  // and exports nothing, so it must not pay the enumerate pass either: a
+  // grid run re-enters each bench once per scenario, and every sibling
+  // sweep enumerating its full grid each time adds up. Enumerate-sink
+  // passes still enumerate — the sink is the point of those runs.
+  if (result.deselected && !spec.enumerate_sink) return result;
 
   const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
   const std::size_t n_metrics = metrics.size();

@@ -420,6 +420,12 @@ struct SweepResult {
 /// position of a point in the returned vector is its stable id.
 std::vector<SweepPoint> Enumerate(const SweepSpec& spec);
 
+/// Closed-form `Enumerate(spec).size()` without materialising any point.
+/// Exact because the only per-point filter (skip_unsupported_http3) depends
+/// solely on the http and client axis values, which are fixed before the
+/// variant mutator runs.
+std::size_t EnumerateCount(const SweepSpec& spec);
+
 /// Phase 2 — runs the subset of the grid selected by spec.shard (default:
 /// everything) on the shared ThreadPool. `max_parallelism` caps concurrent
 /// jobs (0 = whole pool).

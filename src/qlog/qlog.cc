@@ -5,7 +5,11 @@
 namespace quicer::qlog {
 
 void Trace::RecordPacket(const PacketEvent& event) {
-  if (config_.capture_packets) packets_.push_back(event);
+  if (!config_.capture_packets) return;
+  // One up-front reservation sized for a typical handshake+transfer replaces
+  // the half-dozen geometric regrowths the hot path used to pay.
+  if (packets_.capacity() == 0) packets_.reserve(64);
+  packets_.push_back(event);
 }
 
 void Trace::RecordMetrics(const MetricsUpdate& update) {
@@ -17,6 +21,7 @@ void Trace::RecordMetrics(const MetricsUpdate& update) {
     ++suppressed_;
     return;
   }
+  if (metrics_.capacity() == 0) metrics_.reserve(16);
   // The paper removes consecutive duplicates when counting exposed updates.
   if (!metrics_.empty()) {
     const MetricsUpdate& last = metrics_.back();

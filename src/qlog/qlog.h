@@ -77,6 +77,9 @@ class Trace {
   void CountNewAckPacket() { ++packets_with_new_acks_; }
 
   const std::vector<MetricsUpdate>& metrics() const { return metrics_; }
+  /// Moves the metrics log out (for result extraction at end of run; the
+  /// trace is discarded or reset afterwards).
+  std::vector<MetricsUpdate> TakeMetrics() { return std::move(metrics_); }
   const std::vector<PacketEvent>& packets() const { return packets_; }
   const std::vector<NoteEvent>& notes() const { return notes_; }
   std::uint64_t packets_with_new_acks() const { return packets_with_new_acks_; }

@@ -50,6 +50,7 @@ void ClientConnection::SendClientHello() {
   RememberCryptoFlight(PacketNumberSpace::kInitial, frames);
   Packet initial = BuildPacket(PacketNumberSpace::kInitial, std::move(frames));
   initial.token = retry_token_;
+  if (initial.token != 0) initial.wire_size = initial.WireSize();  // token adds bytes
 
   std::vector<Packet> packets;
   packets.push_back(std::move(initial));

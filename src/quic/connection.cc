@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "quic/pool.h"
+
 namespace quicer::quic {
 namespace {
 
@@ -43,7 +45,16 @@ Connection::Connection(sim::EventQueue& queue, Perspective perspective, Connecti
       peer_max_data_(kInitialMaxData) {
   metrics_.start_time = queue_.now();
   flow_granted_ = kInitialMaxData;
+  // Pending-frame queues start with pooled capacity so the first QueueFrame
+  // calls of every run reuse a previous run's storage.
+  for (SpaceState& state : spaces_) state.pending = AcquireFrameVec();
   if (config_.idle_timeout > 0) idle_timer_.SetDeadline(queue_.now() + config_.idle_timeout);
+}
+
+Connection::~Connection() {
+  for (SpaceState& state : spaces_) ReleaseFrameVec(std::move(state.pending));
+  for (std::vector<Frame>& flight : last_crypto_sent_) ReleaseFrameVec(std::move(flight));
+  ReleasePacketVec(std::move(pending_undecryptable_));
 }
 
 Packet Connection::BuildPacket(PacketNumberSpace s, std::vector<Frame> frames) {
@@ -51,11 +62,15 @@ Packet Connection::BuildPacket(PacketNumberSpace s, std::vector<Frame> frames) {
   packet.space = s;
   packet.packet_number = space(s).next_pn++;
   packet.frames = std::move(frames);
+  packet.wire_size = packet.WireSize();
   return packet;
 }
 
 bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to) {
-  if (closed_ || packets.empty()) return false;
+  if (closed_ || packets.empty()) {
+    ReleasePacketVec(std::move(packets));
+    return false;
+  }
   Datagram datagram;
   datagram.packets = std::move(packets);
   if (pad_to > 0) PadDatagramTo(datagram, pad_to);
@@ -69,6 +84,7 @@ bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to
       SpaceState& state = space(it->space);
       if (state.next_pn == it->packet_number + 1) --state.next_pn;
     }
+    ReleaseDatagram(std::move(datagram));
     return false;
   }
   amp_.OnBytesSent(size);
@@ -77,33 +93,50 @@ bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to
   for (const Packet& packet : datagram.packets) {
     const bool ack_eliciting = packet.IsAckEliciting();
     const bool in_flight = ack_eliciting || packet.Has<PaddingFrame>();
+    const std::size_t wire_size = packet.wire_size != 0 ? packet.wire_size : packet.WireSize();
     any_ack_eliciting |= ack_eliciting;
 
     trace_.RecordPacket(qlog::PacketEvent{queue_.now(), /*sent=*/true, packet.space,
-                                          packet.packet_number, packet.WireSize(),
-                                          ack_eliciting});
+                                          packet.packet_number, wire_size, ack_eliciting});
     if (ack_eliciting) {
       recovery::SentPacket sent;
       sent.packet_number = packet.packet_number;
       sent.sent_time = queue_.now();
-      sent.bytes = packet.WireSize();
+      sent.bytes = wire_size;
       sent.ack_eliciting = true;
       sent.in_flight = in_flight;
-      sent.retransmittable = packet.RetransmittableFrames();
+      sent.retransmittable = AcquireFrameVec();
+      for (const Frame& frame : packet.frames) {
+        if (IsRetransmittable(frame)) sent.retransmittable.push_back(frame);
+      }
       space(packet.space).ledger.OnPacketSent(std::move(sent));
     }
-    if (in_flight) cc_.OnPacketSent(packet.WireSize());
+    if (in_flight) cc_.OnPacketSent(wire_size);
   }
 
   ++metrics_.datagrams_sent;
-  if (send_) send_(std::move(datagram));
+  if (send_) {
+    send_(std::move(datagram));
+  } else {
+    ReleaseDatagram(std::move(datagram));
+  }
   if (any_ack_eliciting) SetLossDetectionTimer();
   return true;
 }
 
 void Connection::MaybeSendAcks() {
   if (closed_) return;
-  std::vector<Packet> due;
+  // Cheap precheck: most calls find nothing due and should not pay the
+  // pooled-vector round trip below.
+  bool any_due = false;
+  for (const auto& state : spaces_) {
+    if (!state.discarded && state.acks.ShouldAckImmediately()) {
+      any_due = true;
+      break;
+    }
+  }
+  if (!any_due) return;
+  std::vector<Packet> due = AcquirePacketVec();
   for (auto& state : spaces_) {
     if (state.discarded || !state.acks.ShouldAckImmediately()) continue;
     if (SuppressImmediateAck(state.acks.space())) continue;
@@ -114,15 +147,25 @@ void Connection::MaybeSendAcks() {
       continue;
     }
     if (auto ack = state.acks.BuildAck(queue_.now())) {
-      due.push_back(BuildPacket(state.acks.space(), {*ack}));
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*ack));
+      due.push_back(BuildPacket(state.acks.space(), std::move(frames)));
     }
   }
-  if (due.empty()) return;
+  if (due.empty()) {
+    ReleasePacketVec(std::move(due));
+    return;
+  }
 
   if (config_.coalesce_acks) {
     SendDatagramNow(std::move(due));
   } else {
-    for (auto& packet : due) SendDatagramNow({std::move(packet)});
+    for (auto& packet : due) {
+      std::vector<Packet> single = AcquirePacketVec();
+      single.push_back(std::move(packet));
+      SendDatagramNow(std::move(single));
+    }
+    ReleasePacketVec(std::move(due));
   }
 }
 
@@ -142,7 +185,7 @@ void Connection::QueueStreamData(std::uint64_t stream_id, std::uint64_t bytes, b
 
 std::vector<Frame> Connection::MakeCryptoFrames(PacketNumberSpace s, tls::MessageType message,
                                                 std::size_t message_size, std::size_t max_chunk) {
-  std::vector<Frame> frames;
+  std::vector<Frame> frames = AcquireFrameVec();
   SpaceState& state = space(s);
   std::size_t remaining = message_size;
   while (remaining > 0) {
@@ -158,8 +201,10 @@ std::vector<Frame> Connection::MakeCryptoFrames(PacketNumberSpace s, tls::Messag
   return frames;
 }
 
-void Connection::RememberCryptoFlight(PacketNumberSpace s, std::vector<Frame> frames) {
-  last_crypto_sent_[SpaceIndex(s)] = std::move(frames);
+void Connection::RememberCryptoFlight(PacketNumberSpace s, const std::vector<Frame>& frames) {
+  std::vector<Frame>& remembered = last_crypto_sent_[SpaceIndex(s)];
+  if (remembered.capacity() == 0) remembered = AcquireFrameVec();
+  remembered.assign(frames.begin(), frames.end());
 }
 
 bool Connection::HasQueuedData() const {
@@ -174,8 +219,15 @@ bool Connection::HasQueuedData() const {
 
 void Connection::Flush() {
   if (closed_) return;
+  // Fast path: with no queued control/crypto frames and no stream data the
+  // loop below could only build an empty datagram; skip straight to the
+  // unblocked bookkeeping it would have reached.
+  if (!HasQueuedData()) {
+    amp_.NoteUnblocked(queue_.now());
+    return;
+  }
   while (true) {
-    Datagram datagram;
+    Datagram datagram = AcquireDatagram();
     std::size_t used = 0;
     const std::size_t capacity = kMaxDatagramSize;
 
@@ -184,12 +236,12 @@ void Connection::Flush() {
       const PacketNumberSpace s = state.acks.space();
       if (s == PacketNumberSpace::kAppData && !has_one_rtt_send_keys_) continue;
 
-      std::vector<Frame> frames;
       Packet header_probe;
       header_probe.space = s;
       const std::size_t header_cost = header_probe.WireSize();
       if (capacity - used <= header_cost + 8) break;
       std::size_t packet_budget = capacity - used - header_cost;
+      std::vector<Frame> frames = AcquireFrameVec();
 
       const bool has_payload =
           !state.pending.empty() ||
@@ -200,10 +252,11 @@ void Connection::Flush() {
       // Opportunistically bundle a pending ACK with real payload.
       if (has_payload && state.acks.HasPendingAck()) {
         if (auto ack = state.acks.BuildAck(queue_.now())) {
-          const std::size_t ack_size = quic::WireSize(Frame(*ack));
+          Frame ack_frame{std::move(*ack)};
+          const std::size_t ack_size = quic::WireSize(ack_frame);
           if (ack_size <= packet_budget) {
             packet_budget -= ack_size;
-            frames.push_back(*ack);
+            frames.push_back(std::move(ack_frame));
           }
         }
       }
@@ -269,16 +322,24 @@ void Connection::Flush() {
         }
       }
 
-      if (frames.empty()) continue;
+      if (frames.empty()) {
+        ReleaseFrameVec(std::move(frames));
+        continue;
+      }
       datagram.packets.push_back(BuildPacket(s, std::move(frames)));
-      used = datagram.WireSize();
+      // Datagram::WireSize is the sum of its packets' sizes; accumulate
+      // incrementally instead of rewalking every packet's frame list.
+      used += datagram.packets.back().wire_size;
     }
 
-    if (datagram.packets.empty()) break;
+    if (datagram.packets.empty()) {
+      ReleaseDatagram(std::move(datagram));
+      break;
+    }
 
     // Congestion + amplification checks at datagram granularity (PTO probes
     // bypass Flush and are therefore exempt from CC, per RFC 9002 §7.5).
-    const std::size_t size = datagram.WireSize();
+    const std::size_t size = used;
     const bool cc_blocked = datagram.IsAckEliciting() && !cc_.CanSend(size);
     const bool amp_blocked = !amp_.CanSend(size);
     if (cc_blocked || amp_blocked) {
@@ -294,6 +355,7 @@ void Connection::Flush() {
                              std::make_move_iterator(it->frames.begin()),
                              std::make_move_iterator(it->frames.end()));
       }
+      ReleaseDatagram(std::move(datagram));
       break;
     }
     if (!SendDatagramNow(std::move(datagram.packets))) break;
@@ -356,8 +418,12 @@ void Connection::OnDatagramReceived(Datagram datagram) {
   }
   if (delay <= 0) {
     ProcessDatagram(datagram);
+    ReleaseDatagram(std::move(datagram));
   } else {
-    queue_.Schedule(delay, [this, d = std::move(datagram)]() mutable { ProcessDatagram(d); });
+    queue_.Schedule(delay, [this, d = std::move(datagram)]() mutable {
+      ProcessDatagram(d);
+      ReleaseDatagram(std::move(d));
+    });
   }
 }
 
@@ -378,12 +444,14 @@ bool Connection::ShouldDropByQuirk(const Datagram& datagram) {
   return false;
 }
 
-void Connection::ProcessDatagram(const Datagram& datagram) {
+void Connection::ProcessDatagram(Datagram& datagram) {
   if (closed_) return;
   ++metrics_.datagrams_received;
   amp_.OnBytesReceived(datagram.WireSize());
-  // Any received datagram restarts the idle timer (RFC 9000 §10.1).
-  if (config_.idle_timeout > 0) idle_timer_.SetDeadline(queue_.now() + config_.idle_timeout);
+  // Any received datagram restarts the idle timer (RFC 9000 §10.1). The
+  // restart always pushes the deadline later, so the lazy form avoids a
+  // cancel+reschedule per datagram.
+  if (config_.idle_timeout > 0) idle_timer_.SetDeadlineLazy(queue_.now() + config_.idle_timeout);
 
   if (ShouldDropByQuirk(datagram)) {
     ++metrics_.datagrams_dropped_by_quirk;
@@ -391,7 +459,15 @@ void Connection::ProcessDatagram(const Datagram& datagram) {
     return;
   }
 
-  for (const Packet& packet : datagram.packets) {
+  // Defer loss-timer re-arms until the single tail call below; the guard
+  // clears the flag on every exit path, including mid-processing closes.
+  defer_loss_timer_ = true;
+  struct DeferGuard {
+    bool* flag;
+    ~DeferGuard() { *flag = false; }
+  } defer_guard{&defer_loss_timer_};
+
+  for (Packet& packet : datagram.packets) {
     ProcessPacket(packet);
     if (closed_) return;
   }
@@ -407,6 +483,7 @@ void Connection::ProcessDatagram(const Datagram& datagram) {
   if (closed_) return;
   Flush();
   MaybeSendAcks();
+  defer_loss_timer_ = false;
   SetLossDetectionTimer();
   ArmAckTimer();
 }
@@ -414,24 +491,25 @@ void Connection::ProcessDatagram(const Datagram& datagram) {
 void Connection::ReprocessUndecryptable() {
   if (pending_undecryptable_.empty()) return;
   if (!has_handshake_keys_ && !has_one_rtt_recv_keys_) return;
-  std::vector<Packet> retry;
+  std::vector<Packet> retry = AcquirePacketVec();
   retry.swap(pending_undecryptable_);
-  for (const Packet& packet : retry) {
+  for (Packet& packet : retry) {
     ProcessPacket(packet);
-    if (closed_) return;
+    if (closed_) break;
   }
+  ReleasePacketVec(std::move(retry));
 }
 
-void Connection::ProcessPacket(const Packet& packet) {
+void Connection::ProcessPacket(Packet& packet) {
   SpaceState& state = space(packet.space);
   if (state.discarded) return;
 
   if (packet.space == PacketNumberSpace::kHandshake && !has_handshake_keys_) {
-    pending_undecryptable_.push_back(packet);
+    pending_undecryptable_.push_back(std::move(packet));
     return;
   }
   if (packet.space == PacketNumberSpace::kAppData && !has_one_rtt_recv_keys_) {
-    pending_undecryptable_.push_back(packet);
+    pending_undecryptable_.push_back(std::move(packet));
     return;
   }
 
@@ -446,8 +524,9 @@ void Connection::ProcessPacket(const Packet& packet) {
   if (!state.acks.OnPacketReceived(packet.packet_number, ack_eliciting, queue_.now())) {
     return;  // duplicate
   }
-  trace_.RecordPacket(qlog::PacketEvent{queue_.now(), /*sent=*/false, packet.space,
-                                        packet.packet_number, packet.WireSize(), ack_eliciting});
+  trace_.RecordPacket(qlog::PacketEvent{
+      queue_.now(), /*sent=*/false, packet.space, packet.packet_number,
+      packet.wire_size != 0 ? packet.wire_size : packet.WireSize(), ack_eliciting});
 
   // Receiving a Handshake packet validates the client's address
   // (RFC 9000 §8.1) and lifts the server's anti-amplification limit.
@@ -499,7 +578,8 @@ void Connection::ProcessPacket(const Packet& packet) {
 void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
   if (metrics_.first_ack_received < 0) metrics_.first_ack_received = queue_.now();
   SpaceState& state = space(s);
-  recovery::AckResult result = state.ledger.OnAckReceived(ack, queue_.now());
+  recovery::AckResult& result = ack_scratch_;
+  state.ledger.OnAckReceivedInto(ack, queue_.now(), result);
   if (result.newly_acked.empty()) return;
 
   trace_.CountNewAckPacket();
@@ -528,8 +608,15 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
     pc_span_end_ = 0;
   }
 
+  // Recycle the acked packets' frame buffers before loss detection reuses
+  // the scratch space.
+  for (recovery::SentPacket& acked : result.newly_acked) {
+    ReleaseFrameVec(std::move(acked.retransmittable));
+  }
+
   // Loss detection after every ack (RFC 9002 A.7).
-  std::vector<recovery::SentPacket> lost = state.ledger.DetectLoss(queue_.now(), LossDelay());
+  std::vector<recovery::SentPacket>& lost = loss_scratch_;
+  state.ledger.DetectLossInto(queue_.now(), LossDelay(), lost);
   if (!lost.empty()) {
     std::size_t lost_bytes = 0;
     sim::Time largest_sent = 0;
@@ -544,6 +631,9 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
     }
     if (lost_bytes > 0) cc_.OnPacketsLost(lost_bytes, largest_sent, queue_.now());
     MaybeDeclarePersistentCongestion(lost);
+    for (recovery::SentPacket& packet : lost) {
+      ReleaseFrameVec(std::move(packet.retransmittable));
+    }
   }
 }
 
@@ -588,6 +678,10 @@ sim::Duration Connection::LossDelay() const {
 
 void Connection::SetLossDetectionTimer() {
   if (closed_) return;
+  // While a datagram is being processed only the final re-arm (from the
+  // ProcessDatagram tail) can be observed — no event runs in between — so
+  // intermediate recomputations are skipped wholesale.
+  if (defer_loss_timer_) return;
 
   // Earliest time-threshold loss deadline.
   sim::Time loss_time = sim::kNever;
@@ -683,7 +777,8 @@ void Connection::MaybeDeclarePersistentCongestion(
 }
 
 void Connection::HandleTimeThresholdLoss(SpaceState& state) {
-  std::vector<recovery::SentPacket> lost = state.ledger.DetectLoss(queue_.now(), LossDelay());
+  std::vector<recovery::SentPacket>& lost = loss_scratch_;
+  state.ledger.DetectLossInto(queue_.now(), LossDelay(), lost);
   std::size_t lost_bytes = 0;
   sim::Time largest_sent = 0;
   for (recovery::SentPacket& packet : lost) {
@@ -697,6 +792,9 @@ void Connection::HandleTimeThresholdLoss(SpaceState& state) {
   }
   if (lost_bytes > 0) cc_.OnPacketsLost(lost_bytes, largest_sent, queue_.now());
   MaybeDeclarePersistentCongestion(lost);
+  for (recovery::SentPacket& packet : lost) {
+    ReleaseFrameVec(std::move(packet.retransmittable));
+  }
 }
 
 void Connection::OnLossDetectionTimeout() {
@@ -729,7 +827,11 @@ void Connection::OnAckTimerFired() {
     if (state.discarded || !state.acks.HasPendingAck()) continue;
     if (SuppressImmediateAck(state.acks.space())) continue;
     if (auto ack = state.acks.BuildAck(queue_.now())) {
-      SendDatagramNow({BuildPacket(state.acks.space(), {*ack})});
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*ack));
+      std::vector<Packet> packets = AcquirePacketVec();
+      packets.push_back(BuildPacket(state.acks.space(), std::move(frames)));
+      SendDatagramNow(std::move(packets));
     }
   }
   ArmAckTimer();

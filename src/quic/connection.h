@@ -155,7 +155,7 @@ class Connection {
 
   Connection(sim::EventQueue& queue, Perspective perspective, ConnectionConfig config,
              sim::Rng rng);
-  virtual ~Connection() = default;
+  virtual ~Connection();
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -264,7 +264,7 @@ class Connection {
                                       std::size_t message_size, std::size_t max_chunk);
 
   /// Remembers the crypto flight last sent in `s` for probe_with_data.
-  void RememberCryptoFlight(PacketNumberSpace s, std::vector<Frame> frames);
+  void RememberCryptoFlight(PacketNumberSpace s, const std::vector<Frame>& frames);
 
   /// Discards keys/state of a space (RFC 9002 §6.4) and re-arms timers.
   void DiscardSpace(PacketNumberSpace s);
@@ -305,8 +305,11 @@ class Connection {
   void InjectRttSample(sim::Duration latest);
 
  private:
-  void ProcessDatagram(const Datagram& datagram);
-  void ProcessPacket(const Packet& packet);
+  /// Both take mutable references: the caller is about to discard its copy,
+  /// so packets that must wait for keys are *moved* into the undecryptable
+  /// stash instead of deep-copying their frame lists.
+  void ProcessDatagram(Datagram& datagram);
+  void ProcessPacket(Packet& packet);
   void ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack);
   void RecordRttSample(PacketNumberSpace s, sim::Duration latest, sim::Duration ack_delay);
   void HandleTimeThresholdLoss(SpaceState& state);
@@ -350,6 +353,10 @@ class Connection {
   bool has_one_rtt_send_keys_ = false;
   bool has_one_rtt_recv_keys_ = false;
   bool closed_ = false;
+  /// True while ProcessDatagram runs: loss-timer re-arms are deferred to its
+  /// single tail call (intermediate states are unobservable — no event can
+  /// execute mid-callback).
+  bool defer_loss_timer_ = false;
 
   // Outbound stream state.
   struct OutStream {
@@ -369,6 +376,13 @@ class Connection {
 
   // Packets received before their keys were available.
   std::vector<Packet> pending_undecryptable_;
+
+  // Reusable per-ACK scratch buffers: ProcessAckFrame and the loss handlers
+  // run to completion before anyone else can observe them, so a single
+  // instance per connection suffices and the per-ACK hot path stops
+  // allocating result vectors.
+  recovery::AckResult ack_scratch_;
+  std::vector<recovery::SentPacket> loss_scratch_;
 
   // Last crypto flight per space (probe_with_data).
   std::array<std::vector<Frame>, kNumSpaces> last_crypto_sent_;

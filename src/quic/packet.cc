@@ -45,7 +45,9 @@ std::string Packet::Describe() const {
 
 std::size_t Datagram::WireSize() const {
   std::size_t total = 0;
-  for (const Packet& packet : packets) total += packet.WireSize();
+  for (const Packet& packet : packets) {
+    total += packet.wire_size != 0 ? packet.wire_size : packet.WireSize();
+  }
   return total;
 }
 
@@ -76,8 +78,9 @@ void PadDatagramTo(Datagram& datagram, std::size_t target) {
   if (datagram.packets.empty()) return;
   const std::size_t current = datagram.WireSize();
   if (current >= target) return;
-  datagram.packets.back().frames.push_back(
-      PaddingFrame{static_cast<std::uint32_t>(target - current)});
+  Packet& padded = datagram.packets.back();
+  padded.frames.push_back(PaddingFrame{static_cast<std::uint32_t>(target - current)});
+  if (padded.wire_size != 0) padded.wire_size = padded.WireSize();
 }
 
 }  // namespace quicer::quic

@@ -22,6 +22,12 @@ struct Packet {
   /// (0 = no token).
   std::uint64_t token = 0;
   std::vector<Frame> frames;
+  /// Cached encoded size, stamped when the packet is built (0 = unknown).
+  /// The simulator moves packets sender-to-receiver without re-encoding, so
+  /// the stamp saves a frame-list walk at every sizing site along the way.
+  /// Anything that mutates `frames` after building must re-stamp (see
+  /// PadDatagramTo).
+  std::size_t wire_size = 0;
 
   /// Long/short header size estimate (long headers carry CIDs + lengths).
   std::size_t HeaderSize() const;

@@ -1,0 +1,80 @@
+#include "quic/pool.h"
+
+#include <utility>
+
+namespace quicer::quic {
+namespace {
+
+/// Per-thread free lists. Bounded so pathological scenarios (huge bulk
+/// transfers) cannot pin unbounded memory; steady-state handshake traffic
+/// stays far below the cap.
+constexpr std::size_t kMaxPooled = 64;
+
+// Set by ~Pools at thread exit. Holders with static storage duration (e.g.
+// the thread_local RunContext in RunExperiment) may release containers after
+// the pool is gone; the flag turns those releases into plain destruction.
+// It is a trivially-destructible namespace-scope thread_local, so it stays
+// readable for the whole thread-teardown sequence.
+thread_local bool pools_destroyed = false;
+
+struct Pools {
+  std::vector<std::vector<Frame>> frame_vecs;
+  std::vector<std::vector<Packet>> packet_vecs;
+  ~Pools() { pools_destroyed = true; }
+};
+
+Pools& LocalPools() {
+  thread_local Pools pools;
+  return pools;
+}
+
+}  // namespace
+
+std::vector<Frame> AcquireFrameVec() {
+  if (pools_destroyed) return {};
+  auto& pool = LocalPools().frame_vecs;
+  if (pool.empty()) return {};
+  std::vector<Frame> frames = std::move(pool.back());
+  pool.pop_back();
+  return frames;
+}
+
+void ReleaseFrameVec(std::vector<Frame>&& frames) {
+  if (pools_destroyed || frames.capacity() == 0) return;
+  auto& pool = LocalPools().frame_vecs;
+  if (pool.size() >= kMaxPooled) return;
+  frames.clear();
+  pool.push_back(std::move(frames));
+}
+
+std::vector<Packet> AcquirePacketVec() {
+  if (pools_destroyed) return {};
+  auto& pool = LocalPools().packet_vecs;
+  if (pool.empty()) return {};
+  std::vector<Packet> packets = std::move(pool.back());
+  pool.pop_back();
+  return packets;
+}
+
+void ReleasePacketVec(std::vector<Packet>&& packets) {
+  if (pools_destroyed) return;
+  for (Packet& packet : packets) ReleaseFrameVec(std::move(packet.frames));
+  if (packets.capacity() == 0) return;
+  auto& pool = LocalPools().packet_vecs;
+  if (pool.size() >= kMaxPooled) return;
+  packets.clear();
+  pool.push_back(std::move(packets));
+}
+
+Datagram AcquireDatagram() {
+  Datagram datagram;
+  datagram.packets = AcquirePacketVec();
+  return datagram;
+}
+
+void ReleaseDatagram(Datagram&& datagram) {
+  ReleasePacketVec(std::move(datagram.packets));
+  datagram.index = 0;
+}
+
+}  // namespace quicer::quic

@@ -1,0 +1,44 @@
+// Thread-local free lists for hot-path packet and frame storage.
+//
+// A simulated handshake builds and tears down dozens of frame vectors,
+// packet vectors and datagrams; without pooling, every one is a heap
+// round-trip. These free lists hand back empty vectors with retained
+// capacity, so after a short warm-up the engine's steady state allocates
+// nothing per datagram.
+//
+// Invariants:
+//  * Pools are thread-local: a container acquired on a thread must be
+//    released on the same thread. The simulator is single-threaded per run
+//    and sweep workers pin a run to one thread, so this holds by design.
+//  * Released containers are cleared before reuse — element state never
+//    leaks between runs, only raw buffer capacity is recycled. Pooling is
+//    therefore invisible to simulation results (byte-identical exports).
+//  * Pools are bounded; releases beyond the cap simply free.
+#pragma once
+
+#include <vector>
+
+#include "quic/packet.h"
+
+namespace quicer::quic {
+
+/// Returns an empty frame vector, reusing pooled capacity when available.
+std::vector<Frame> AcquireFrameVec();
+
+/// Recycles a frame vector's buffer (elements are destroyed).
+void ReleaseFrameVec(std::vector<Frame>&& frames);
+
+/// Returns an empty packet vector, reusing pooled capacity when available.
+std::vector<Packet> AcquirePacketVec();
+
+/// Recycles a packet vector's buffer, salvaging each packet's frame vector
+/// into the frame pool first.
+void ReleasePacketVec(std::vector<Packet>&& packets);
+
+/// Returns a datagram with an empty pooled packet vector.
+Datagram AcquireDatagram();
+
+/// Recycles a datagram's packet vector (and nested frame vectors).
+void ReleaseDatagram(Datagram&& datagram);
+
+}  // namespace quicer::quic

@@ -5,10 +5,16 @@
 // sample on ack receipt (only when the *largest newly acked* packet is
 // ack-eliciting — the rule that makes the server blind after an instant ACK,
 // Fig 6), and implements packet-threshold + time-threshold loss detection.
+//
+// Storage is a vector kept sorted by packet number (packet numbers are
+// assigned monotonically, so insertion is a push_back in practice). All
+// iteration orders are ascending-pn, matching the previous std::map-based
+// implementation bit for bit. The Into-suffixed entry points fill
+// caller-owned scratch buffers so the per-ACK hot path reuses capacity
+// instead of allocating fresh result vectors.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -53,9 +59,16 @@ class SentPacketLedger {
   /// Processes an ACK received at `now`.
   AckResult OnAckReceived(const quic::AckFrame& ack, sim::Time now);
 
+  /// As above, but reuses `result`'s buffers (cleared first) — the per-ACK
+  /// hot path allocates nothing in steady state.
+  void OnAckReceivedInto(const quic::AckFrame& ack, sim::Time now, AckResult& result);
+
   /// Declares packets lost per time/packet thresholds; removes and returns
   /// them. `loss_delay` is 9/8 * max(smoothed, latest) (computed by caller).
   std::vector<SentPacket> DetectLoss(sim::Time now, sim::Duration loss_delay);
+
+  /// As above into a reused buffer (cleared first).
+  void DetectLossInto(sim::Time now, sim::Duration loss_delay, std::vector<SentPacket>& lost);
 
   /// Earliest time at which an unacked packet will cross the time threshold,
   /// or kNever. Valid after a call to DetectLoss.
@@ -84,10 +97,11 @@ class SentPacketLedger {
   std::size_t unacked_count() const { return unacked_.size(); }
 
   /// True if `pn` is still outstanding.
-  bool IsOutstanding(std::uint64_t pn) const { return unacked_.count(pn) != 0; }
+  bool IsOutstanding(std::uint64_t pn) const;
 
  private:
-  std::map<std::uint64_t, SentPacket> unacked_;
+  /// Sorted ascending by packet_number.
+  std::vector<SentPacket> unacked_;
   std::optional<std::uint64_t> largest_acked_;
   std::size_t bytes_in_flight_ = 0;
   sim::Time loss_time_ = sim::kNever;

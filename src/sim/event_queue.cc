@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace quicer::sim {
@@ -11,38 +12,70 @@ EventQueue::Handle EventQueue::Schedule(Duration delay, Callback cb) {
 
 EventQueue::Handle EventQueue::ScheduleAt(Time at, Callback cb) {
   if (at < now_) at = now_;
-  Event event;
-  event.at = at;
-  event.seq = next_seq_++;
-  event.id = next_id_++;
-  event.cb = std::move(cb);
-  const Handle handle{event.id};
-  live_.insert(event.id);
-  heap_.push(std::move(event));
-  return handle;
+  std::uint32_t index;
+  if (free_head_ != kNilSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  slot.live = true;
+  slot.next_free = kNilSlot;
+  const std::uint64_t id = EncodeId(index, slot.generation);
+  heap_.push_back(HeapEntry{at, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return Handle{id};
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  if (++slot.generation == 0) slot.generation = 1;  // keep gen-0 unmatchable on wrap
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_count_;
 }
 
 void EventQueue::Cancel(Handle handle) {
-  // Only a live (scheduled, not yet run) event needs a tombstone; cancelling
-  // an executed or invalid handle must not leak into cancelled_.
-  if (handle.valid() && live_.erase(handle.id) != 0) cancelled_.insert(handle.id);
+  // Only a live (scheduled, not yet run) event has a slot to release;
+  // cancelling an executed, cancelled or invalid handle finds a generation
+  // mismatch and is a true no-op. The heap entry stays behind and is skipped
+  // lazily when it reaches the top.
+  if (!handle.valid() || !IsLive(handle.id)) return;
+  const std::uint32_t index = SlotIndex(handle.id);
+  slots_[index].cb = nullptr;  // destroy the capture now, not at pop time
+  ReleaseSlot(index);
+}
+
+void EventQueue::DropStaleTop() {
+  while (!heap_.empty() && !IsLive(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    Event event = heap_.top();
-    heap_.pop();
-    if (auto it = cancelled_.find(event.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    live_.erase(event.id);
-    now_ = event.at;
-    ++executed_;
-    event.cb();
-    return true;
-  }
-  return false;
+  DropStaleTop();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+
+  const std::uint32_t index = SlotIndex(top.id);
+  // Release the slot before invoking: the callback may Schedule, which can
+  // grow slots_ and would invalidate any reference into it.
+  Callback cb = std::move(slots_[index].cb);
+  slots_[index].cb = nullptr;
+  ReleaseSlot(index);
+
+  now_ = top.at;
+  ++executed_;
+  cb();
+  return true;
 }
 
 void EventQueue::RunUntilIdle() {
@@ -51,34 +84,75 @@ void EventQueue::RunUntilIdle() {
 }
 
 void EventQueue::RunUntil(Time deadline) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.at > deadline) break;
+  for (;;) {
+    DropStaleTop();
+    if (heap_.empty() || heap_.front().at > deadline) break;
     RunOne();
   }
   if (now_ < deadline) now_ = deadline;
 }
 
+void EventQueue::Reset() {
+  heap_.clear();
+  free_head_ = kNilSlot;
+  for (std::uint32_t index = static_cast<std::uint32_t>(slots_.size()); index-- > 0;) {
+    Slot& slot = slots_[index];
+    slot.cb = nullptr;
+    slot.live = false;
+    if (++slot.generation == 0) slot.generation = 1;
+    slot.next_free = free_head_;
+    free_head_ = index;
+  }
+  live_count_ = 0;
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 void Timer::SetDeadline(Time at) {
+  // Re-arming at the unchanged deadline keeps the already-scheduled event
+  // (same firing time; the event's FIFO rank among equal timestamps can only
+  // matter if another event lands at the exact same tick between the two
+  // arms, which the deterministic-export suite guards against).
+  if (at == deadline_ && at == scheduled_at_ && handle_.valid()) return;
   Cancel();
   if (at == kNever) return;
   deadline_ = at;
+  scheduled_at_ = at;
   handle_ = queue_.ScheduleAt(at, [this] {
-    deadline_ = kNever;
     handle_ = {};
+    // A lazy push (SetDeadlineLazy) moved the logical deadline past this
+    // event's time: re-arm for the real deadline instead of firing.
+    if (deadline_ > queue_.now()) {
+      const Time real = deadline_;
+      deadline_ = kNever;
+      scheduled_at_ = kNever;
+      SetDeadline(real);
+      return;
+    }
+    deadline_ = kNever;
+    scheduled_at_ = kNever;
     on_fire_();
   });
+}
+
+void Timer::SetDeadlineLazy(Time at) {
+  if (at == kNever) {
+    Cancel();
+    return;
+  }
+  if (handle_.valid() && scheduled_at_ <= at) {
+    deadline_ = at;  // keep the earlier event; it will defer on wake-up
+    return;
+  }
+  SetDeadline(at);
 }
 
 void Timer::Cancel() {
   if (handle_.valid()) queue_.Cancel(handle_);
   handle_ = {};
   deadline_ = kNever;
+  scheduled_at_ = kNever;
 }
 
 }  // namespace quicer::sim

@@ -3,14 +3,20 @@
 // The simulator is single-threaded: every network delivery, timer expiry and
 // endpoint action is a callback scheduled at an absolute time. Events at the
 // same time run in insertion order, which keeps runs fully deterministic.
+//
+// The queue is slot-based: each pending event lives in a reusable slot whose
+// handle carries a generation tag, and the time-ordered heap stores only
+// (time, seq, handle) triples. Cancellation just releases the slot — the
+// heap entry is skipped lazily on pop when its generation no longer matches.
+// Combined with the small-buffer callables this makes Schedule/Cancel
+// allocation-free in steady state: slots and heap storage are reused across
+// events, and Reset() lets a whole run context be replayed without freeing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace quicer::sim {
@@ -18,9 +24,15 @@ namespace quicer::sim {
 /// Min-heap driven event loop with cancellable events.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget: sized for the largest hot-path capture (the
+  /// link's delivery wrapper embedding a moved datagram) so scheduling it
+  /// never allocates.
+  using Callback = SmallFn<88>;
 
   /// Opaque handle identifying a scheduled event; used for cancellation.
+  /// The low half addresses a slot (offset by one so zero stays "invalid"),
+  /// the high half is the slot's generation at scheduling time, so stale
+  /// handles from executed or cancelled events can never hit a reused slot.
   struct Handle {
     std::uint64_t id = 0;
     bool valid() const { return id != 0; }
@@ -50,37 +62,68 @@ class EventQueue {
   /// the last event time and the previous now()).
   void RunUntil(Time deadline);
 
+  /// Drops every pending event and rewinds the clock to zero while keeping
+  /// slot and heap capacity, so a reused queue schedules without allocating.
+  /// All outstanding handles are invalidated (their generations advance).
+  void Reset();
+
   /// Number of pending (non-cancelled) events.
-  std::size_t PendingCount() const { return live_.size(); }
+  std::size_t PendingCount() const { return live_count_; }
 
   /// Total number of events executed so far.
   std::uint64_t executed_count() const { return executed_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 1;  // generations start at 1: gen-0 handles never match
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  struct HeapEntry {
     Time at = 0;
     std::uint64_t seq = 0;  // tie-breaker: FIFO among equal times
     std::uint64_t id = 0;
-    Callback cb;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  /// Ids scheduled but not yet executed or cancelled. Cancel consults this,
-  /// so cancelling an already-executed (or never-issued) handle is a true
-  /// no-op: nothing is inserted into cancelled_, which therefore only holds
-  /// ids whose events are still in the heap and is popped alongside them —
-  /// neither set grows unboundedly over a long run.
-  std::unordered_set<std::uint64_t> live_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  static std::uint32_t SlotIndex(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t Generation(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint64_t EncodeId(std::uint32_t slot_index, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) |
+           (static_cast<std::uint64_t>(slot_index) + 1);
+  }
+
+  /// True when `id` addresses a slot whose event is still pending.
+  bool IsLive(std::uint64_t id) const {
+    const std::uint32_t index = SlotIndex(id);
+    return index < slots_.size() && slots_[index].live && slots_[index].generation == Generation(id);
+  }
+
+  /// Returns the slot to the free list and invalidates outstanding handles.
+  void ReleaseSlot(std::uint32_t index);
+
+  /// Pops stale heap entries until the top references a live event.
+  void DropStaleTop();
+
+  std::vector<HeapEntry> heap_;  // manual binary heap (std::push_heap/pop_heap)
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_count_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 
@@ -93,6 +136,14 @@ class Timer {
 
   /// Arms (or re-arms) the timer at absolute time `at`. `kNever` disarms.
   void SetDeadline(Time at);
+
+  /// Like SetDeadline, but when the timer is already armed for an *earlier*
+  /// time it keeps that event and defers: on the early wake-up it silently
+  /// re-arms for the true deadline instead of firing. For timers that are
+  /// pushed later far more often than they fire (e.g. an idle timer reset by
+  /// every received datagram), this replaces a cancel+reschedule pair per
+  /// push with a plain store.
+  void SetDeadlineLazy(Time at);
 
   /// Disarms the timer if armed.
   void Cancel();
@@ -107,6 +158,9 @@ class Timer {
   EventQueue::Callback on_fire_;
   EventQueue::Handle handle_{};
   Time deadline_ = kNever;
+  /// Time the underlying event is actually scheduled for; equals deadline_
+  /// except while a lazy re-arm is pending (then scheduled_at_ < deadline_).
+  Time scheduled_at_ = kNever;
 };
 
 }  // namespace quicer::sim

@@ -12,7 +12,7 @@ Duration Link::SerialisationDelay(std::size_t bytes) const {
   return static_cast<Duration>(bits / config_.bandwidth_bps * static_cast<double>(kSecond));
 }
 
-std::uint64_t Link::Send(Direction direction, std::size_t bytes, std::function<void()> deliver) {
+std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliver) {
   const int dir = static_cast<int>(direction);
   const std::uint64_t index = next_index_[dir]++;
   auto& stats = stats_[dir];
@@ -34,7 +34,7 @@ std::uint64_t Link::Send(Direction direction, std::size_t bytes, std::function<v
     arrival += static_cast<Duration>(rng_.Uniform(0.0, static_cast<double>(config_.jitter)));
   }
 
-  queue_.ScheduleAt(arrival, [this, dir, deliver = std::move(deliver)] {
+  queue_.ScheduleAt(arrival, [this, dir, deliver = std::move(deliver)]() mutable {
     ++stats_[dir].datagrams_delivered;
     deliver();
   });

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/loss.h"
 #include "sim/rng.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace quicer::sim {
@@ -20,6 +20,11 @@ namespace quicer::sim {
 /// Point-to-point path between a client and a server.
 class Link {
  public:
+  /// Delivery closure type. Sized so a moved-in datagram (vector + index)
+  /// plus the receiving endpoint pointer stay inline — the link's own
+  /// delivery wrapper then also fits the event queue's inline budget, so a
+  /// datagram in flight costs no heap allocation.
+  using DeliverFn = SmallFn<48>;
   struct Config {
     /// Symmetric one-way delay (paper: 0.5 ms .. 150 ms).
     Duration one_way_delay = Millis(4.5);
@@ -53,7 +58,13 @@ class Link {
   /// successful delivery, `deliver` runs at the arrival time. Returns the
   /// 1-based per-direction datagram index (assigned whether or not the
   /// datagram is dropped, matching how the paper counts datagrams).
-  std::uint64_t Send(Direction direction, std::size_t bytes, std::function<void()> deliver);
+  std::uint64_t Send(Direction direction, std::size_t bytes, DeliverFn deliver);
+
+  /// The index the next Send in `direction` will assign — lets a sender
+  /// stamp the datagram before moving it into the delivery closure.
+  std::uint64_t PeekNextIndex(Direction direction) const {
+    return next_index_[static_cast<int>(direction)];
+  }
 
   const DirectionStats& stats(Direction direction) const {
     return stats_[static_cast<int>(direction)];

@@ -1,0 +1,127 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event loop schedules hundreds of callbacks per simulated run;
+// std::function heap-allocates any capture larger than two pointers, which
+// made Schedule the single largest allocation source in the engine. SmallFn
+// stores captures up to kInlineBytes inline (most event captures are a
+// `this` pointer plus a datagram) and only falls back to the heap for
+// oversized callables, so the steady-state hot loop never allocates.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace quicer::sim {
+
+/// Move-only `void()` callable with `kInlineBytes` of inline capture storage.
+template <std::size_t kInlineBytes>
+class SmallFn {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    Destroy();
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  SmallFn& operator=(F&& f) {
+    Destroy();
+    Emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to);  // move-construct into `to`, destroy `from`
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  struct InlineModel {
+    static void Invoke(void* storage) { (*static_cast<F*>(storage))(); }
+    static void Relocate(void* from, void* to) {
+      F* source = static_cast<F*>(from);
+      ::new (to) F(std::move(*source));
+      source->~F();
+    }
+    static void Destroy(void* storage) { static_cast<F*>(storage)->~F(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapModel {
+    static void Invoke(void* storage) { (**static_cast<F**>(storage))(); }
+    static void Relocate(void* from, void* to) {
+      *static_cast<F**>(to) = *static_cast<F**>(from);
+    }
+    static void Destroy(void* storage) { delete *static_cast<F**>(storage); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using Decayed = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Decayed&>, "SmallFn requires a void() callable");
+    if constexpr (sizeof(Decayed) <= kInlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(&storage_)) Decayed(std::forward<F>(f));
+      ops_ = &InlineModel<Decayed>::kOps;
+    } else {
+      *reinterpret_cast<Decayed**>(&storage_) = new Decayed(std::forward<F>(f));
+      ops_ = &HeapModel<Decayed>::kOps;
+    }
+  }
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&other.storage_, &storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace quicer::sim

@@ -80,6 +80,36 @@ TEST(Sweep, ExtrasEnumerateOutermostInDeclarationOrder) {
   EXPECT_EQ(points[0].Extra("unknown"), nullptr);
 }
 
+TEST(Sweep, EnumerateCountMatchesEnumerate) {
+  // The closed-form count backs the grid loader's per-scenario point totals;
+  // it must agree with the materialised enumeration for every axis shape.
+  std::vector<SweepSpec> specs;
+  specs.push_back(SmallSpec());
+  specs.emplace_back();  // empty axes: single base point
+
+  SweepSpec filtered;
+  filtered.axes.http_versions = {http::Version::kHttp1, http::Version::kHttp3};
+  filtered.axes.clients.assign(clients::kAllClients.begin(), clients::kAllClients.end());
+  specs.push_back(filtered);
+
+  SweepSpec wide = SmallSpec();
+  wide.axes.extras = {{"vantage", {{"A", 0}, {"B", 1}}}, {"day", {{"0", 0}, {"1", 1}}}};
+  wide.axes.losses.push_back(SweepLoss{"l1", nullptr});
+  wide.axes.losses.push_back(SweepLoss{"l2", nullptr});
+  wide.axes.variants.push_back(SweepVariant{});
+  wide.axes.certificate_sizes = {2500, 5000, 10000};
+  specs.push_back(wide);
+
+  SweepSpec h3_base = filtered;
+  h3_base.base.http = http::Version::kHttp3;  // base http also hits the filter
+  h3_base.axes.http_versions.clear();
+  specs.push_back(h3_base);
+
+  for (const SweepSpec& spec : specs) {
+    EXPECT_EQ(EnumerateCount(spec), Enumerate(spec).size()) << spec.name;
+  }
+}
+
 TEST(Sweep, MedianMatchesCollectTtfbMs) {
   SweepSpec spec = SmallSpec();
   const SweepResult result = RunSweep(spec);

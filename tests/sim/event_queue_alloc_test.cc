@@ -1,0 +1,119 @@
+// Steady-state allocation regression test for the event loop.
+//
+// The slot-based EventQueue promises that once its slot table and heap have
+// grown to a run's working set, scheduling and running events performs no
+// heap allocation at all: slots are recycled through a free list, heap
+// entries live in a reused vector, and callbacks small enough for the
+// SmallFn buffer are stored inline. This binary replaces global operator
+// new/delete with counting versions to pin that property down — a
+// regression (e.g. a capture outgrowing the SmallFn buffer, or a container
+// that shrinks between events) shows up as a nonzero steady-state count.
+//
+// This file must stay its own test binary: the global replacement operators
+// affect every allocation in the process.
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::size_t g_alloc_count = 0;
+bool g_counting = false;
+
+struct AllocationScope {
+  AllocationScope() {
+    g_alloc_count = 0;
+    g_counting = true;
+  }
+  ~AllocationScope() { g_counting = false; }
+  std::size_t count() const { return g_alloc_count; }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_alloc_count;
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace quicer::sim {
+namespace {
+
+TEST(EventQueueAlloc, SteadyStateScheduleRunIsAllocationFree) {
+  EventQueue queue;
+
+  // Warm-up: grow the slot table and heap to the working set. Twenty
+  // concurrent events is far above what the measurement loop keeps live.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      queue.Schedule(Millis(i + 1), [i] { (void)i; });
+    }
+    queue.RunUntilIdle();
+  }
+
+  AllocationScope scope;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      queue.Schedule(Millis(i + 1), [i] { (void)i; });
+    }
+    queue.RunUntilIdle();
+  }
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(EventQueueAlloc, SteadyStateCancelIsAllocationFree) {
+  EventQueue queue;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      queue.Schedule(Millis(i + 1), [] {});
+    }
+    queue.RunUntilIdle();
+  }
+
+  AllocationScope scope;
+  for (int round = 0; round < 1000; ++round) {
+    EventQueue::Handle keep = queue.Schedule(Millis(1), [] {});
+    EventQueue::Handle drop = queue.Schedule(Millis(2), [] {});
+    queue.Cancel(drop);
+    queue.RunUntilIdle();
+    (void)keep;
+  }
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(EventQueueAlloc, TimerRearmIsAllocationFree) {
+  // The timer re-arm pattern (loss detection, ack delay, lazy idle pushes)
+  // schedules one event per arm; all of them must recycle storage.
+  EventQueue queue;
+  int fires = 0;
+  Timer timer(queue, [&] { ++fires; });
+
+  for (int round = 0; round < 3; ++round) {
+    timer.SetDeadline(queue.now() + Millis(1));
+    queue.RunUntilIdle();
+  }
+
+  AllocationScope scope;
+  for (int round = 0; round < 1000; ++round) {
+    timer.SetDeadline(queue.now() + Millis(1));
+    timer.SetDeadlineLazy(queue.now() + Millis(3));
+    queue.RunUntilIdle();
+  }
+  EXPECT_EQ(scope.count(), 0u);
+  EXPECT_EQ(fires, 3 + 1000);
+}
+
+}  // namespace
+}  // namespace quicer::sim

@@ -159,6 +159,55 @@ TEST(EventQueue, PendingCountTracksCancelledBeforeExecution) {
   (void)b;
 }
 
+TEST(EventQueue, StaleHandleCannotCancelSlotReuser) {
+  // The slot of an executed event is recycled for the next Schedule with a
+  // bumped generation; a stale handle to the old occupant must not be able
+  // to cancel the new one.
+  EventQueue queue;
+  int first = 0;
+  const EventQueue::Handle old_handle = queue.Schedule(Millis(1), [&] { ++first; });
+  queue.RunUntilIdle();
+  EXPECT_EQ(first, 1);
+
+  int second = 0;
+  const EventQueue::Handle new_handle = queue.Schedule(Millis(1), [&] { ++second; });
+  queue.Cancel(old_handle);  // generation mismatch: must be a no-op
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_EQ(second, 1);
+  (void)new_handle;
+}
+
+TEST(EventQueue, CancelledSlotReusedWithFreshGeneration) {
+  // Cancel → reschedule reuses the freed slot; the cancelled handle stays
+  // dead and the replacement fires normally.
+  EventQueue queue;
+  bool cancelled_ran = false;
+  const EventQueue::Handle cancelled = queue.Schedule(Millis(5), [&] { cancelled_ran = true; });
+  queue.Cancel(cancelled);
+  bool replacement_ran = false;
+  queue.Schedule(Millis(5), [&] { replacement_ran = true; });
+  queue.Cancel(cancelled);  // stale again, still a no-op
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(replacement_ran);
+}
+
+TEST(EventQueue, FifoOrderSurvivesInterleavedCancellation) {
+  // Lazy cancellation leaves dead entries in the heap; the survivors must
+  // still run in insertion order among equal timestamps.
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventQueue::Handle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(queue.Schedule(Millis(3), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 12; i += 2) queue.Cancel(handles[static_cast<std::size_t>(i)]);
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11}));
+}
+
 TEST(Timer, FiresAtDeadline) {
   EventQueue queue;
   int fired = 0;
@@ -215,6 +264,72 @@ TEST(Timer, CanRearmFromCallback) {
   queue.RunUntilIdle();
   EXPECT_EQ(fires, 3);
   EXPECT_EQ(queue.now(), Millis(15));
+}
+
+TEST(Timer, LazyPushKeepsEventButFiresAtNewDeadline) {
+  // SetDeadlineLazy with a later deadline leaves the earlier event in the
+  // queue; on the early wake-up the timer silently re-arms instead of
+  // firing, and the callback runs exactly once at the pushed deadline.
+  EventQueue queue;
+  std::vector<Time> fire_times;
+  Timer timer(queue, [&] { fire_times.push_back(queue.now()); });
+  timer.SetDeadline(Millis(10));
+  timer.SetDeadlineLazy(Millis(25));
+  EXPECT_EQ(timer.deadline(), Millis(25));
+  EXPECT_EQ(queue.PendingCount(), 1u);  // the Millis(10) event is kept
+  queue.RunUntilIdle();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], Millis(25));
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, LazyPullForwardReschedules) {
+  // An earlier deadline cannot be deferred: lazy falls back to a real
+  // reschedule so the timer does not fire late.
+  EventQueue queue;
+  std::vector<Time> fire_times;
+  Timer timer(queue, [&] { fire_times.push_back(queue.now()); });
+  timer.SetDeadline(Millis(20));
+  timer.SetDeadlineLazy(Millis(5));
+  queue.RunUntilIdle();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], Millis(5));
+}
+
+TEST(Timer, LazyOnUnarmedTimerArms) {
+  EventQueue queue;
+  int fired = 0;
+  Timer timer(queue, [&] { ++fired; });
+  timer.SetDeadlineLazy(Millis(7));
+  EXPECT_TRUE(timer.armed());
+  queue.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), Millis(7));
+}
+
+TEST(Timer, LazyNeverCancels) {
+  EventQueue queue;
+  bool fired = false;
+  Timer timer(queue, [&] { fired = true; });
+  timer.SetDeadline(Millis(10));
+  timer.SetDeadlineLazy(kNever);
+  EXPECT_FALSE(timer.armed());
+  queue.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RepeatedLazyPushesCoalesceIntoOneFire) {
+  // The idle-timer pattern: every datagram pushes the deadline further out.
+  // Only the final deadline fires, and only one underlying event chain runs.
+  EventQueue queue;
+  std::vector<Time> fire_times;
+  Timer timer(queue, [&] { fire_times.push_back(queue.now()); });
+  timer.SetDeadline(Millis(10));
+  for (int i = 2; i <= 10; ++i) timer.SetDeadlineLazy(Millis(10) * i);
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunUntilIdle();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], Millis(100));
 }
 
 }  // namespace

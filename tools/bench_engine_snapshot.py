@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Runs bench_micro_engine with --benchmark_format=json and writes a
+normalized BENCH_engine.json snapshot.
+
+The normalized form is stable across google-benchmark versions and easy to
+diff in review:
+
+    {
+      "schema": 1,
+      "benchmarks": {
+        "<name>": {"ns_per_op": <real ns/iter>, "runs_per_sec": <1e9/ns>}
+      }
+    }
+
+Only per-benchmark medians/means are kept (aggregate rows preferred when
+repetitions are enabled); context noise (date, load average, CPU scaling)
+is dropped so snapshots diff cleanly.
+
+Usage:
+    tools/bench_engine_snapshot.py <path/to/bench_micro_engine> [out.json]
+        [-- <extra benchmark flags>]
+"""
+import json
+import subprocess
+import sys
+
+
+def normalize(raw: dict) -> dict:
+    # Prefer aggregate "median" rows when present; otherwise take the plain
+    # iteration rows. google-benchmark emits one row per benchmark/aggregate.
+    rows = raw.get("benchmarks", [])
+    medians = {}
+    plain = {}
+    for row in rows:
+        name = row.get("run_name", row.get("name", ""))
+        if not name:
+            continue
+        # Convert reported time to nanoseconds.
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        ns = float(row.get("real_time", 0.0)) * scale
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[name] = ns
+        else:
+            plain[name] = ns
+    chosen = {**plain, **medians}
+    out = {"schema": 1, "benchmarks": {}}
+    for name in sorted(chosen):
+        ns = chosen[name]
+        out["benchmarks"][name] = {
+            "ns_per_op": round(ns, 1),
+            "runs_per_sec": round(1e9 / ns, 1) if ns > 0 else 0.0,
+        }
+    return out
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    args = argv[1:]
+    extra = []
+    if "--" in args:
+        split = args.index("--")
+        args, extra = args[:split], args[split + 1 :]
+    binary = args[0]
+    out_path = args[1] if len(args) > 1 else "BENCH_engine.json"
+
+    cmd = [binary, "--benchmark_format=json"] + extra
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    snapshot = normalize(json.loads(proc.stdout))
+    with open(out_path, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

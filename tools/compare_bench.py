@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_engine.json snapshot against the committed
+baseline and fails on regression.
+
+Both files must be in the normalized form written by
+tools/bench_engine_snapshot.py (schema 1). A benchmark regresses when its
+ns_per_op exceeds the baseline by more than the threshold (default 25%,
+tuned for shared CI runners — real regressions from a lost optimization are
+typically 2-10x). Benchmarks present only in the baseline fail the check
+(a renamed or deleted benchmark must update the baseline deliberately);
+benchmarks present only in the candidate are reported but pass.
+
+Usage:
+    tools/compare_bench.py <baseline.json> <candidate.json> [--threshold=0.25]
+
+Exit codes: 0 ok, 1 regression or missing benchmark, 2 usage/parse error.
+"""
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        snapshot = json.load(f)
+    if snapshot.get("schema") != 1:
+        raise ValueError(f"{path}: unexpected schema {snapshot.get('schema')!r}")
+    return snapshot["benchmarks"]
+
+
+def main(argv: list) -> int:
+    threshold = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        baseline = load(paths[0])
+        candidate = load(paths[1])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max((len(name) for name in baseline), default=0)
+    for name in sorted(baseline):
+        base_ns = baseline[name]["ns_per_op"]
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate snapshot")
+            print(f"{name:<{width}}  {base_ns:>10.1f} ns  ->  MISSING")
+            continue
+        cand_ns = candidate[name]["ns_per_op"]
+        delta = (cand_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        marker = ""
+        if delta > threshold:
+            marker = "  REGRESSION"
+            failures.append(f"{name}: {base_ns:.1f} -> {cand_ns:.1f} ns ({delta:+.1%})")
+        print(f"{name:<{width}}  {base_ns:>10.1f} ns  ->  {cand_ns:>10.1f} ns  {delta:+7.1%}{marker}")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name:<{width}}  (new, no baseline)  {candidate[name]['ns_per_op']:.1f} ns")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond {threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nok: no benchmark regressed beyond {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
