@@ -75,6 +75,7 @@ ExperimentResult RunContext::Run(const ExperimentConfig& config, const InspectFn
   link_config.one_way_delay = config.rtt / 2;
   link_config.bandwidth_bps = config.bandwidth_bps;
   link_config.jitter = config.path_jitter;
+  link_config.model = config.link;
   link_.emplace(queue, link_config, rng.Fork(1));
   sim::Link& link = *link_;
   link.set_loss_pattern(config.loss);

@@ -51,6 +51,9 @@ struct ExperimentConfig {
   double bandwidth_bps = 10e6;
   /// Per-datagram path jitter (0 in all paper experiments).
   sim::Duration path_jitter = 0;
+  /// Network-emulation models (stochastic loss, bottleneck queue,
+  /// asymmetric path overrides). The default is the paper's legacy pipe.
+  netem::LinkModel link;
 
   /// TLS certificate chain size (1,212 B or 5,113 B in the paper).
   std::size_t certificate_bytes = tls::kSmallCertificateBytes;

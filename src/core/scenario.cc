@@ -6,6 +6,7 @@
 
 #include "core/json.h"
 #include "core/loss_scenarios.h"
+#include "netem/codec.h"
 
 namespace quicer::core {
 namespace {
@@ -256,6 +257,13 @@ const std::vector<ConfigFieldSpec>& ConfigFields() {
          }
          return true;
        }},
+      {"link", "object",
+       "netem link model: stochastic loss / bottleneck queue / asymmetric path "
+       "(`{}` = the paper's legacy pipe; see docs/netem)",
+       [](const ExperimentConfig& c) { return netem::LinkModelJson(c.link); },
+       [](const JsonValue& v, ExperimentConfig& c, std::string& e) {
+         return netem::ParseLinkModel(v, c.link, e);
+       }},
   };
   return *fields;
 }
@@ -330,6 +338,15 @@ std::string ScenarioJson(const SweepSpec& spec, std::string_view bench, int inde
   out += ",\n" + in2 + "\"variants\": ";
   AppendLabelArray(out, spec.axes.variants,
                    [](const SweepVariant& v) { return std::string_view(v.label); });
+  out += ",\n" + in2 + "\"links\": [";
+  for (std::size_t l = 0; l < spec.axes.links.size(); ++l) {
+    const SweepLink& link = spec.axes.links[l];
+    out += l == 0 ? "\n" : ",\n";
+    out += in2 + "  {\"label\": " + Quoted(link.label) +
+           ", \"link\": " + netem::LinkModelJson(link.model) + "}";
+    if (l + 1 == spec.axes.links.size()) out += "\n" + in2;
+  }
+  out += "]";
   out += ",\n" + in2 + "\"extras\": [";
   for (std::size_t a = 0; a < spec.axes.extras.size(); ++a) {
     const SweepExtraAxis& axis = spec.axes.extras[a];
@@ -474,6 +491,41 @@ bool ParseExtras(const JsonValue& v, const std::string& path,
   return true;
 }
 
+/// Parses the links axis: [{"label": ..., "link": MODEL}, ...]. Pure data —
+/// the models travel structurally, never by label resolution.
+bool ParseLinks(const JsonValue& v, const std::string& path, std::vector<SweepLink>& links,
+                ParseContext& ctx) {
+  if (v.type() != JsonValue::Type::kArray) return ctx.Fail(path, "expected an array");
+  for (std::size_t i = 0; i < v.Items().size(); ++i) {
+    const JsonValue& entry = v.Items()[i];
+    const std::string entry_path = path + "[" + std::to_string(i) + "]";
+    if (entry.type() != JsonValue::Type::kObject) {
+      return ctx.Fail(entry_path, "expected an object");
+    }
+    SweepLink link;
+    bool have_model = false;
+    for (const auto& [key, value] : entry.Members()) {
+      if (key == "label") {
+        if (value.type() != JsonValue::Type::kString || value.AsString().empty()) {
+          return ctx.Fail(entry_path + ".label", "expected a non-empty string");
+        }
+        link.label = value.AsString();
+      } else if (key == "link") {
+        std::string e;
+        if (!netem::ParseLinkModel(value, link.model, e)) {
+          return ctx.Fail(entry_path + ".link", e);
+        }
+        have_model = true;
+      } else {
+        return ctx.Fail(entry_path, "unknown field '" + key + "' (known: label, link)");
+      }
+    }
+    if (!have_model) return ctx.Fail(entry_path, "misses its 'link' model");
+    links.push_back(std::move(link));
+  }
+  return true;
+}
+
 /// Parses an array of items with a per-item resolver.
 template <typename T, typename Resolver>
 bool ParseValueArray(const JsonValue& v, const std::string& path, std::vector<T>& out,
@@ -551,13 +603,15 @@ bool ParseAxes(const JsonValue& v, const std::string& path, Scenario& scenario,
       if (!ParseStringArray(value, key_path, scenario.losses, ctx)) return false;
     } else if (key == "variants") {
       if (!ParseStringArray(value, key_path, scenario.variants, ctx)) return false;
+    } else if (key == "links") {
+      if (!ParseLinks(value, key_path, scenario.links, ctx)) return false;
     } else if (key == "extras") {
       if (!ParseExtras(value, key_path, scenario.extras, ctx)) return false;
     } else {
       return ctx.Fail(path, "unknown axis '" + key +
                                 "' (known: clients, http, behaviors, modes, rtts_ms, "
                                 "cert_fetch_delays_ms, certificate_sizes, losses, variants, "
-                                "extras)");
+                                "links, extras)");
     }
   }
   return true;
@@ -822,6 +876,7 @@ bool ApplyScenario(const Scenario& scenario, SweepSpec& spec, std::string* error
   spec.axes.certificate_sizes = scenario.certificate_sizes;
   spec.axes.losses = std::move(losses);
   spec.axes.variants = std::move(variants);
+  spec.axes.links = scenario.links;
   spec.axes.extras = scenario.extras;
   spec.metrics = std::move(metrics);
   return true;

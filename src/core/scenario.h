@@ -89,6 +89,7 @@ struct Scenario {
   std::vector<std::size_t> certificate_sizes;
   std::vector<std::string> losses;    // labels, resolved by ApplyScenario
   std::vector<std::string> variants;  // labels, resolved by ApplyScenario
+  std::vector<SweepLink> links;       // structural netem models (no resolution)
   std::vector<SweepExtraAxis> extras;
 
   struct Metric {

@@ -95,9 +95,20 @@ std::string SweepPoint::ExtrasLabel() const {
   return out;
 }
 
+std::string SweepPoint::ExportExtrasLabel() const {
+  std::string out;
+  if (link != "default") out = "link=" + link;
+  const std::string extras_label = ExtrasLabel();
+  if (!extras_label.empty()) {
+    if (!out.empty()) out += '|';
+    out += extras_label;
+  }
+  return out;
+}
+
 std::string SweepPoint::Key() const {
   std::string out = client;
-  for (const std::string* part : {&http, &behavior, &mode, &loss, &variant}) {
+  for (const std::string* part : {&http, &behavior, &mode, &loss, &variant, &link}) {
     out += '|';
     out += *part;
   }
@@ -146,10 +157,21 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
   std::vector<SweepVariant> variants = spec.axes.variants;
   if (variants.empty()) variants.push_back(SweepVariant{});
 
+  // An empty links axis keeps base.link and contributes one column, like
+  // losses: labeled "default" for the legacy pipe, "base" otherwise.
+  const bool links_from_axis = !spec.axes.links.empty();
+  std::vector<SweepLink> links = spec.axes.links;
+  if (links.empty()) {
+    SweepLink keep;
+    keep.label = spec.base.link.IsDefault() ? "default" : "base";
+    links.push_back(std::move(keep));
+  }
+
   std::vector<SweepPoint> points;
   for (const auto& extra : extra_combos) {
    for (const auto& http : https) {
     for (const SweepVariant& variant : variants) {
+     for (const SweepLink& link : links) {
      for (const SweepLoss& loss : losses) {
       for (const auto& cert : certs) {
         for (const auto& delta : deltas) {
@@ -166,6 +188,7 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
                   if (mode) point.config.mode = *mode;
                   if (client) point.config.client = *client;
                   if (behavior) point.config.behavior = *behavior;
+                  if (links_from_axis) point.config.link = link.model;
                   if (spec.skip_unsupported_http3 &&
                       point.config.http == http::Version::kHttp3 &&
                       !clients::SupportsHttp3(point.config.client)) {
@@ -180,6 +203,7 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
                   point.mode = std::string(ToString(point.config.mode));
                   point.loss = loss.label;
                   point.variant = variant.label;
+                  point.link = link.label;
                   point.extras = extra;
                   point.rtt_ms = sim::ToMillis(point.config.rtt);
                   point.delta_ms = sim::ToMillis(point.config.cert_fetch_delay);
@@ -192,6 +216,7 @@ std::vector<SweepPoint> Enumerate(const SweepSpec& spec) {
           }
         }
       }
+     }
      }
     }
    }
@@ -224,7 +249,7 @@ std::size_t EnumerateCount(const SweepSpec& spec) {
   }
 
   return extras * pairs * non_empty(spec.axes.variants.size()) *
-         non_empty(spec.axes.losses.size()) *
+         non_empty(spec.axes.links.size()) * non_empty(spec.axes.losses.size()) *
          non_empty(spec.axes.certificate_sizes.size()) *
          non_empty(spec.axes.cert_fetch_delays.size()) *
          non_empty(spec.axes.rtts.size()) * non_empty(spec.axes.modes.size()) *
@@ -616,7 +641,8 @@ void WriteSweepCsv(const SweepResult& result, CsvWriter& writer) {
       writer.TextRow({result.name, std::to_string(summary.point.index), series.name,
                       std::string(ToString(series.mode)), summary.point.client,
                       summary.point.http, summary.point.behavior, summary.point.mode,
-                      summary.point.loss, summary.point.variant, summary.point.ExtrasLabel(),
+                      summary.point.loss, summary.point.variant,
+                      summary.point.ExportExtrasLabel(),
                       JsonNumber(summary.point.rtt_ms), JsonNumber(summary.point.delta_ms),
                       std::to_string(summary.point.certificate_bytes),
                       std::to_string(s.count), std::to_string(series.aborted),
@@ -641,6 +667,11 @@ std::string SweepResultJson(const SweepResult& result) {
     out += ", \"mode\": \"" + JsonEscape(summary.point.mode) + "\"";
     out += ", \"loss\": \"" + JsonEscape(summary.point.loss) + "\"";
     out += ", \"variant\": \"" + JsonEscape(summary.point.variant) + "\"";
+    // Emitted only off the default so every legacy export stays
+    // byte-identical (the conditional-extras precedent below).
+    if (summary.point.link != "default") {
+      out += ", \"link\": \"" + JsonEscape(summary.point.link) + "\"";
+    }
     if (!summary.point.extras.empty()) {
       out += ", \"extras\": {";
       for (std::size_t e = 0; e < summary.point.extras.size(); ++e) {

@@ -86,6 +86,15 @@ struct SweepVariant {
   std::function<void(ExperimentConfig&)> mutate;
 };
 
+/// One named link-emulation model (netem::LinkModel): stochastic loss,
+/// bottleneck queue, asymmetric path overrides. Unlike losses and variants
+/// this axis is pure data — scenario files carry the model structurally,
+/// no label resolution against compiled-in closures.
+struct SweepLink {
+  std::string label = "default";
+  netem::LinkModel model;
+};
+
 /// One value of a generic labeled axis: a report label plus an opaque
 /// integer payload the runner interprets (a scan::Vantage, a scan::Cdn, a
 /// scenario index, ...).
@@ -146,6 +155,7 @@ struct SweepAxes {
   std::vector<std::size_t> certificate_sizes;
   std::vector<SweepLoss> losses;
   std::vector<SweepVariant> variants;
+  std::vector<SweepLink> links;
   std::vector<SweepExtraAxis> extras;
 };
 
@@ -187,6 +197,9 @@ struct SweepPoint {
   std::string mode;
   std::string loss;
   std::string variant;
+  /// Label of the links-axis value ("default" when the axis is absent and
+  /// the base model is the legacy pipe).
+  std::string link = "default";
   /// Resolved extras, one per SweepAxes::extras entry, in axis order.
   std::vector<std::pair<std::string, SweepAxisValue>> extras;
   double rtt_ms = 0.0;
@@ -200,6 +213,10 @@ struct SweepPoint {
   const SweepAxisValue* Extra(std::string_view axis) const;
   /// "day=0|vantage=Hamburg, DE" — the CSV/JSON extras key.
   std::string ExtrasLabel() const;
+  /// ExtrasLabel with a "link=<label>" segment prefixed when a non-default
+  /// link model is selected — the CSV extras column, kept byte-identical
+  /// for every sweep that never touches the links axis.
+  std::string ExportExtrasLabel() const;
   /// Label fingerprint of the point ("client|http|...|rtt|delta|cert") —
   /// the merge phase's check that two partials enumerate the same grid.
   std::string Key() const;
@@ -408,7 +425,7 @@ struct SweepResult {
 
   /// First point matching `pred`, or nullptr. Enumeration order is
   /// outermost-to-innermost: extras (declaration order), http, variant,
-  /// loss, certificate, Δt, RTT, mode, client, behavior.
+  /// link, loss, certificate, Δt, RTT, mode, client, behavior.
   const PointSummary* Find(const std::function<bool(const SweepPoint&)>& pred) const;
 
   /// Series of `metric` at the first point matching `pred`, or nullptr.

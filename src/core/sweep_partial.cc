@@ -88,6 +88,11 @@ std::string SweepPartialJson(const SweepResult& result) {
     out += ", \"mode\": \"" + JsonEscape(summary.point.mode) + "\"";
     out += ", \"loss\": \"" + JsonEscape(summary.point.loss) + "\"";
     out += ", \"variant\": \"" + JsonEscape(summary.point.variant) + "\"";
+    // Off-default only, so pre-links partial files and their byte layout
+    // stay stable.
+    if (summary.point.link != "default") {
+      out += ", \"link\": \"" + JsonEscape(summary.point.link) + "\"";
+    }
     out += ", \"extras\": [";
     for (std::size_t e = 0; e < summary.point.extras.size(); ++e) {
       const auto& [axis, value] = summary.point.extras[e];
@@ -188,6 +193,7 @@ std::optional<SweepResult> ParseSweepPartialJson(std::string_view json, std::str
     summary.point.mode = point.GetString("mode");
     summary.point.loss = point.GetString("loss");
     summary.point.variant = point.GetString("variant");
+    if (point.Get("link") != nullptr) summary.point.link = point.GetString("link");
     if (const JsonValue* extras = point.Get("extras")) {
       for (const JsonValue& extra : extras->Items()) {
         SweepAxisValue value;

@@ -1,0 +1,34 @@
+// Runtime state machine of a stochastic LossModel.
+//
+// One LossProcess per link direction; Link consults it per datagram, after
+// the deterministic index patterns. All randomness comes from the caller's
+// Rng (the link's per-repetition fork), and an inert process (Kind::kNone)
+// consumes no draws at all — so selecting the default model leaves the
+// legacy RNG stream untouched and runs byte-identical.
+#pragma once
+
+#include "netem/model.h"
+#include "sim/rng.h"
+
+namespace quicer::netem {
+
+class LossProcess {
+ public:
+  LossProcess() = default;
+  explicit LossProcess(const LossModel& model) : model_(model) {}
+
+  /// True when the process never drops and never draws (Kind::kNone).
+  bool inert() const { return model_.kind == LossModel::Kind::kNone; }
+
+  /// True when the process is in the Gilbert–Elliott bad state.
+  bool in_bad_state() const { return bad_; }
+
+  /// Decides one datagram's fate and advances the state machine.
+  bool ShouldDrop(sim::Rng& rng);
+
+ private:
+  LossModel model_;
+  bool bad_ = false;  // Gilbert–Elliott state; starts in the good state
+};
+
+}  // namespace quicer::netem

@@ -115,6 +115,7 @@ bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to
   }
 
   ++metrics_.datagrams_sent;
+  metrics_.wire_bytes_sent += size;
   if (send_) {
     send_(std::move(datagram));
   } else {
@@ -447,7 +448,9 @@ bool Connection::ShouldDropByQuirk(const Datagram& datagram) {
 void Connection::ProcessDatagram(Datagram& datagram) {
   if (closed_) return;
   ++metrics_.datagrams_received;
-  amp_.OnBytesReceived(datagram.WireSize());
+  const std::size_t wire_size = datagram.WireSize();
+  metrics_.wire_bytes_received += wire_size;
+  amp_.OnBytesReceived(wire_size);
   // Any received datagram restarts the idle timer (RFC 9000 §10.1). The
   // restart always pushes the deadline later, so the lazy form avoids a
   // cancel+reschedule per datagram.

@@ -140,6 +140,10 @@ struct ConnectionMetrics {
   int spurious_retransmits = 0;
   std::uint64_t datagrams_sent = 0;
   std::uint64_t datagrams_received = 0;
+  /// UDP payload bytes on the wire (sum of datagram wire sizes), the
+  /// denominator for link-utilization readouts under netem queue models.
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t wire_bytes_received = 0;
   int datagrams_dropped_by_quirk = 0;
   std::uint64_t stream_bytes_received = 0;
   bool aborted = false;

@@ -1,15 +1,20 @@
 #include "sim/link.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace quicer::sim {
 
 Link::Link(EventQueue& queue, Config config, Rng rng)
-    : queue_(queue), config_(config), rng_(rng) {}
-
-Duration Link::SerialisationDelay(std::size_t bytes) const {
-  const double bits = static_cast<double>(bytes + config_.header_overhead_bytes) * 8.0;
-  return static_cast<Duration>(bits / config_.bandwidth_bps * static_cast<double>(kSecond));
+    : queue_(queue), config_(config), rng_(rng) {
+  for (int dir : {netem::kUp, netem::kDown}) {
+    const netem::PathOverride& path = config_.model.path[dir];
+    bandwidth_bps_[dir] = path.bandwidth_bps.value_or(config_.bandwidth_bps);
+    one_way_delay_[dir] = path.one_way_delay.value_or(config_.one_way_delay);
+    jitter_[dir] = path.jitter.value_or(config_.jitter);
+    loss_process_[dir] = netem::LossProcess(config_.model.loss[dir]);
+    bottleneck_[dir] = netem::BottleneckQueue(config_.model.queue[dir]);
+  }
 }
 
 std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliver) {
@@ -21,17 +26,44 @@ std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliv
 
   if (loss_.ShouldDrop(direction, index, queue_.now(), rng_)) {
     ++stats.datagrams_dropped;
+    ++stats.dropped_pattern;
+    return index;
+  }
+  // Stochastic loss layers after the deterministic patterns; an inert
+  // process draws nothing, keeping the legacy RNG stream intact.
+  if (!loss_process_[dir].inert() && loss_process_[dir].ShouldDrop(rng_)) {
+    ++stats.datagrams_dropped;
+    ++stats.dropped_stochastic;
     return index;
   }
 
-  // The transmitter serialises datagrams back to back; a datagram queued while
-  // the transmitter is busy waits for the line to free up.
-  const Time start = std::max(queue_.now(), tx_free_[dir]);
-  const Time serialised = start + SerialisationDelay(bytes);
-  tx_free_[dir] = serialised;
-  Time arrival = serialised + config_.one_way_delay;
-  if (config_.jitter > 0) {
-    arrival += static_cast<Duration>(rng_.Uniform(0.0, static_cast<double>(config_.jitter)));
+  const double bits =
+      static_cast<double>(bytes + config_.header_overhead_bytes) * 8.0;
+  Time serialised;
+  if (bottleneck_[dir].active()) {
+    const std::size_t wire = bytes + config_.header_overhead_bytes;
+    const std::optional<Time> departure =
+        bottleneck_[dir].Enqueue(queue_.now(), wire, bandwidth_bps_[dir]);
+    const netem::BottleneckQueue::Stats& queue_stats = bottleneck_[dir].stats();
+    stats.max_queue_pkts = queue_stats.max_pkts;
+    stats.max_queue_bytes = queue_stats.max_bytes;
+    if (!departure) {
+      ++stats.datagrams_dropped;
+      ++stats.dropped_queue;
+      return index;
+    }
+    serialised = *departure;
+  } else {
+    // The transmitter serialises datagrams back to back; a datagram queued
+    // while the transmitter is busy waits for the line to free up.
+    const Time start = std::max(queue_.now(), tx_free_[dir]);
+    serialised = start + static_cast<Duration>(bits / bandwidth_bps_[dir] *
+                                               static_cast<double>(kSecond));
+    tx_free_[dir] = serialised;
+  }
+  Time arrival = serialised + one_way_delay_[dir];
+  if (jitter_[dir] > 0) {
+    arrival += static_cast<Duration>(rng_.Uniform(0.0, static_cast<double>(jitter_[dir])));
   }
 
   queue_.ScheduleAt(arrival, [this, dir, deliver = std::move(deliver)]() mutable {

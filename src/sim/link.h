@@ -5,10 +5,21 @@
 // experiments), and a deterministic datagram-loss pattern. Payloads are
 // opaque: the sender passes the datagram size plus a delivery closure, so the
 // link has no dependency on the QUIC layer.
+//
+// The path is composed from netem models (Config::model): per-direction
+// stochastic loss (Bernoulli / Gilbert–Elliott) layered after the
+// deterministic patterns, a bounded FIFO bottleneck queue with tail-drop
+// AQM instead of the free transmitter-busy clock, and per-direction
+// overrides of bandwidth / one-way delay / jitter. The default model
+// reproduces the legacy symmetric pipe bit for bit — same arithmetic, same
+// RNG draws.
 #pragma once
 
 #include <cstdint>
 
+#include "netem/loss_process.h"
+#include "netem/model.h"
+#include "netem/queue.h"
 #include "sim/event_queue.h"
 #include "sim/loss.h"
 #include "sim/rng.h"
@@ -35,6 +46,10 @@ class Link {
     /// Uniform per-datagram extra delay in [0, jitter]; values above the
     /// inter-datagram spacing reorder deliveries (robustness testing).
     Duration jitter = 0;
+    /// Emulation models; the default is the legacy symmetric pipe. Path
+    /// overrides in the model replace the symmetric values above per
+    /// direction.
+    netem::LinkModel model;
   };
 
   struct DirectionStats {
@@ -42,6 +57,14 @@ class Link {
     std::uint64_t datagrams_dropped = 0;
     std::uint64_t datagrams_delivered = 0;
     std::uint64_t bytes_sent = 0;
+    /// Breakdown of datagrams_dropped by cause.
+    std::uint64_t dropped_pattern = 0;     // deterministic index patterns
+    std::uint64_t dropped_stochastic = 0;  // Bernoulli / Gilbert–Elliott
+    std::uint64_t dropped_queue = 0;       // bottleneck-queue AQM
+    /// Bottleneck-queue occupancy high-water marks (0 under the legacy
+    /// transmitter-clock model).
+    std::uint64_t max_queue_pkts = 0;
+    std::uint64_t max_queue_bytes = 0;
   };
 
   Link(EventQueue& queue, Config config, Rng rng);
@@ -71,14 +94,19 @@ class Link {
   }
 
  private:
-  Duration SerialisationDelay(std::size_t bytes) const;
-
   EventQueue& queue_;
   Config config_;
   Rng rng_;
   LossPattern loss_;
+  // Per-direction resolved path parameters (symmetric config with the
+  // model's overrides applied).
+  double bandwidth_bps_[2];
+  Duration one_way_delay_[2];
+  Duration jitter_[2];
+  netem::LossProcess loss_process_[2];
+  netem::BottleneckQueue bottleneck_[2];
   // Earliest time the transmitter in each direction is free again; models the
-  // bottleneck queue.
+  // bottleneck queue under the legacy transmitter-clock model.
   Time tx_free_[2] = {0, 0};
   std::uint64_t next_index_[2] = {1, 1};
   DirectionStats stats_[2];

@@ -7,22 +7,37 @@ diff in review:
 
     {
       "schema": 1,
+      "git_sha": "<HEAD commit, or 'unknown' outside a checkout>",
+      "generated_utc": "<YYYY-MM-DDTHH:MM:SSZ>",
       "benchmarks": {
         "<name>": {"ns_per_op": <real ns/iter>, "runs_per_sec": <1e9/ns>}
       }
     }
 
 Only per-benchmark medians/means are kept (aggregate rows preferred when
-repetitions are enabled); context noise (date, load average, CPU scaling)
-is dropped so snapshots diff cleanly.
+repetitions are enabled); machine noise from the benchmark context (load
+average, CPU scaling) is dropped so snapshots diff cleanly. git_sha and
+generated_utc record where the numbers came from; tools/compare_bench.py
+reads only "schema" and "benchmarks", so provenance churn never fails a
+comparison.
 
 Usage:
     tools/bench_engine_snapshot.py <path/to/bench_micro_engine> [out.json]
         [-- <extra benchmark flags>]
 """
+import datetime
 import json
 import subprocess
 import sys
+
+
+def git_sha() -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True)
+    except OSError:
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
 
 
 def normalize(raw: dict) -> dict:
@@ -73,6 +88,9 @@ def main(argv: list) -> int:
         sys.stderr.write(proc.stderr)
         return proc.returncode
     snapshot = normalize(json.loads(proc.stdout))
+    snapshot["git_sha"] = git_sha()
+    snapshot["generated_utc"] = datetime.datetime.now(
+        datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
     with open(out_path, "w") as f:
         json.dump(snapshot, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -6,14 +6,19 @@ Both files must be in the normalized form written by
 tools/bench_engine_snapshot.py (schema 1). A benchmark regresses when its
 ns_per_op exceeds the baseline by more than the threshold (default 25%,
 tuned for shared CI runners — real regressions from a lost optimization are
-typically 2-10x). Benchmarks present only in the baseline fail the check
-(a renamed or deleted benchmark must update the baseline deliberately);
-benchmarks present only in the candidate are reported but pass.
+typically 2-10x). Improvements beyond the same threshold are reported (and
+counted in the summary) but never fail. Benchmarks present in only one of
+the two snapshots are reported as warnings and pass by default — a freshly
+added benchmark should not break CI until the baseline is regenerated; pass
+--require-all to turn a benchmark missing from the candidate back into a
+failure (deliberate renames/deletions must then update the baseline).
 
 Usage:
-    tools/compare_bench.py <baseline.json> <candidate.json> [--threshold=0.25]
+    tools/compare_bench.py <baseline.json> <candidate.json> \
+        [--threshold=0.25] [--require-all]
 
-Exit codes: 0 ok, 1 regression or missing benchmark, 2 usage/parse error.
+Exit codes: 0 ok, 1 regression (or --require-all violation), 2 usage/parse
+error.
 """
 import json
 import sys
@@ -29,10 +34,13 @@ def load(path: str) -> dict:
 
 def main(argv: list) -> int:
     threshold = 0.25
+    require_all = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg == "--require-all":
+            require_all = True
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -46,11 +54,14 @@ def main(argv: list) -> int:
         return 2
 
     failures = []
+    warnings = []
+    improvements = 0
     width = max((len(name) for name in baseline), default=0)
     for name in sorted(baseline):
         base_ns = baseline[name]["ns_per_op"]
         if name not in candidate:
-            failures.append(f"{name}: missing from candidate snapshot")
+            message = f"{name}: missing from candidate snapshot"
+            (failures if require_all else warnings).append(message)
             print(f"{name:<{width}}  {base_ns:>10.1f} ns  ->  MISSING")
             continue
         cand_ns = candidate[name]["ns_per_op"]
@@ -59,12 +70,25 @@ def main(argv: list) -> int:
         if delta > threshold:
             marker = "  REGRESSION"
             failures.append(f"{name}: {base_ns:.1f} -> {cand_ns:.1f} ns ({delta:+.1%})")
+        elif delta < -threshold:
+            marker = "  IMPROVEMENT"
+            improvements += 1
         print(f"{name:<{width}}  {base_ns:>10.1f} ns  ->  {cand_ns:>10.1f} ns  {delta:+7.1%}{marker}")
     for name in sorted(set(candidate) - set(baseline)):
+        warnings.append(f"{name}: not in baseline snapshot")
         print(f"{name:<{width}}  (new, no baseline)  {candidate[name]['ns_per_op']:.1f} ns")
 
+    if warnings:
+        print(f"\n{len(warnings)} benchmark(s) without a counterpart "
+              f"(regenerate the baseline to cover them):", file=sys.stderr)
+        for warning in warnings:
+            print(f"  warning: {warning}", file=sys.stderr)
+    if improvements:
+        print(f"{improvements} benchmark(s) improved beyond {threshold:.0%} "
+              f"(consider refreshing the baseline)")
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond {threshold:.0%}:", file=sys.stderr)
+        print(f"\n{len(failures)} benchmark(s) failed the {threshold:.0%} check:",
+              file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
