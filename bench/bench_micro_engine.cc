@@ -31,6 +31,22 @@ void BM_FullHandshake10KB(benchmark::State& state) {
 }
 BENCHMARK(BM_FullHandshake10KB)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+void BM_AckHeavyTransfer(benchmark::State& state) {
+  // A 1 MB download generates hundreds of ACK round trips plus MAX_DATA
+  // updates — the ledger/ack-manager steady state the arena and pools exist
+  // for (the handshake benches above barely touch it).
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::ExperimentConfig config;
+    config.client = clients::ClientImpl::kQuicGo;
+    config.rtt = sim::Millis(9);
+    config.response_body_bytes = 1024 * 1024;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::RunExperiment(config));
+  }
+}
+BENCHMARK(BM_AckHeavyTransfer)->Unit(benchmark::kMicrosecond);
+
 void BM_RttEstimatorSample(benchmark::State& state) {
   recovery::RttEstimator rtt;
   sim::Duration sample = sim::Millis(9);

@@ -68,6 +68,9 @@ ExperimentResult RunContext::Run(const ExperimentConfig& config, const InspectFn
   // their handles) before the old endpoints are replaced below, so no stale
   // callback can outlive the objects it captured.
   queue_.Reset();
+  // The arena only ever holds trivially-destructible per-run scratch (ledger
+  // frame spans); rewinding it wholesale is the whole teardown.
+  arena_.Reset();
   sim::EventQueue& queue = queue_;
   sim::Rng rng(config.seed);
 
@@ -76,15 +79,31 @@ ExperimentResult RunContext::Run(const ExperimentConfig& config, const InspectFn
   link_config.bandwidth_bps = config.bandwidth_bps;
   link_config.jitter = config.path_jitter;
   link_config.model = config.link;
-  link_.emplace(queue, link_config, rng.Fork(1));
+  // Reset-in-place on warm contexts: the endpoints and link rewind to
+  // freshly-constructed state (re-deriving everything from config + seed)
+  // while keeping every container's capacity, so repeated runs construct and
+  // destroy nothing.
+  if (link_.has_value()) {
+    link_->ResetForRun(link_config, rng.Fork(1));
+  } else {
+    link_.emplace(queue, link_config, rng.Fork(1));
+  }
   sim::Link& link = *link_;
   link.set_loss_pattern(config.loss);
 
   quic::ClientConfig client_config{BuildClientConfig(config)};
   client_config.enable_0rtt = config.mode == HandshakeMode::k0Rtt;
   client_config.use_retry_as_rtt_sample = config.client_use_retry_rtt_sample;
-  client_.emplace(queue, client_config, rng.Fork(2));
-  server_.emplace(queue, BuildServerConfig(config), rng.Fork(3));
+  if (client_.has_value()) {
+    client_->ResetForRun(client_config, rng.Fork(2));
+  } else {
+    client_.emplace(queue, client_config, rng.Fork(2), &arena_);
+  }
+  if (server_.has_value()) {
+    server_->ResetForRun(BuildServerConfig(config), rng.Fork(3));
+  } else {
+    server_.emplace(queue, BuildServerConfig(config), rng.Fork(3), &arena_);
+  }
 
   quic::ClientConnection* client_ptr = &*client_;
   quic::ServerConnection* server_ptr = &*server_;

@@ -17,6 +17,7 @@
 #include "qlog/qlog.h"
 #include "quic/client_connection.h"
 #include "quic/server_connection.h"
+#include "sim/arena.h"
 #include "sim/link.h"
 #include "sim/loss.h"
 #include "tls/cert_store.h"
@@ -108,11 +109,12 @@ struct ExperimentResult {
   }
 };
 
-/// Reusable run context: owns the event queue, link and both endpoints and
-/// replays them across runs. Run() resets the queue (retaining its slot and
-/// heap capacity) and re-emplaces the link/endpoints in place, so repeated
-/// runs — sweep repetitions, thread-pool workers — skip the per-run setup
-/// allocations of a cold start. Reuse is invisible to results: every run
+/// Reusable run context: owns the event queue, arena, link and both
+/// endpoints and replays them across runs. Run() resets the queue (retaining
+/// its slot and heap capacity), rewinds the arena, and resets the
+/// link/endpoints in place — every container keeps its capacity — so after a
+/// warm-up run, repeated runs (sweep repetitions, thread-pool workers)
+/// allocate nothing at all. Reuse is invisible to results: every run
 /// re-seeds its RNG forks and rebuilds endpoint state from the config, and
 /// exports are byte-identical to fresh-context runs.
 class RunContext {
@@ -132,6 +134,7 @@ class RunContext {
 
  private:
   sim::EventQueue queue_;  // declared first: destroyed last, after its users
+  sim::Arena arena_;       // per-run scratch; reset wholesale between runs
   std::optional<sim::Link> link_;
   std::optional<quic::ClientConnection> client_;
   std::optional<quic::ServerConnection> server_;

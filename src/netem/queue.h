@@ -32,6 +32,16 @@ class BottleneckQueue {
   BottleneckQueue() = default;
   explicit BottleneckQueue(const QueueModel& model) : model_(model) {}
 
+  /// Re-arms the queue for a new run: new model, emptied, stats cleared.
+  /// Unlike reassignment, this keeps the deque's allocated blocks.
+  void Reset(const QueueModel& model) {
+    model_ = model;
+    in_flight_.clear();
+    queued_bytes_ = 0;
+    last_departure_ = 0;
+    stats_ = Stats{};
+  }
+
   /// True when the model wants FIFO queueing (vs. the legacy busy clock).
   bool active() const { return model_.kind == QueueModel::Kind::kFifo; }
 

@@ -33,8 +33,28 @@ void Trace::RecordMetrics(const MetricsUpdate& update) {
   metrics_.push_back(stored);
 }
 
-void Trace::RecordNote(sim::Time time, std::string category, std::string detail) {
-  notes_.push_back(NoteEvent{time, std::move(category), std::move(detail)});
+void Trace::RecordNote(sim::Time time, std::string_view category, std::string_view detail) {
+  // Reuse a retired slot when one exists: string::assign into retained
+  // capacity keeps repeated runs allocation-free in steady state.
+  if (notes_used_ < notes_.size()) {
+    NoteEvent& note = notes_[notes_used_];
+    note.time = time;
+    note.category.assign(category);
+    note.detail.assign(detail);
+  } else {
+    notes_.push_back(NoteEvent{time, std::string(category), std::string(detail)});
+  }
+  ++notes_used_;
+}
+
+void Trace::Reset(TraceConfig config, sim::Rng rng) {
+  config_ = config;
+  rng_ = rng;
+  metrics_.clear();
+  packets_.clear();
+  notes_used_ = 0;  // slots stay allocated; RecordNote overwrites them
+  packets_with_new_acks_ = 0;
+  suppressed_ = 0;
 }
 
 std::optional<MetricsUpdate> Trace::FirstMetrics() const {

@@ -7,9 +7,11 @@
 // both are modelled here via an exposure probability and a logs_rttvar flag.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "quic/types.h"
@@ -57,11 +59,34 @@ struct TraceConfig {
   bool capture_packets = true;
 };
 
+/// Live prefix of a trace's note log. Note slots (and their string buffers)
+/// are recycled across Trace::Reset() calls, so the backing vector may hold
+/// more entries than are currently valid; this view exposes only the live
+/// ones.
+class NotesView {
+ public:
+  NotesView(const NoteEvent* data, std::size_t size) : data_(data), size_(size) {}
+  const NoteEvent* begin() const { return data_; }
+  const NoteEvent* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const NoteEvent& operator[](std::size_t index) const { return data_[index]; }
+
+ private:
+  const NoteEvent* data_;
+  std::size_t size_;
+};
+
 /// Per-connection event log.
 class Trace {
  public:
   Trace() : Trace(TraceConfig{}, sim::Rng(1)) {}
   Trace(TraceConfig config, sim::Rng rng) : config_(config), rng_(rng) {}
+
+  /// Rewinds to a freshly-constructed trace under a new config and RNG
+  /// (context reuse between repetitions). Event buffers keep their capacity;
+  /// note slots keep their string buffers and are overwritten in place.
+  void Reset(TraceConfig config, sim::Rng rng);
 
   void RecordPacket(const PacketEvent& event);
 
@@ -70,7 +95,7 @@ class Trace {
   /// post-processing.
   void RecordMetrics(const MetricsUpdate& update);
 
-  void RecordNote(sim::Time time, std::string category, std::string detail);
+  void RecordNote(sim::Time time, std::string_view category, std::string_view detail);
 
   /// Count of received packets that newly acknowledged data ("packets with
   /// new ACKs" in Fig 11); incremented by the connection.
@@ -81,7 +106,7 @@ class Trace {
   /// trace is discarded or reset afterwards).
   std::vector<MetricsUpdate> TakeMetrics() { return std::move(metrics_); }
   const std::vector<PacketEvent>& packets() const { return packets_; }
-  const std::vector<NoteEvent>& notes() const { return notes_; }
+  NotesView notes() const { return NotesView(notes_.data(), notes_used_); }
   std::uint64_t packets_with_new_acks() const { return packets_with_new_acks_; }
 
   /// First logged metrics update, if any (basis of Fig 16).
@@ -94,7 +119,9 @@ class Trace {
   sim::Rng rng_;
   std::vector<MetricsUpdate> metrics_;
   std::vector<PacketEvent> packets_;
+  /// Note slots; only the first notes_used_ are live (see NotesView).
   std::vector<NoteEvent> notes_;
+  std::size_t notes_used_ = 0;
   std::uint64_t packets_with_new_acks_ = 0;
   std::uint64_t suppressed_ = 0;
 };

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "quic/pool.h"
+
 namespace quicer::quic {
 
 AckManager::AckManager(PacketNumberSpace space, AckPolicy policy)
     : space_(space), policy_(policy) {}
+
+void AckManager::Reset(AckPolicy policy) {
+  policy_ = policy;
+  received_.clear();
+  largest_received_.reset();
+  largest_ack_eliciting_time_ = 0;
+  pending_ack_eliciting_ = 0;
+}
 
 bool AckManager::OnPacketReceived(std::uint64_t pn, bool ack_eliciting, sim::Time now) {
   // Find insertion point among merged ranges.
@@ -51,6 +61,9 @@ sim::Time AckManager::AckDeadline() const {
 std::optional<AckFrame> AckManager::BuildAck(sim::Time now) {
   if (received_.empty()) return std::nullopt;
   AckFrame ack;
+  // Pooled range buffer: the frame pool salvages it back when the ACK frame
+  // is recycled, so steady-state ACK emission allocates nothing.
+  ack.ranges = AcquirePnRangeVec();
   ack.largest_acked = *largest_received_;
   switch (policy_.report_mode) {
     case AckDelayReportMode::kActual:

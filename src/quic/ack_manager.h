@@ -38,6 +38,11 @@ class AckManager {
  public:
   AckManager(PacketNumberSpace space, AckPolicy policy);
 
+  /// Rewinds to freshly-constructed state (same space) under a possibly
+  /// different policy — context reuse between repetitions. The range buffer
+  /// keeps its capacity.
+  void Reset(AckPolicy policy);
+
   /// Registers a received packet. Returns false for duplicates (already
   /// received packet numbers), which must not be processed again.
   bool OnPacketReceived(std::uint64_t pn, bool ack_eliciting, sim::Time now);

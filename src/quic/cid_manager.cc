@@ -1,30 +1,54 @@
 #include "quic/cid_manager.h"
 
+#include <algorithm>
+
 namespace quicer::quic {
+namespace {
+
+/// Set-like insert into a sorted vector: no-op if `value` is present.
+void InsertSorted(std::vector<std::uint64_t>& values, std::uint64_t value) {
+  const auto it = std::lower_bound(values.begin(), values.end(), value);
+  if (it != values.end() && *it == value) return;
+  values.insert(it, value);
+}
+
+}  // namespace
 
 CidManager::ProcessResult CidManager::OnNewConnectionId(const NewConnectionIdFrame& frame) {
   ProcessResult result;
-  active_.insert(frame.sequence);
-  // Retire everything below retire_prior_to, as the frame demands.
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (*it < frame.retire_prior_to) {
-      retired_.insert(*it);
-      result.retirements.push_back(RetireConnectionIdFrame{*it});
-      ++retirement_count_;
-      it = active_.erase(it);
-    } else {
-      ++it;
-    }
+  OnNewConnectionIdInto(frame, result);
+  return result;
+}
+
+void CidManager::OnNewConnectionIdInto(const NewConnectionIdFrame& frame,
+                                       ProcessResult& result) {
+  result.retirements.clear();
+  result.duplicate_retirement = false;
+
+  InsertSorted(active_, frame.sequence);
+  // Retire everything below retire_prior_to, as the frame demands. active_
+  // is sorted, so that's a leading run; retiring in ascending order matches
+  // the set-iteration order of the original implementation.
+  const auto cut = std::lower_bound(active_.begin(), active_.end(), frame.retire_prior_to);
+  for (auto it = active_.begin(); it != cut; ++it) {
+    InsertSorted(retired_, *it);
+    result.retirements.push_back(RetireConnectionIdFrame{*it});
+    ++retirement_count_;
   }
+  active_.erase(active_.begin(), cut);
   // A retransmitted NEW_CONNECTION_ID asks us to retire already-retired
   // sequences again.
-  for (std::uint64_t seq : retired_) {
-    if (seq < frame.retire_prior_to && result.retirements.empty()) {
-      result.duplicate_retirement = true;
-      break;
-    }
+  if (result.retirements.empty() && !retired_.empty() &&
+      retired_.front() < frame.retire_prior_to) {
+    result.duplicate_retirement = true;
   }
-  return result;
+}
+
+void CidManager::Reset() {
+  active_.clear();
+  active_.push_back(0);
+  retired_.clear();
+  retirement_count_ = 0;
 }
 
 }  // namespace quicer::quic

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "quic/frame.h"
@@ -32,14 +31,24 @@ class CidManager {
   /// whether a duplicate retirement occurred.
   ProcessResult OnNewConnectionId(const NewConnectionIdFrame& frame);
 
+  /// As above, but reuses `result`'s buffers (cleared first) so the per-frame
+  /// hot path allocates nothing in steady state.
+  void OnNewConnectionIdInto(const NewConnectionIdFrame& frame, ProcessResult& result);
+
   /// Number of currently active (issued, unretired) sequence numbers.
   std::size_t active_count() const { return active_.size(); }
 
   std::uint64_t retirement_count() const { return retirement_count_; }
 
+  /// Rewinds to the fresh-connection state (only the handshake CID active)
+  /// for context reuse between repetitions. Buffer capacity is retained.
+  void Reset();
+
  private:
-  std::set<std::uint64_t> active_{0};   // seq 0 is the handshake CID
-  std::set<std::uint64_t> retired_;
+  // Sorted ascending, unique. Small (a handful of CIDs per connection), so
+  // sorted vectors beat node-based sets on every operation here.
+  std::vector<std::uint64_t> active_{0};  // seq 0 is the handshake CID
+  std::vector<std::uint64_t> retired_;
   std::uint64_t retirement_count_ = 0;
 };
 

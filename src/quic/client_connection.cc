@@ -2,22 +2,41 @@
 
 #include <utility>
 
+#include "quic/pool.h"
+
 namespace quicer::quic {
 namespace {
 constexpr std::size_t kCryptoChunk = 1000;
 }
 
-ClientConnection::ClientConnection(sim::EventQueue& queue, ClientConfig config, sim::Rng rng)
-    : Connection(queue, Perspective::kClient, config.base, rng), client_config_(config) {
+ClientConnection::ClientConnection(sim::EventQueue& queue, ClientConfig config, sim::Rng rng,
+                                   sim::Arena* arena)
+    : Connection(queue, Perspective::kClient, config.base, rng, arena), client_config_(config) {
+  ExpectServerMessages();
+}
+
+void ClientConnection::ExpectServerMessages() {
   // Expected server messages: ServerHello in Initial, the rest in Handshake.
   space(PacketNumberSpace::kInitial)
-      .crypto_rx.ExpectMessage(tls::MessageType::kServerHello, this->config().tls.server_hello);
+      .crypto_rx.ExpectMessage(tls::MessageType::kServerHello, config().tls.server_hello);
   auto& hs = space(PacketNumberSpace::kHandshake).crypto_rx;
-  hs.ExpectMessage(tls::MessageType::kEncryptedExtensions,
-                   this->config().tls.encrypted_extensions);
-  hs.ExpectMessage(tls::MessageType::kCertificate, this->config().tls.certificate);
-  hs.ExpectMessage(tls::MessageType::kCertificateVerify, this->config().tls.certificate_verify);
-  hs.ExpectMessage(tls::MessageType::kFinished, this->config().tls.finished);
+  hs.ExpectMessage(tls::MessageType::kEncryptedExtensions, config().tls.encrypted_extensions);
+  hs.ExpectMessage(tls::MessageType::kCertificate, config().tls.certificate);
+  hs.ExpectMessage(tls::MessageType::kCertificateVerify, config().tls.certificate_verify);
+  hs.ExpectMessage(tls::MessageType::kFinished, config().tls.finished);
+}
+
+void ClientConnection::ResetForRun(const ClientConfig& config, sim::Rng rng) {
+  Connection::ResetForRun(config.base, rng);
+  client_config_ = config;
+  started_ = false;
+  flight2_sent_ = false;
+  response_complete_ = false;
+  early_data_sent_ = false;
+  retries_seen_ = 0;
+  retry_token_ = 0;
+  client_hello_sent_time_ = -1;
+  ExpectServerMessages();
 }
 
 void ClientConnection::Start() {
@@ -27,7 +46,7 @@ void ClientConnection::Start() {
 }
 
 std::vector<Frame> ClientConnection::BuildEarlyDataFrames() {
-  std::vector<Frame> frames;
+  std::vector<Frame> frames = AcquireFrameVec();
   if (config().http_version == http::Version::kHttp3) {
     StreamFrame settings;
     settings.stream_id = http::kClientControlStreamId;
@@ -52,7 +71,7 @@ void ClientConnection::SendClientHello() {
   initial.token = retry_token_;
   if (initial.token != 0) initial.wire_size = initial.WireSize();  // token adds bytes
 
-  std::vector<Packet> packets;
+  std::vector<Packet> packets = AcquirePacketVec();
   packets.push_back(std::move(initial));
   if (client_config_.enable_0rtt && !early_data_sent_) {
     // 0-RTT: the request rides in the first flight, protected with the
@@ -111,30 +130,35 @@ void ClientConnection::SendSecondFlight() {
   flight2_sent_ = true;
 
   // Handshake packet: client Finished (+ pending Handshake ACK).
-  std::vector<Frame> hs_frames;
-  if (auto ack = PopAck(PacketNumberSpace::kHandshake)) hs_frames.push_back(*ack);
+  std::vector<Frame> hs_frames = AcquireFrameVec();
+  if (auto ack = PopAck(PacketNumberSpace::kHandshake)) hs_frames.push_back(std::move(*ack));
   std::vector<Frame> fin = MakeCryptoFrames(PacketNumberSpace::kHandshake,
                                             tls::MessageType::kFinished,
                                             config().tls.finished, kCryptoChunk);
   RememberCryptoFlight(PacketNumberSpace::kHandshake, fin);
   for (Frame& frame : fin) hs_frames.push_back(std::move(frame));
+  ReleaseFrameVec(std::move(fin));
 
   // 1-RTT packet: HTTP request (+ HTTP/3 client control stream SETTINGS),
   // coalesced with any queued 1-RTT replies (e.g. RETIRE_CONNECTION_ID for
   // the NEW_CONNECTION_ID in the server flight) — real stacks bundle these
   // into the same flight rather than emitting an extra datagram.
-  std::vector<Frame> app_frames;
+  std::vector<Frame> app_frames = AcquireFrameVec();
   auto& app_pending = space(PacketNumberSpace::kAppData).pending;
   for (Frame& frame : app_pending) app_frames.push_back(std::move(frame));
   app_pending.clear();
   if (!early_data_sent_) {
     // 1-RTT handshake: the request goes out now. (In 0-RTT it already rode
     // with the ClientHello.)
-    for (Frame& frame : BuildEarlyDataFrames()) app_frames.push_back(std::move(frame));
+    std::vector<Frame> early = BuildEarlyDataFrames();
+    for (Frame& frame : early) app_frames.push_back(std::move(frame));
+    ReleaseFrameVec(std::move(early));
   } else if (app_frames.empty()) {
     // Keep the flight shape: an ACK-bearing 1-RTT packet still closes the
     // exchange.
-    if (auto app_ack = PopAck(PacketNumberSpace::kAppData)) app_frames.push_back(*app_ack);
+    if (auto app_ack = PopAck(PacketNumberSpace::kAppData)) {
+      app_frames.push_back(std::move(*app_ack));
+    }
     if (app_frames.empty()) app_frames.push_back(PingFrame{});
   }
 
@@ -145,9 +169,11 @@ void ClientConnection::SendSecondFlight() {
   const int split = config().second_flight_datagrams;
   if (split <= 1) {
     // quiche: everything in one datagram.
-    std::vector<Packet> packets;
+    std::vector<Packet> packets = AcquirePacketVec();
     if (initial_ack) {
-      packets.push_back(BuildPacket(PacketNumberSpace::kInitial, {*initial_ack}));
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*initial_ack));
+      packets.push_back(BuildPacket(PacketNumberSpace::kInitial, std::move(frames)));
     }
     packets.push_back(BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames)));
     packets.push_back(BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames)));
@@ -155,9 +181,11 @@ void ClientConnection::SendSecondFlight() {
   } else if (split == 2) {
     // neqo: Handshake and 1-RTT coalesce.
     if (initial_ack) {
-      SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {*initial_ack})});
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*initial_ack));
+      SendPacketNow(PacketNumberSpace::kInitial, std::move(frames));
     }
-    std::vector<Packet> packets;
+    std::vector<Packet> packets = AcquirePacketVec();
     packets.push_back(BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames)));
     packets.push_back(BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames)));
     SendDatagramNow(std::move(packets));
@@ -166,10 +194,12 @@ void ClientConnection::SendSecondFlight() {
     // extra datagram is its uncoalesced Handshake ACK, which the base class
     // already emitted separately (coalesce_acks = false).
     if (initial_ack) {
-      SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {*initial_ack})});
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*initial_ack));
+      SendPacketNow(PacketNumberSpace::kInitial, std::move(frames));
     }
-    SendDatagramNow({BuildPacket(PacketNumberSpace::kHandshake, std::move(hs_frames))});
-    SendDatagramNow({BuildPacket(PacketNumberSpace::kAppData, std::move(app_frames))});
+    SendPacketNow(PacketNumberSpace::kHandshake, std::move(hs_frames));
+    SendPacketNow(PacketNumberSpace::kAppData, std::move(app_frames));
   }
 
   // Sending the Finished completes the handshake from the client's TLS
@@ -182,9 +212,9 @@ void ClientConnection::SendSecondFlight() {
 
 void ClientConnection::HandleStream(const StreamFrame& frame) {
   if (frame.stream_id != http::kRequestStreamId) return;
-  const auto it = in_streams().find(http::kRequestStreamId);
-  if (it == in_streams().end()) return;
-  const InStream& in = it->second;
+  const InStream* in_ptr = FindInStream(http::kRequestStreamId);
+  if (in_ptr == nullptr) return;
+  const InStream& in = *in_ptr;
   if (in.fin_seen && in.high_watermark >= in.fin_offset && !response_complete_) {
     response_complete_ = true;
     mutable_metrics().response_complete = queue().now();

@@ -24,7 +24,12 @@ struct ClientConfig {
 
 class ClientConnection : public Connection {
  public:
-  ClientConnection(sim::EventQueue& queue, ClientConfig config, sim::Rng rng);
+  ClientConnection(sim::EventQueue& queue, ClientConfig config, sim::Rng rng,
+                   sim::Arena* arena = nullptr);
+
+  /// Rewinds to freshly-constructed state for another repetition (see
+  /// Connection::ResetForRun).
+  void ResetForRun(const ClientConfig& config, sim::Rng rng);
 
   /// Sends the ClientHello and arms the initial PTO.
   void Start();
@@ -52,6 +57,7 @@ class ClientConnection : public Connection {
   void SendClientHello();
   void SendSecondFlight();
   std::vector<Frame> BuildEarlyDataFrames();
+  void ExpectServerMessages();
 
   ClientConfig client_config_;
   bool started_ = false;

@@ -1,6 +1,7 @@
 #include "quic/connection.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
 #include "quic/pool.h"
@@ -24,14 +25,33 @@ AckPolicy ImmediateAckPolicy(const AckPolicy& base) {
   return policy;
 }
 
+using SpacePn = std::pair<PacketNumberSpace, std::uint64_t>;
+
+/// Set-like insert into a sorted vector: no-op if `key` is present.
+void InsertSortedPn(std::vector<SpacePn>& pns, SpacePn key) {
+  const auto it = std::lower_bound(pns.begin(), pns.end(), key);
+  if (it != pns.end() && *it == key) return;
+  pns.insert(it, key);
+}
+
+/// Removes `key` from a sorted vector; returns whether it was present.
+bool EraseSortedPn(std::vector<SpacePn>& pns, SpacePn key) {
+  const auto it = std::lower_bound(pns.begin(), pns.end(), key);
+  if (it == pns.end() || *it != key) return false;
+  pns.erase(it);
+  return true;
+}
+
 }  // namespace
 
 Connection::Connection(sim::EventQueue& queue, Perspective perspective, ConnectionConfig config,
-                       sim::Rng rng)
+                       sim::Rng rng, sim::Arena* arena)
     : queue_(queue),
       perspective_(perspective),
       config_(config),
       rng_(rng),
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<sim::Arena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
       spaces_{SpaceState(PacketNumberSpace::kInitial, ImmediateAckPolicy(config.ack_policy)),
               SpaceState(PacketNumberSpace::kHandshake, ImmediateAckPolicy(config.ack_policy)),
               SpaceState(PacketNumberSpace::kAppData, config.ack_policy)},
@@ -55,6 +75,68 @@ Connection::~Connection() {
   for (SpaceState& state : spaces_) ReleaseFrameVec(std::move(state.pending));
   for (std::vector<Frame>& flight : last_crypto_sent_) ReleaseFrameVec(std::move(flight));
   ReleasePacketVec(std::move(pending_undecryptable_));
+}
+
+void Connection::ResetForRun(const ConnectionConfig& config, sim::Rng rng) {
+  config_ = config;
+  rng_ = rng;
+  // send_ is left untouched: the harness re-installs it after every reset
+  // (the closure captures the current link/peer).
+
+  for (int idx = 0; idx < kNumSpaces; ++idx) {
+    SpaceState& state = spaces_[idx];
+    const auto s = static_cast<PacketNumberSpace>(idx);
+    state.next_pn = 0;
+    state.acks.Reset(s == PacketNumberSpace::kAppData ? config_.ack_policy
+                                                      : ImmediateAckPolicy(config_.ack_policy));
+    state.ledger.Reset();
+    state.crypto_rx.Reset();
+    state.crypto_tx_offset = 0;
+    state.discarded = false;
+    state.pending.clear();
+    last_crypto_sent_[idx].clear();
+  }
+  rtt_ = recovery::RttEstimator(config_.rttvar_formula);
+  cc_ = recovery::NewRenoCongestion();
+  amp_ = AmplificationLimiter(perspective_ == Perspective::kServer);
+  cids_.Reset();
+  // Same fork label as the constructor, so a reset connection draws the
+  // exact trace-sampling stream a fresh one would.
+  trace_.Reset(config_.trace, rng_.Fork(0x71061));
+  metrics_ = ConnectionMetrics{};
+
+  // The run harness reset the event queue wholesale, so every timer handle
+  // is already dead; forget them without touching the queue.
+  loss_timer_.ResetForReuse();
+  ack_timer_.ResetForReuse();
+  idle_timer_.ResetForReuse();
+  pto_count_ = 0;
+  pto_base_time_ = 0;
+  pc_span_start_ = sim::kNever;
+  pc_span_end_ = 0;
+  current_packet_token_ = 0;
+  pending_pto_space_ = PacketNumberSpace::kInitial;
+  handshake_complete_ = false;
+  handshake_confirmed_ = false;
+  has_handshake_keys_ = false;
+  has_one_rtt_send_keys_ = false;
+  has_one_rtt_recv_keys_ = false;
+  closed_ = false;
+  defer_loss_timer_ = false;
+
+  out_streams_.clear();
+  peer_max_data_ = kInitialMaxData;
+  stream_bytes_sent_ = 0;
+  in_streams_.clear();
+  flow_bytes_since_update_ = 0;
+  flow_granted_ = kInitialMaxData;
+  pending_undecryptable_.clear();
+  ping_only_pns_.clear();
+  probed_pns_.clear();
+  ping_drop_quirk_used_ = false;
+
+  metrics_.start_time = queue_.now();
+  if (config_.idle_timeout > 0) idle_timer_.SetDeadline(queue_.now() + config_.idle_timeout);
 }
 
 Packet Connection::BuildPacket(PacketNumberSpace s, std::vector<Frame> frames) {
@@ -105,11 +187,24 @@ bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to
       sent.bytes = wire_size;
       sent.ack_eliciting = true;
       sent.in_flight = in_flight;
-      sent.retransmittable = AcquireFrameVec();
+      // Park the retransmittable frames in the run arena: one bump per
+      // packet, dropped wholesale on ack/loss, reclaimed at repetition
+      // reset. Only trivially-destructible alternatives pass the
+      // IsRetransmittable filter, so never running their destructors is
+      // sound (see sim/arena.h).
+      std::uint32_t retrans_count = 0;
       for (const Frame& frame : packet.frames) {
-        if (IsRetransmittable(frame)) sent.retransmittable.push_back(frame);
+        if (IsRetransmittable(frame)) ++retrans_count;
       }
-      space(packet.space).ledger.OnPacketSent(std::move(sent));
+      if (retrans_count > 0) {
+        Frame* parked = arena_->AllocateUninitialized<Frame>(retrans_count);
+        std::uint32_t at = 0;
+        for (const Frame& frame : packet.frames) {
+          if (IsRetransmittable(frame)) ::new (static_cast<void*>(parked + at++)) Frame(frame);
+        }
+        sent.retransmittable = recovery::FrameSpan{parked, retrans_count};
+      }
+      space(packet.space).ledger.OnPacketSent(sent);
     }
     if (in_flight) cc_.OnPacketSent(wire_size);
   }
@@ -123,6 +218,13 @@ bool Connection::SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to
   }
   if (any_ack_eliciting) SetLossDetectionTimer();
   return true;
+}
+
+bool Connection::SendPacketNow(PacketNumberSpace s, std::vector<Frame> frames,
+                               std::size_t pad_to) {
+  std::vector<Packet> packets = AcquirePacketVec();
+  packets.push_back(BuildPacket(s, std::move(frames)));
+  return SendDatagramNow(std::move(packets), pad_to);
 }
 
 void Connection::MaybeSendAcks() {
@@ -200,6 +302,22 @@ std::vector<Frame> Connection::MakeCryptoFrames(PacketNumberSpace s, tls::Messag
     remaining -= chunk;
   }
   return frames;
+}
+
+void Connection::QueueCryptoFrames(PacketNumberSpace s, tls::MessageType message,
+                                   std::size_t message_size, std::size_t max_chunk) {
+  SpaceState& state = space(s);
+  std::size_t remaining = message_size;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, max_chunk);
+    CryptoFrame frame;
+    frame.offset = state.crypto_tx_offset;
+    frame.length = static_cast<std::uint32_t>(chunk);
+    frame.message = message;
+    state.pending.emplace_back(frame);
+    state.crypto_tx_offset += chunk;
+    remaining -= chunk;
+  }
 }
 
 void Connection::RememberCryptoFlight(PacketNumberSpace s, const std::vector<Frame>& frames) {
@@ -559,12 +677,12 @@ void Connection::ProcessPacket(Packet& packet) {
     } else if (std::holds_alternative<PingFrame>(frame)) {
       HandlePing(packet.space);
     } else if (const auto* ncid = std::get_if<NewConnectionIdFrame>(&frame)) {
-      CidManager::ProcessResult result = cids_.OnNewConnectionId(*ncid);
-      if (result.duplicate_retirement && config_.abort_on_duplicate_cid_retirement) {
+      cids_.OnNewConnectionIdInto(*ncid, cid_scratch_);
+      if (cid_scratch_.duplicate_retirement && config_.abort_on_duplicate_cid_retirement) {
         CloseConnection("duplicate connection ID retirement");
         return;
       }
-      for (const RetireConnectionIdFrame& retire : result.retirements) {
+      for (const RetireConnectionIdFrame& retire : cid_scratch_.retirements) {
         QueueFrame(PacketNumberSpace::kAppData, retire);
       }
     } else if (std::holds_alternative<ConnectionCloseFrame>(frame)) {
@@ -590,7 +708,7 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
   for (const recovery::SentPacket& acked : result.newly_acked) {
     if (acked.in_flight) cc_.OnPacketAcked(acked.bytes, acked.sent_time);
     const auto key = std::make_pair(s, acked.packet_number);
-    if (probed_pns_.erase(key) > 0) {
+    if (EraseSortedPn(probed_pns_, key)) {
       ++metrics_.spurious_retransmits;
       trace_.RecordNote(queue_.now(), "recovery", "spurious retransmit detected");
     }
@@ -611,11 +729,8 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
     pc_span_end_ = 0;
   }
 
-  // Recycle the acked packets' frame buffers before loss detection reuses
-  // the scratch space.
-  for (recovery::SentPacket& acked : result.newly_acked) {
-    ReleaseFrameVec(std::move(acked.retransmittable));
-  }
+  // Acked packets' frame spans need no recycling: the arena reclaims them
+  // wholesale at repetition reset.
 
   // Loss detection after every ack (RFC 9002 A.7).
   std::vector<recovery::SentPacket>& lost = loss_scratch_;
@@ -626,17 +741,14 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
     for (recovery::SentPacket& packet : lost) {
       if (packet.in_flight) lost_bytes += packet.bytes;
       largest_sent = std::max(largest_sent, packet.sent_time);
-      probed_pns_.emplace(s, packet.packet_number);
+      InsertSortedPn(probed_pns_, {s, packet.packet_number});
       for (Frame& frame : packet.retransmittable) {
-        QueueFrame(s, std::move(frame));
+        QueueFrame(s, frame);
         ++metrics_.retransmitted_frames;
       }
     }
     if (lost_bytes > 0) cc_.OnPacketsLost(lost_bytes, largest_sent, queue_.now());
     MaybeDeclarePersistentCongestion(lost);
-    for (recovery::SentPacket& packet : lost) {
-      ReleaseFrameVec(std::move(packet.retransmittable));
-    }
   }
 }
 
@@ -787,17 +899,14 @@ void Connection::HandleTimeThresholdLoss(SpaceState& state) {
   for (recovery::SentPacket& packet : lost) {
     if (packet.in_flight) lost_bytes += packet.bytes;
     largest_sent = std::max(largest_sent, packet.sent_time);
-    probed_pns_.emplace(state.acks.space(), packet.packet_number);
+    InsertSortedPn(probed_pns_, {state.acks.space(), packet.packet_number});
     for (Frame& frame : packet.retransmittable) {
-      QueueFrame(state.acks.space(), std::move(frame));
+      QueueFrame(state.acks.space(), frame);
       ++metrics_.retransmitted_frames;
     }
   }
   if (lost_bytes > 0) cc_.OnPacketsLost(lost_bytes, largest_sent, queue_.now());
   MaybeDeclarePersistentCongestion(lost);
-  for (recovery::SentPacket& packet : lost) {
-    ReleaseFrameVec(std::move(packet.retransmittable));
-  }
 }
 
 void Connection::OnLossDetectionTimeout() {
@@ -897,7 +1006,7 @@ void Connection::SendProbes(PacketNumberSpace s) {
         if (by_space[idx].empty()) continue;
         const PacketNumberSpace os = static_cast<PacketNumberSpace>(idx);
         for (std::uint64_t pn : space(os).ledger.OutstandingPns()) {
-          probed_pns_.emplace(os, pn);
+          InsertSortedPn(probed_pns_, {os, pn});
         }
         metrics_.retransmitted_frames += static_cast<int>(by_space[idx].size());
         packets.push_back(BuildPacket(os, std::move(by_space[idx])));
@@ -924,7 +1033,7 @@ void Connection::SendProbes(PacketNumberSpace s) {
             : 0;
     if (SendDatagramNow(std::move(packets), pad)) {
       ++metrics_.probe_datagrams_sent;
-      if (ping_only) ping_only_pns_.emplace(probe_space, pn);
+      if (ping_only) ping_only_pns_.emplace_back(probe_space, pn);
     } else {
       break;  // amplification-blocked: stop probing
     }
@@ -939,7 +1048,7 @@ void Connection::OnStreamBytesReceived(const StreamFrame& frame) {
       metrics_.first_response_byte < 0) {
     metrics_.first_response_byte = queue_.now();
   }
-  InStream& in = in_streams_[frame.stream_id];
+  InStream& in = InStreamFor(frame.stream_id);
   const std::uint64_t end = frame.offset + frame.length;
   std::uint64_t new_bytes = 0;
   if (end > in.high_watermark) {
@@ -961,6 +1070,22 @@ void Connection::OnStreamBytesReceived(const StreamFrame& frame) {
     flow_granted_ = metrics_.stream_bytes_received + config_.local_max_data;
     QueueFrame(PacketNumberSpace::kAppData, MaxDataFrame{flow_granted_});
   }
+}
+
+const Connection::InStream* Connection::FindInStream(std::uint64_t stream_id) const {
+  const auto it = std::lower_bound(
+      in_streams_.begin(), in_streams_.end(), stream_id,
+      [](const auto& entry, std::uint64_t id) { return entry.first < id; });
+  if (it == in_streams_.end() || it->first != stream_id) return nullptr;
+  return &it->second;
+}
+
+Connection::InStream& Connection::InStreamFor(std::uint64_t stream_id) {
+  const auto it = std::lower_bound(
+      in_streams_.begin(), in_streams_.end(), stream_id,
+      [](const auto& entry, std::uint64_t id) { return entry.first < id; });
+  if (it != in_streams_.end() && it->first == stream_id) return it->second;
+  return in_streams_.emplace(it, stream_id, InStream{})->second;
 }
 
 void Connection::ArmAckTimer() {

@@ -26,9 +26,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,6 +45,7 @@
 #include "recovery/pto.h"
 #include "recovery/rtt_estimator.h"
 #include "recovery/sent_packets.h"
+#include "sim/arena.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "tls/messages.h"
@@ -157,8 +157,13 @@ class Connection {
  public:
   using SendFn = std::function<void(Datagram&&)>;
 
+  /// `arena` is the per-repetition bump arena the sent-packet ledger parks
+  /// retransmittable-frame spans in — normally the one owned by
+  /// core::RunContext, reset wholesale between repetitions. Standalone
+  /// constructions (tests, ad-hoc harnesses) may pass nullptr: the
+  /// connection then owns a private arena with the same lifetime as itself.
   Connection(sim::EventQueue& queue, Perspective perspective, ConnectionConfig config,
-             sim::Rng rng);
+             sim::Rng rng, sim::Arena* arena = nullptr);
   virtual ~Connection();
 
   Connection(const Connection&) = delete;
@@ -232,7 +237,16 @@ class Connection {
   ConnectionMetrics& mutable_metrics() { return metrics_; }
   AmplificationLimiter& amplification_mutable() { return amp_; }
   recovery::NewRenoCongestion& congestion() { return cc_; }
-  const std::map<std::uint64_t, InStream>& in_streams() const { return in_streams_; }
+  /// Inbound receive state for `stream_id`, or nullptr before its first
+  /// STREAM frame arrives.
+  const InStream* FindInStream(std::uint64_t stream_id) const;
+
+  /// Rewinds every member to its just-constructed state so the object can
+  /// run another repetition without reallocation: container capacities (and
+  /// pooled buffers) are retained, all protocol state re-derives from
+  /// (config, rng). Subclasses extend this with their own state and MUST
+  /// call the base version first.
+  void ResetForRun(const ConnectionConfig& config, sim::Rng rng);
 
   /// Builds a packet in `s`, assigning the next packet number.
   Packet BuildPacket(PacketNumberSpace s, std::vector<Frame> frames);
@@ -241,6 +255,11 @@ class Connection {
   /// Returns false if the amplification limit blocked the send (packet
   /// numbers are returned; the caller keeps its data).
   bool SendDatagramNow(std::vector<Packet> packets, std::size_t pad_to = 0);
+
+  /// Builds a packet in `s` around `frames` and transmits it as its own
+  /// datagram (pooled packet vector; same return contract as
+  /// SendDatagramNow).
+  bool SendPacketNow(PacketNumberSpace s, std::vector<Frame> frames, std::size_t pad_to = 0);
 
   /// Emits ACK-only datagrams for every space that currently requires an
   /// immediate ACK, honouring the coalesce/defer configuration.
@@ -266,6 +285,11 @@ class Connection {
   /// bytes, advancing the space's crypto send offset.
   std::vector<Frame> MakeCryptoFrames(PacketNumberSpace s, tls::MessageType message,
                                       std::size_t message_size, std::size_t max_chunk);
+
+  /// As MakeCryptoFrames, but queues the frames for Flush() directly —
+  /// no intermediate vector.
+  void QueueCryptoFrames(PacketNumberSpace s, tls::MessageType message,
+                         std::size_t message_size, std::size_t max_chunk);
 
   /// Remembers the crypto flight last sent in `s` for probe_with_data.
   void RememberCryptoFlight(PacketNumberSpace s, const std::vector<Frame>& frames);
@@ -325,12 +349,17 @@ class Connection {
   sim::Duration LossDelay() const;
   bool ShouldDropByQuirk(const Datagram& datagram);
   void ArmAckTimer();
+  InStream& InStreamFor(std::uint64_t stream_id);
 
   sim::EventQueue& queue_;
   Perspective perspective_;
   ConnectionConfig config_;
   sim::Rng rng_;
   SendFn send_;
+  /// Fallback for standalone constructions; unset when the harness supplied
+  /// a shared arena.
+  std::unique_ptr<sim::Arena> owned_arena_;
+  sim::Arena* arena_;
 
   std::array<SpaceState, kNumSpaces> spaces_;
   recovery::RttEstimator rtt_;
@@ -373,8 +402,9 @@ class Connection {
   std::uint64_t peer_max_data_;
   std::uint64_t stream_bytes_sent_ = 0;
 
-  // Inbound streams + flow control.
-  std::map<std::uint64_t, InStream> in_streams_;
+  // Inbound streams + flow control. Sorted by stream id; connections carry
+  // a handful of streams, so a flat vector beats the node-based map.
+  std::vector<std::pair<std::uint64_t, InStream>> in_streams_;
   std::uint64_t flow_bytes_since_update_ = 0;
   std::uint64_t flow_granted_ = 0;
 
@@ -391,9 +421,15 @@ class Connection {
   // Last crypto flight per space (probe_with_data).
   std::array<std::vector<Frame>, kNumSpaces> last_crypto_sent_;
 
-  // Quirk bookkeeping.
-  std::set<std::pair<PacketNumberSpace, std::uint64_t>> ping_only_pns_;
-  std::set<std::pair<PacketNumberSpace, std::uint64_t>> probed_pns_;
+  // Reused NEW_CONNECTION_ID processing scratch (same run-to-completion
+  // argument as ack_scratch_).
+  CidManager::ProcessResult cid_scratch_;
+
+  // Quirk bookkeeping. ping_only_pns_ is append-only and searched linearly
+  // (a handful of probe PINGs at most); probed_pns_ is kept sorted unique so
+  // the spurious-retransmit check stays a binary search.
+  std::vector<std::pair<PacketNumberSpace, std::uint64_t>> ping_only_pns_;
+  std::vector<std::pair<PacketNumberSpace, std::uint64_t>> probed_pns_;
   bool ping_drop_quirk_used_ = false;
 };
 

@@ -4,6 +4,12 @@
 
 namespace quicer::quic {
 
+void CryptoBuffer::Reset() {
+  expected_.clear();
+  received_.clear();
+  total_expected_ = 0;
+}
+
 void CryptoBuffer::ExpectMessage(tls::MessageType type, std::size_t size) {
   Expected e;
   e.type = type;

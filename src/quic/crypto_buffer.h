@@ -18,6 +18,10 @@ namespace quicer::quic {
 /// Crypto-stream reassembly buffer for one packet number space.
 class CryptoBuffer {
  public:
+  /// Rewinds to an empty buffer — no expected layout, nothing received —
+  /// for context reuse between repetitions; buffers keep their capacity.
+  void Reset();
+
   /// Appends an expected message to the layout. Messages occupy consecutive
   /// stream ranges in the order declared.
   void ExpectMessage(tls::MessageType type, std::size_t size);

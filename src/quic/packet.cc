@@ -2,7 +2,13 @@
 
 #include <cstdio>
 
+#include "quic/pool.h"
+
 namespace quicer::quic {
+
+Datagram::~Datagram() {
+  if (!packets.empty() || packets.capacity() > 0) ReleasePacketVec(std::move(packets));
+}
 
 std::size_t Packet::HeaderSize() const {
   switch (space) {

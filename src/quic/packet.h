@@ -68,6 +68,18 @@ struct Datagram {
   /// handing the datagram to the link (mirrors the paper's loss indices).
   std::uint64_t index = 0;
 
+  Datagram() = default;
+  Datagram(Datagram&&) = default;
+  Datagram& operator=(Datagram&&) = default;
+  Datagram(const Datagram&) = default;
+  Datagram& operator=(const Datagram&) = default;
+  /// Returns the packet/frame/ack-range storage to the thread-local pools.
+  /// Datagrams die in many places — after delivery, dropped by loss, or
+  /// still sitting in an event-queue closure when a run ends and the queue
+  /// is reset — and every one of those paths must preserve pool capacity or
+  /// warm RunContexts start re-allocating what the teardown destroyed.
+  ~Datagram();
+
   std::size_t WireSize() const;
   bool IsAckEliciting() const;
 

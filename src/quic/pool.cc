@@ -20,6 +20,7 @@ thread_local bool pools_destroyed = false;
 struct Pools {
   std::vector<std::vector<Frame>> frame_vecs;
   std::vector<std::vector<Packet>> packet_vecs;
+  std::vector<std::vector<PnRange>> pn_range_vecs;
   ~Pools() { pools_destroyed = true; }
 };
 
@@ -40,11 +41,36 @@ std::vector<Frame> AcquireFrameVec() {
 }
 
 void ReleaseFrameVec(std::vector<Frame>&& frames) {
-  if (pools_destroyed || frames.capacity() == 0) return;
+  if (pools_destroyed) return;
+  // Salvage ACK range buffers before the frames are destroyed — every ACK on
+  // the wire acquired one from the pool in AckManager::BuildAck.
+  for (Frame& frame : frames) {
+    if (auto* ack = std::get_if<AckFrame>(&frame)) {
+      ReleasePnRangeVec(std::move(ack->ranges));
+    }
+  }
+  if (frames.capacity() == 0) return;
   auto& pool = LocalPools().frame_vecs;
   if (pool.size() >= kMaxPooled) return;
   frames.clear();
   pool.push_back(std::move(frames));
+}
+
+std::vector<PnRange> AcquirePnRangeVec() {
+  if (pools_destroyed) return {};
+  auto& pool = LocalPools().pn_range_vecs;
+  if (pool.empty()) return {};
+  std::vector<PnRange> ranges = std::move(pool.back());
+  pool.pop_back();
+  return ranges;
+}
+
+void ReleasePnRangeVec(std::vector<PnRange>&& ranges) {
+  if (pools_destroyed || ranges.capacity() == 0) return;
+  auto& pool = LocalPools().pn_range_vecs;
+  if (pool.size() >= kMaxPooled) return;
+  ranges.clear();
+  pool.push_back(std::move(ranges));
 }
 
 std::vector<Packet> AcquirePacketVec() {

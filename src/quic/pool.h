@@ -14,6 +14,13 @@
 //    leaks between runs, only raw buffer capacity is recycled. Pooling is
 //    therefore invisible to simulation results (byte-identical exports).
 //  * Pools are bounded; releases beyond the cap simply free.
+//
+// The pools cover *transient* containers — frames and packets alive for one
+// datagram's build/deliver cycle. Storage that outlives the datagram (the
+// retransmittable frames parked in the sent-packet ledger) instead lives on
+// the connection's sim::Arena: those frames are bump-allocated once per send
+// and reclaimed wholesale when the run's arena resets, so they never churn
+// through these free lists at all.
 #pragma once
 
 #include <vector>
@@ -25,8 +32,16 @@ namespace quicer::quic {
 /// Returns an empty frame vector, reusing pooled capacity when available.
 std::vector<Frame> AcquireFrameVec();
 
-/// Recycles a frame vector's buffer (elements are destroyed).
+/// Recycles a frame vector's buffer. ACK frames' range buffers are salvaged
+/// into the PnRange pool first; all other element state is destroyed.
 void ReleaseFrameVec(std::vector<Frame>&& frames);
+
+/// Returns an empty ACK-range vector, reusing pooled capacity when
+/// available (AckManager::BuildAck uses this for every emitted ACK).
+std::vector<PnRange> AcquirePnRangeVec();
+
+/// Recycles an ACK-range vector's buffer.
+void ReleasePnRangeVec(std::vector<PnRange>&& ranges);
 
 /// Returns an empty packet vector, reusing pooled capacity when available.
 std::vector<Packet> AcquirePacketVec();

@@ -2,23 +2,45 @@
 
 #include <utility>
 
+#include "quic/pool.h"
+
 namespace quicer::quic {
 namespace {
 constexpr std::size_t kCryptoChunk = 1000;
 }
 
-ServerConnection::ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng)
-    : Connection(queue, Perspective::kServer, config.base, rng),
+ServerConnection::ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng,
+                                   sim::Arena* arena)
+    : Connection(queue, Perspective::kServer, config.base, rng, arena),
       server_config_(std::move(config)),
       cert_store_(queue, server_config_.cert_store, this->rng().Fork(0xce57)) {
+  ExpectClientMessages();
+}
+
+void ServerConnection::ExpectClientMessages() {
   space(PacketNumberSpace::kInitial)
-      .crypto_rx.ExpectMessage(tls::MessageType::kClientHello,
-                               this->config().tls.client_hello);
+      .crypto_rx.ExpectMessage(tls::MessageType::kClientHello, config().tls.client_hello);
   space(PacketNumberSpace::kHandshake)
-      .crypto_rx.ExpectMessage(tls::MessageType::kFinished, this->config().tls.finished);
+      .crypto_rx.ExpectMessage(tls::MessageType::kFinished, config().tls.finished);
   // Accepting 0-RTT means early-data packets coalesced with the ClientHello
   // are readable immediately (resumed-session keys).
   if (server_config_.accept_0rtt) InstallOneRttRecvKeys();
+}
+
+void ServerConnection::ResetForRun(ServerConfig config, sim::Rng rng) {
+  Connection::ResetForRun(config.base, rng);
+  server_config_ = std::move(config);
+  // Same fork label as the constructor: the reset store draws the fetch
+  // jitter a freshly built one would.
+  cert_store_.Reset(server_config_.cert_store, this->rng().Fork(0xce57));
+  ch_complete_time_ = -1;
+  realized_cert_delay_ = 0;
+  started_ = false;
+  iack_sent_ = false;
+  flight_built_ = false;
+  response_queued_ = false;
+  retry_sent_ = false;
+  ExpectClientMessages();
 }
 
 bool ServerConnection::SuppressImmediateAck(PacketNumberSpace s) const {
@@ -38,7 +60,9 @@ void ServerConnection::HandleCrypto(PacketNumberSpace s, const CryptoFrame& fram
       // committing any handshake state.
       if (!retry_sent_) {
         retry_sent_ = true;
-        SendDatagramNow({BuildPacket(PacketNumberSpace::kInitial, {RetryFrame{kRetryToken}})});
+        std::vector<Frame> frames = AcquireFrameVec();
+        frames.push_back(RetryFrame{kRetryToken});
+        SendPacketNow(PacketNumberSpace::kInitial, std::move(frames));
         trace().RecordNote(queue().now(), "server", "Retry sent");
       }
       return;
@@ -74,9 +98,10 @@ void ServerConnection::OnClientHelloComplete() {
       !cert_immediately_available) {
     iack_sent_ = true;
     if (auto ack = PopAck(PacketNumberSpace::kInitial)) {
-      Packet packet = BuildPacket(PacketNumberSpace::kInitial, {*ack});
-      SendDatagramNow({std::move(packet)},
-                      server_config_.pad_instant_ack ? kMinInitialDatagramSize : 0);
+      std::vector<Frame> frames = AcquireFrameVec();
+      frames.push_back(std::move(*ack));
+      SendPacketNow(PacketNumberSpace::kInitial, std::move(frames),
+                    server_config_.pad_instant_ack ? kMinInitialDatagramSize : 0);
       trace().RecordNote(queue().now(), "server", "instant ACK sent");
     }
   }
@@ -104,28 +129,17 @@ void ServerConnection::BuildServerFlight(std::size_t certificate_bytes) {
                                            config().tls.server_hello, kCryptoChunk);
   RememberCryptoFlight(PacketNumberSpace::kInitial, sh);
   for (Frame& frame : sh) QueueFrame(PacketNumberSpace::kInitial, std::move(frame));
+  ReleaseFrameVec(std::move(sh));
 
   // Handshake: EncryptedExtensions, Certificate, CertificateVerify, Finished.
-  for (Frame& frame : MakeCryptoFrames(PacketNumberSpace::kHandshake,
-                                       tls::MessageType::kEncryptedExtensions,
-                                       config().tls.encrypted_extensions, kCryptoChunk)) {
-    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
-  }
-  for (Frame& frame :
-       MakeCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kCertificate,
-                        certificate_bytes, kCryptoChunk)) {
-    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
-  }
-  for (Frame& frame : MakeCryptoFrames(PacketNumberSpace::kHandshake,
-                                       tls::MessageType::kCertificateVerify,
-                                       config().tls.certificate_verify, kCryptoChunk)) {
-    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
-  }
-  for (Frame& frame :
-       MakeCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kFinished,
-                        config().tls.finished, kCryptoChunk)) {
-    QueueFrame(PacketNumberSpace::kHandshake, std::move(frame));
-  }
+  QueueCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kEncryptedExtensions,
+                    config().tls.encrypted_extensions, kCryptoChunk);
+  QueueCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kCertificate,
+                    certificate_bytes, kCryptoChunk);
+  QueueCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kCertificateVerify,
+                    config().tls.certificate_verify, kCryptoChunk);
+  QueueCryptoFrames(PacketNumberSpace::kHandshake, tls::MessageType::kFinished,
+                    config().tls.finished, kCryptoChunk);
 
   // 1-RTT tail of the first flight (Fig 3): HTTP/3 control-stream SETTINGS
   // (this is the stream frame that gives HTTP/3 its earlier TTFB in Fig 5)
@@ -143,9 +157,9 @@ void ServerConnection::BuildServerFlight(std::size_t certificate_bytes) {
 
 void ServerConnection::HandleStream(const StreamFrame& frame) {
   if (frame.stream_id != http::kRequestStreamId || response_queued_) return;
-  const auto it = in_streams().find(http::kRequestStreamId);
-  if (it == in_streams().end()) return;
-  const InStream& in = it->second;
+  const InStream* in_ptr = FindInStream(http::kRequestStreamId);
+  if (in_ptr == nullptr) return;
+  const InStream& in = *in_ptr;
   if (!in.fin_seen || in.high_watermark < in.fin_offset) return;
 
   response_queued_ = true;

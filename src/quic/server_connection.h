@@ -50,7 +50,12 @@ struct ServerConfig {
 
 class ServerConnection : public Connection {
  public:
-  ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng);
+  ServerConnection(sim::EventQueue& queue, ServerConfig config, sim::Rng rng,
+                   sim::Arena* arena = nullptr);
+
+  /// Rewinds to freshly-constructed state for another repetition (see
+  /// Connection::ResetForRun).
+  void ResetForRun(ServerConfig config, sim::Rng rng);
 
   bool flight_built() const { return flight_built_; }
 
@@ -68,6 +73,7 @@ class ServerConnection : public Connection {
  private:
   void OnClientHelloComplete();
   void BuildServerFlight(std::size_t certificate_bytes);
+  void ExpectClientMessages();
 
   ServerConfig server_config_;
   tls::CertStore cert_store_;

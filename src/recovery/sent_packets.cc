@@ -7,16 +7,20 @@ namespace quicer::recovery {
 
 void SentPacketLedger::OnPacketSent(SentPacket packet) {
   if (packet.in_flight) bytes_in_flight_ += packet.bytes;
-  // Packet numbers are assigned monotonically, so the common case is a
-  // push_back; the sorted-insert fallback keeps the invariant regardless.
-  if (unacked_.empty() || unacked_.back().packet_number < packet.packet_number) {
-    unacked_.push_back(std::move(packet));
-    return;
+  // Packet numbers are assigned monotonically per space (Connection's
+  // next_pn++), so an append IS the insert.
+  unacked_.push_back(packet);
+  if (unacked_.size() > 1 &&
+      unacked_[unacked_.size() - 2].packet_number >= packet.packet_number) {
+    // Out-of-order repair path: no Connection code path reaches this (the
+    // counter proves it); it exists for direct ledger users that replay
+    // packets out of sequence. Rotate the late record into its sorted slot.
+    ++out_of_order_sends_;
+    const auto it = std::lower_bound(
+        unacked_.begin(), unacked_.end() - 1, packet.packet_number,
+        [](const SentPacket& entry, std::uint64_t pn) { return entry.packet_number < pn; });
+    std::rotate(it, unacked_.end() - 1, unacked_.end());
   }
-  const auto it = std::lower_bound(
-      unacked_.begin(), unacked_.end(), packet.packet_number,
-      [](const SentPacket& entry, std::uint64_t pn) { return entry.packet_number < pn; });
-  unacked_.insert(it, std::move(packet));
 }
 
 AckResult SentPacketLedger::OnAckReceived(const quic::AckFrame& ack, sim::Time now) {
@@ -162,6 +166,14 @@ void SentPacketLedger::Clear() {
   bytes_in_flight_ = 0;
   loss_time_ = sim::kNever;
   // largest_acked_ intentionally retained: packet numbers never reset.
+}
+
+void SentPacketLedger::Reset() {
+  unacked_.clear();
+  largest_acked_.reset();
+  bytes_in_flight_ = 0;
+  loss_time_ = sim::kNever;
+  out_of_order_sends_ = 0;
 }
 
 }  // namespace quicer::recovery

@@ -7,11 +7,13 @@
 // Fig 6), and implements packet-threshold + time-threshold loss detection.
 //
 // Storage is a vector kept sorted by packet number (packet numbers are
-// assigned monotonically, so insertion is a push_back in practice). All
-// iteration orders are ascending-pn, matching the previous std::map-based
-// implementation bit for bit. The Into-suffixed entry points fill
-// caller-owned scratch buffers so the per-ACK hot path reuses capacity
-// instead of allocating fresh result vectors.
+// assigned monotonically, so insertion IS a push_back; the one out-of-order
+// repair path rotates a late record into place and is counted, never
+// silent). All iteration orders are ascending-pn, matching the previous
+// std::map-based implementation bit for bit. The Into-suffixed entry points
+// fill caller-owned scratch buffers, and each record's retransmittable
+// frames live in the per-repetition arena (see sim/arena.h) as a non-owning
+// FrameSpan — the per-ACK hot path allocates nothing in steady state.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +26,23 @@
 
 namespace quicer::recovery {
 
-/// Metadata for one sent packet.
+/// Non-owning view of a packet's retransmittable frames, parked in the run
+/// arena by the sender. Only trivially-destructible frame alternatives
+/// (CRYPTO/STREAM/MAX_DATA/HANDSHAKE_DONE/NEW_CONNECTION_ID) are ever
+/// stored, so dropping a span — on ack, on loss, or at arena reset — needs
+/// no cleanup. Valid until the owning arena resets.
+struct FrameSpan {
+  quic::Frame* data = nullptr;
+  std::uint32_t count = 0;
+
+  quic::Frame* begin() const { return data; }
+  quic::Frame* end() const { return data + count; }
+  std::uint32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
+/// Metadata for one sent packet. Trivially copyable: the frame storage is an
+/// arena-backed span, not an owned container.
 struct SentPacket {
   std::uint64_t packet_number = 0;
   sim::Time sent_time = 0;
@@ -32,7 +50,7 @@ struct SentPacket {
   bool ack_eliciting = false;
   bool in_flight = false;
   /// Frames to replay if the packet is declared lost.
-  std::vector<quic::Frame> retransmittable;
+  FrameSpan retransmittable;
 };
 
 /// Outcome of processing one ACK frame.
@@ -94,10 +112,21 @@ class SentPacketLedger {
   /// bytes are released.
   void Clear();
 
+  /// Full rewind for context reuse between repetitions. Unlike Clear() —
+  /// which keeps largest_acked_ because packet numbers never reset within a
+  /// connection — Reset() forgets everything: the next run restarts packet
+  /// numbers at zero.
+  void Reset();
+
   std::size_t unacked_count() const { return unacked_.size(); }
 
   /// True if `pn` is still outstanding.
   bool IsOutstanding(std::uint64_t pn) const;
+
+  /// Times the out-of-order repair path in OnPacketSent ran. Always zero for
+  /// ledgers fed by a Connection (monotone next_pn); visible so misuse is
+  /// never silent.
+  std::uint64_t out_of_order_sends() const { return out_of_order_sends_; }
 
  private:
   /// Sorted ascending by packet_number.
@@ -105,6 +134,7 @@ class SentPacketLedger {
   std::optional<std::uint64_t> largest_acked_;
   std::size_t bytes_in_flight_ = 0;
   sim::Time loss_time_ = sim::kNever;
+  std::uint64_t out_of_order_sends_ = 0;
 };
 
 }  // namespace quicer::recovery

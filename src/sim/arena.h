@@ -1,0 +1,99 @@
+// Per-repetition bump arena.
+//
+// The send/ack/loss hot path parks small, trivially-destructible records —
+// a sent packet's retransmittable frames, per-ACK scratch — for the duration
+// of one simulated repetition. A bump allocator fits exactly: allocation is
+// a pointer increment, nothing is freed individually, and Reset() rewinds
+// the whole arena between repetitions while keeping every chunk, so steady
+// state after the first repetition allocates nothing.
+//
+// Rules:
+//  * Objects placed in the arena are never destroyed — only memory is
+//    reclaimed. Callers must only park objects whose destructor at reset
+//    time is a no-op (POD records, or variants currently holding a
+//    trivially-destructible alternative).
+//  * Reset() invalidates every pointer handed out since the previous
+//    Reset(). The owner (core::RunContext) resets endpoints first, so no
+//    ledger span survives into the next repetition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace quicer::sim {
+
+/// Chunked bump allocator; Reset() reuses chunk storage.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t min_chunk_bytes = kDefaultChunkBytes)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `alignment` (which must not
+  /// exceed alignof(std::max_align_t)). Never fails short of OOM.
+  void* Allocate(std::size_t bytes, std::size_t alignment) {
+    unsigned char* aligned = AlignUp(cursor_, alignment);
+    if (aligned + bytes <= limit_) {
+      cursor_ = aligned + bytes;
+      return aligned;
+    }
+    return AllocateSlow(bytes, alignment);
+  }
+
+  /// Typed convenience: uninitialized storage for `n` objects of T. The
+  /// caller placement-constructs; nothing is ever destroyed (see rules).
+  template <typename T>
+  T* AllocateUninitialized(std::size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "Arena chunks are max_align_t aligned");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the arena to empty, keeping all chunks for reuse. Every pointer
+  /// previously returned by Allocate is invalidated.
+  void Reset() {
+    chunk_index_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = chunks_.front().data.get();
+      limit_ = cursor_ + chunks_.front().size;
+    }
+  }
+
+  /// Total chunk capacity held (reserved, not live) — for tests/diagnostics.
+  std::size_t BytesReserved() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  static unsigned char* AlignUp(unsigned char* p, std::size_t alignment) {
+    const std::uintptr_t value = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t aligned = (value + alignment - 1) & ~(alignment - 1);
+    return p + (aligned - value);
+  }
+
+  /// Out-of-line growth: advance into the next retained chunk, or append a
+  /// fresh one big enough for the request.
+  void* AllocateSlow(std::size_t bytes, std::size_t alignment);
+
+  std::vector<Chunk> chunks_;
+  /// Index of the chunk cursor_/limit_ point into (chunks_.size() when none).
+  std::size_t chunk_index_ = 0;
+  unsigned char* cursor_ = nullptr;
+  unsigned char* limit_ = nullptr;
+  std::size_t min_chunk_bytes_;
+};
+
+}  // namespace quicer::sim

@@ -5,13 +5,24 @@
 
 namespace quicer::sim {
 
+EventQueue::EventQueue() {
+  // Seed every bucket with a little capacity up front (~24 KB total) so the
+  // clock sweeping into a bucket for the first time never allocates: steady
+  // state is allocation-free from the first wheel rotation, not the second.
+  for (std::vector<Entry>& bucket : buckets_) bucket.reserve(4);
+}
+
 EventQueue::Handle EventQueue::Schedule(Duration delay, Callback cb) {
   if (delay < 0) delay = 0;
-  return ScheduleAt(now_ + delay, std::move(cb));
+  return ScheduleImpl(now_ + delay, std::move(cb));
 }
 
 EventQueue::Handle EventQueue::ScheduleAt(Time at, Callback cb) {
   if (at < now_) at = now_;
+  return ScheduleImpl(at, std::move(cb));
+}
+
+EventQueue::Handle EventQueue::ScheduleImpl(Time at, Callback&& cb) {
   std::uint32_t index;
   if (free_head_ != kNilSlot) {
     index = free_head_;
@@ -25,8 +36,34 @@ EventQueue::Handle EventQueue::ScheduleAt(Time at, Callback cb) {
   slot.live = true;
   slot.next_free = kNilSlot;
   const std::uint64_t id = EncodeId(index, slot.generation);
-  heap_.push_back(HeapEntry{at, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+
+  const Entry entry{at, next_seq_++, id};
+  const std::int64_t abucket = BucketOf(at);
+  if (abucket <= cursor_) {
+    // At or before the bucket being drained: merge into the ready run at its
+    // (time, seq) position. Monotone seq means equal-time inserts append
+    // after their peers, preserving FIFO. Chains scheduled in ascending time
+    // order — the overwhelmingly common shape — append in O(1).
+    if (ready_pos_ == ready_.size()) {
+      ready_.clear();
+      ready_pos_ = 0;
+      ready_.push_back(entry);
+    } else if (!Earlier{}(entry, ready_.back())) {
+      ready_.push_back(entry);
+    } else {
+      const auto it = std::upper_bound(ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_),
+                                       ready_.end(), entry, Earlier{});
+      ready_.insert(it, entry);
+    }
+  } else if (abucket - cursor_ <= static_cast<std::int64_t>(kNumBuckets)) {
+    const std::uint32_t s = static_cast<std::uint32_t>(abucket) & kBucketMask;
+    buckets_[s].push_back(entry);
+    occupied_[s >> 6] |= 1ULL << (s & 63);
+  } else {
+    overflow_.push_back(entry);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+  ++stored_;
   ++live_count_;
   return Handle{id};
 }
@@ -43,38 +80,99 @@ void EventQueue::ReleaseSlot(std::uint32_t index) {
 void EventQueue::Cancel(Handle handle) {
   // Only a live (scheduled, not yet run) event has a slot to release;
   // cancelling an executed, cancelled or invalid handle finds a generation
-  // mismatch and is a true no-op. The heap entry stays behind and is skipped
-  // lazily when it reaches the top.
+  // mismatch and is a true no-op. The entry stays behind in whichever
+  // structure holds it and is skipped lazily when it surfaces.
   if (!handle.valid() || !IsLive(handle.id)) return;
   const std::uint32_t index = SlotIndex(handle.id);
-  slots_[index].cb = nullptr;  // destroy the capture now, not at pop time
+  slots_[index].cb = nullptr;  // destroy the capture now, not at drain time
   ReleaseSlot(index);
 }
 
-void EventQueue::DropStaleTop() {
-  while (!heap_.empty() && !IsLive(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+std::int64_t EventQueue::WheelCandidate() const {
+  // Occupied slots all map to absolute buckets in (cursor_, cursor_ + 256];
+  // the first set bit in cyclic order from (cursor_ + 1) is therefore the
+  // earliest one. Scan whole 64-bit words, splitting the start word into its
+  // high (i == 0) and wrapped low (i == kNumWords) halves.
+  const std::uint32_t start = static_cast<std::uint32_t>(cursor_ + 1) & kBucketMask;
+  for (std::uint32_t i = 0; i <= kNumWords; ++i) {
+    const std::uint32_t w = ((start >> 6) + i) % kNumWords;
+    std::uint64_t bits = occupied_[w];
+    if (i == 0) {
+      bits &= ~0ULL << (start & 63);
+    } else if (i == kNumWords) {
+      const std::uint32_t r = start & 63;
+      bits &= r ? (1ULL << r) - 1 : 0ULL;
+    }
+    if (bits != 0) {
+      const std::uint32_t s = (w << 6) | static_cast<std::uint32_t>(__builtin_ctzll(bits));
+      const std::uint32_t dist = (s - start) & kBucketMask;
+      return cursor_ + 1 + static_cast<std::int64_t>(dist);
+    }
+  }
+  return -1;
+}
+
+bool EventQueue::PrepareReady() {
+  if (ready_pos_ < ready_.size()) return true;
+  ready_.clear();
+  ready_pos_ = 0;
+  while (stored_ > 0) {
+    // Jump the cursor straight to the earliest populated bucket, whether it
+    // lives on the wheel or (still) in the overflow heap.
+    std::int64_t cand = WheelCandidate();
+    if (!overflow_.empty()) {
+      const std::int64_t ocand = BucketOf(overflow_.front().at);
+      if (cand < 0 || ocand < cand) cand = ocand;
+    }
+    if (cand < 0) return false;  // unreachable while stored_ > 0
+    cursor_ = cand;
+
+    const Time bucket_end = BucketEnd(cursor_);
+    while (!overflow_.empty() && overflow_.front().at < bucket_end) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      ready_.push_back(overflow_.back());
+      overflow_.pop_back();
+    }
+    const std::uint32_t s = static_cast<std::uint32_t>(cursor_) & kBucketMask;
+    if (occupied_[s >> 6] & (1ULL << (s & 63))) {
+      std::vector<Entry>& bucket = buckets_[s];
+      ready_.insert(ready_.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+      occupied_[s >> 6] &= ~(1ULL << (s & 63));
+    }
+    if (!ready_.empty()) {
+      if (ready_.size() > 1) std::sort(ready_.begin(), ready_.end(), Earlier{});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventQueue::AdvanceToLiveFront() {
+  for (;;) {
+    if (!PrepareReady()) return false;
+    while (ready_pos_ < ready_.size()) {
+      if (IsLive(ready_[ready_pos_].id)) return true;
+      ++ready_pos_;  // cancelled: skip the stale entry
+      --stored_;
+    }
   }
 }
 
 bool EventQueue::RunOne() {
-  DropStaleTop();
-  if (heap_.empty()) return false;
-  const HeapEntry top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
+  if (!AdvanceToLiveFront()) return false;
+  const Entry top = ready_[ready_pos_++];
+  --stored_;
 
   const std::uint32_t index = SlotIndex(top.id);
-  // Release the slot before invoking: the callback may Schedule, which can
-  // grow slots_ and would invalidate any reference into it.
-  Callback cb = std::move(slots_[index].cb);
-  slots_[index].cb = nullptr;
+  // Release the slot before invoking: the callback may Schedule, and must be
+  // free to reuse this slot or grow slots_. ConsumeInvoke relocates the
+  // callable to its own stack before running it, which makes that safe.
   ReleaseSlot(index);
 
   now_ = top.at;
   ++executed_;
-  cb();
+  slots_[index].cb.ConsumeInvoke();
   return true;
 }
 
@@ -84,16 +182,27 @@ void EventQueue::RunUntilIdle() {
 }
 
 void EventQueue::RunUntil(Time deadline) {
-  for (;;) {
-    DropStaleTop();
-    if (heap_.empty() || heap_.front().at > deadline) break;
+  while (AdvanceToLiveFront() && ready_[ready_pos_].at <= deadline) {
     RunOne();
   }
   if (now_ < deadline) now_ = deadline;
 }
 
 void EventQueue::Reset() {
-  heap_.clear();
+  ready_.clear();
+  ready_pos_ = 0;
+  overflow_.clear();
+  for (std::uint32_t w = 0; w < kNumWords; ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits != 0) {
+      const std::uint32_t s = (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(bits));
+      buckets_[s].clear();
+      bits &= bits - 1;
+    }
+    occupied_[w] = 0;
+  }
+  cursor_ = 0;
+  stored_ = 0;
   free_head_ = kNilSlot;
   for (std::uint32_t index = static_cast<std::uint32_t>(slots_.size()); index-- > 0;) {
     Slot& slot = slots_[index];

@@ -5,14 +5,35 @@
 // same time run in insertion order, which keeps runs fully deterministic.
 //
 // The queue is slot-based: each pending event lives in a reusable slot whose
-// handle carries a generation tag, and the time-ordered heap stores only
+// handle carries a generation tag, and the time-ordered structures store only
 // (time, seq, handle) triples. Cancellation just releases the slot — the
-// heap entry is skipped lazily on pop when its generation no longer matches.
-// Combined with the small-buffer callables this makes Schedule/Cancel
-// allocation-free in steady state: slots and heap storage are reused across
-// events, and Reset() lets a whole run context be replayed without freeing.
+// pending entry is skipped lazily when it surfaces. Combined with the
+// small-buffer callables this makes Schedule/Cancel allocation-free in steady
+// state: slots and entry storage are reused across events, and Reset() lets a
+// whole run context be replayed without freeing.
+//
+// Storage is a hierarchical timing wheel instead of a single binary heap:
+//
+//  * a short-horizon wheel of kNumBuckets buckets, each kBucketWidth wide
+//    (256 x 512 us = ~134 ms of horizon), holds the hot-path events — link
+//    deliveries, processing delays, ack timers. Scheduling into the wheel is
+//    O(1): a push into the bucket addressed by `at / width mod buckets`.
+//  * a small binary min-heap ("overflow") holds deadlines beyond the wheel
+//    horizon — PTO backoffs, 30 s idle timers — which are few and usually
+//    cancelled, so the log-n cost never sits on the per-event path.
+//  * buckets drain into a sorted `ready` run: when the cursor reaches a
+//    bucket, its entries (plus matured overflow entries) are sorted by
+//    (time, seq) once and then consumed front to back. Sorting at drain time
+//    preserves the exact FIFO-within-same-time contract of the old heap —
+//    the global execution order is the total order on (time, seq) either
+//    way, so exports stay byte-identical.
+//
+// Events scheduled at or before the bucket being drained (immediate
+// callbacks, zero-delay chains) merge into the ready run at their sorted
+// position; everything later lands in a wheel bucket or the overflow heap.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -21,9 +42,11 @@
 
 namespace quicer::sim {
 
-/// Min-heap driven event loop with cancellable events.
+/// Timing-wheel driven event loop with cancellable events.
 class EventQueue {
  public:
+  EventQueue();
+
   /// Inline capture budget: sized for the largest hot-path capture (the
   /// link's delivery wrapper embedding a moved datagram) so scheduling it
   /// never allocates.
@@ -58,13 +81,13 @@ class EventQueue {
   void RunUntilIdle();
 
   /// Runs all events with time <= deadline; afterwards now() == deadline
-  /// (unless the queue emptied earlier, in which case now() is the later of
-  /// the last event time and the previous now()).
+  /// (unless the deadline precedes the current time).
   void RunUntil(Time deadline);
 
   /// Drops every pending event and rewinds the clock to zero while keeping
-  /// slot and heap capacity, so a reused queue schedules without allocating.
-  /// All outstanding handles are invalidated (their generations advance).
+  /// slot, bucket and heap capacity, so a reused queue schedules without
+  /// allocating. All outstanding handles are invalidated (their generations
+  /// advance).
   void Reset();
 
   /// Number of pending (non-cancelled) events.
@@ -76,22 +99,39 @@ class EventQueue {
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 
+  // Wheel geometry: 256 buckets of 2^9 us = 512 us, ~134 ms of horizon.
+  static constexpr int kBucketShift = 9;
+  static constexpr std::uint32_t kNumBuckets = 256;
+  static constexpr std::uint32_t kBucketMask = kNumBuckets - 1;
+  static constexpr std::uint32_t kNumWords = kNumBuckets / 64;
+
   struct Slot {
-    Callback cb;
+    // Metadata first: the liveness check that guards every drained entry
+    // touches only the leading bytes, keeping the 88-byte callback out of
+    // that cache line until the event actually runs.
     std::uint32_t generation = 1;  // generations start at 1: gen-0 handles never match
     std::uint32_t next_free = kNilSlot;
     bool live = false;
+    Callback cb;
   };
 
-  struct HeapEntry {
+  struct Entry {
     Time at = 0;
     std::uint64_t seq = 0;  // tie-breaker: FIFO among equal times
     std::uint64_t id = 0;
   };
+  /// Min-heap order for the overflow heap (std::push_heap is a max-heap).
   struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
+    }
+  };
+  /// Ascending (time, seq) order for the ready run.
+  struct Earlier {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
     }
   };
 
@@ -106,6 +146,14 @@ class EventQueue {
            (static_cast<std::uint64_t>(slot_index) + 1);
   }
 
+  /// Absolute bucket index of a deadline.
+  static std::int64_t BucketOf(Time at) { return at >> kBucketShift; }
+  /// Exclusive end time of an absolute bucket (saturating near kNever).
+  static Time BucketEnd(std::int64_t abucket) {
+    if (abucket >= (kNever >> kBucketShift)) return kNever;
+    return (abucket + 1) << kBucketShift;
+  }
+
   /// True when `id` addresses a slot whose event is still pending.
   bool IsLive(std::uint64_t id) const {
     const std::uint32_t index = SlotIndex(id);
@@ -115,10 +163,39 @@ class EventQueue {
   /// Returns the slot to the free list and invalidates outstanding handles.
   void ReleaseSlot(std::uint32_t index);
 
-  /// Pops stale heap entries until the top references a live event.
-  void DropStaleTop();
+  /// Shared implementation: places an already-clamped deadline. Takes the
+  /// callback by rvalue reference so Schedule's forwarding hop costs no
+  /// extra relocate.
+  Handle ScheduleImpl(Time at, Callback&& cb);
 
-  std::vector<HeapEntry> heap_;  // manual binary heap (std::push_heap/pop_heap)
+  /// Smallest absolute bucket index > cursor_ with a non-empty wheel slot,
+  /// or -1 when the wheel is empty.
+  std::int64_t WheelCandidate() const;
+
+  /// Refills the ready run from the wheel/overflow when it is consumed.
+  /// Returns false when no entries remain anywhere.
+  bool PrepareReady();
+
+  /// Positions ready_pos_ on the next live (non-cancelled) entry, refilling
+  /// the ready run as needed. Returns false when the queue is empty.
+  bool AdvanceToLiveFront();
+
+  /// Sorted (time, seq) run currently being consumed; entries at or before
+  /// bucket `cursor_`. ready_pos_ is the consumption cursor.
+  std::vector<Entry> ready_;
+  std::size_t ready_pos_ = 0;
+  /// Wheel buckets: entries with absolute bucket in (cursor_, cursor_ + 256].
+  std::array<std::vector<Entry>, kNumBuckets> buckets_;
+  /// One occupancy bit per bucket, for O(1) skip over empty buckets.
+  std::array<std::uint64_t, kNumWords> occupied_{};
+  /// Binary min-heap of entries beyond the wheel horizon.
+  std::vector<Entry> overflow_;
+  /// Absolute index of the bucket the ready run was drained from.
+  std::int64_t cursor_ = 0;
+  /// Entries resident anywhere (ready run unconsumed + buckets + overflow),
+  /// including cancelled ones not yet skipped.
+  std::size_t stored_ = 0;
+
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::size_t live_count_ = 0;
@@ -147,6 +224,14 @@ class Timer {
 
   /// Disarms the timer if armed.
   void Cancel();
+
+  /// Forgets the timer's state without touching the queue — for reuse after
+  /// EventQueue::Reset() already invalidated every handle.
+  void ResetForReuse() {
+    handle_ = {};
+    deadline_ = kNever;
+    scheduled_at_ = kNever;
+  }
 
   /// Absolute expiry time, or kNever when disarmed.
   Time deadline() const { return deadline_; }

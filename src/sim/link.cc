@@ -7,13 +7,30 @@ namespace quicer::sim {
 
 Link::Link(EventQueue& queue, Config config, Rng rng)
     : queue_(queue), config_(config), rng_(rng) {
+  ApplyModel();
+}
+
+void Link::ApplyModel() {
   for (int dir : {netem::kUp, netem::kDown}) {
     const netem::PathOverride& path = config_.model.path[dir];
     bandwidth_bps_[dir] = path.bandwidth_bps.value_or(config_.bandwidth_bps);
     one_way_delay_[dir] = path.one_way_delay.value_or(config_.one_way_delay);
     jitter_[dir] = path.jitter.value_or(config_.jitter);
     loss_process_[dir] = netem::LossProcess(config_.model.loss[dir]);
-    bottleneck_[dir] = netem::BottleneckQueue(config_.model.queue[dir]);
+    // Reset (not reassignment) so the deque keeps its allocated blocks.
+    bottleneck_[dir].Reset(config_.model.queue[dir]);
+  }
+}
+
+void Link::ResetForRun(const Config& config, Rng rng) {
+  config_ = config;
+  rng_ = rng;
+  loss_ = LossPattern();
+  ApplyModel();
+  for (int dir : {netem::kUp, netem::kDown}) {
+    tx_free_[dir] = 0;
+    next_index_[dir] = 1;
+    stats_[dir] = DirectionStats{};
   }
 }
 

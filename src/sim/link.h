@@ -69,6 +69,11 @@ class Link {
 
   Link(EventQueue& queue, Config config, Rng rng);
 
+  /// Rewinds the path to freshly-constructed state for context reuse between
+  /// repetitions: new config and rng, datagram indices restarted, stats and
+  /// queues emptied, loss pattern cleared (re-install via set_loss_pattern).
+  void ResetForRun(const Config& config, Rng rng);
+
   /// Installs the loss pattern applied to subsequent sends.
   void set_loss_pattern(LossPattern pattern) { loss_ = std::move(pattern); }
 
@@ -94,6 +99,11 @@ class Link {
   }
 
  private:
+  /// Resolves the per-direction path parameters from config_ (symmetric
+  /// values with the model's overrides applied). Shared by the constructor
+  /// and ResetForRun.
+  void ApplyModel();
+
   EventQueue& queue_;
   Config config_;
   Rng rng_;

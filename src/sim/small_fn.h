@@ -62,11 +62,24 @@ class SmallFn {
 
   void operator()() { ops_->invoke(&storage_); }
 
+  /// Invokes the callable exactly once and destroys it, leaving `*this`
+  /// empty. The callable is relocated to the callee's stack *before* it
+  /// runs, so the invocation may safely overwrite, reuse or free the storage
+  /// that held this SmallFn (e.g. an event-loop slot released back to its
+  /// pool before dispatch). One indirect call instead of the three a
+  /// move-out / invoke / destroy sequence costs.
+  void ConsumeInvoke() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume_invoke(&storage_);
+  }
+
  private:
   struct Ops {
     void (*invoke)(void* storage);
     void (*relocate)(void* from, void* to);  // move-construct into `to`, destroy `from`
     void (*destroy)(void* storage);
+    void (*consume_invoke)(void* storage);  // relocate to callee stack, destroy, invoke
   };
 
   template <typename F>
@@ -78,7 +91,13 @@ class SmallFn {
       source->~F();
     }
     static void Destroy(void* storage) { static_cast<F*>(storage)->~F(); }
-    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+    static void ConsumeInvoke(void* storage) {
+      F* source = static_cast<F*>(storage);
+      F local(std::move(*source));
+      source->~F();
+      local();
+    }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, &ConsumeInvoke};
   };
 
   template <typename F>
@@ -88,7 +107,12 @@ class SmallFn {
       *static_cast<F**>(to) = *static_cast<F**>(from);
     }
     static void Destroy(void* storage) { delete *static_cast<F**>(storage); }
-    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+    static void ConsumeInvoke(void* storage) {
+      F* heap = *static_cast<F**>(storage);
+      (*heap)();
+      delete heap;
+    }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, &ConsumeInvoke};
   };
 
   template <typename F>

@@ -8,6 +8,12 @@ namespace quicer::tls {
 CertStore::CertStore(sim::EventQueue& queue, Config config, sim::Rng rng)
     : queue_(queue), config_(config), rng_(rng) {}
 
+void CertStore::Reset(Config config, sim::Rng rng) {
+  config_ = config;
+  rng_ = rng;
+  fetch_count_ = 0;
+}
+
 void CertStore::Fetch(std::function<void(const Result&)> done) {
   ++fetch_count_;
   sim::Duration delay = 0;

@@ -41,6 +41,10 @@ class CertStore {
 
   CertStore(sim::EventQueue& queue, Config config, sim::Rng rng);
 
+  /// Rewinds to freshly-constructed state for context reuse between
+  /// repetitions (new config, re-forked rng, fetch counter cleared).
+  void Reset(Config config, sim::Rng rng);
+
   /// Requests the certificate; `done` runs when it is available.
   void Fetch(std::function<void(const Result&)> done);
 

@@ -129,7 +129,9 @@ TEST(SentPacketLedger, LastAckElicitingSentTime) {
 TEST(SentPacketLedger, OutstandingRetransmittableCollectsFrames) {
   SentPacketLedger ledger;
   SentPacket packet = MakePacket(0, 0);
-  packet.retransmittable.push_back(quic::CryptoFrame{0, 100, tls::MessageType::kClientHello});
+  // Backing storage stands in for the run arena; the ledger only sees spans.
+  quic::Frame backing[] = {quic::CryptoFrame{0, 100, tls::MessageType::kClientHello}};
+  packet.retransmittable = FrameSpan{backing, 1};
   ledger.OnPacketSent(std::move(packet));
   const auto frames = ledger.OutstandingRetransmittable();
   ASSERT_EQ(frames.size(), 1u);
@@ -149,9 +151,12 @@ TEST(SentPacketLedger, ClearReleasesEverything) {
 TEST(SentPacketLedger, OutstandingPnsAscending) {
   SentPacketLedger ledger;
   ledger.OnPacketSent(MakePacket(2, 0));
+  EXPECT_EQ(ledger.out_of_order_sends(), 0u);
   ledger.OnPacketSent(MakePacket(0, 0));
   ledger.OnPacketSent(MakePacket(1, 0));
   EXPECT_EQ(ledger.OutstandingPns(), (std::vector<std::uint64_t>{0, 1, 2}));
+  // Both late arrivals took the (counted) repair path.
+  EXPECT_EQ(ledger.out_of_order_sends(), 2u);
 }
 
 TEST(SentPacketLedger, AckRangesCoverOnlyContainedPns) {
