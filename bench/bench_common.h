@@ -116,6 +116,7 @@ inline core::SweepSpec& TuneObserver(core::SweepSpec& spec, const BenchContext& 
   spec.shard = ctx.shard;
   spec.only_sweep = ctx.sweep_filter;
   spec.enumerate_sink = ctx.enumerate;
+  spec.qlog_dir = ctx.qlog_dir;
   if (ctx.budget_seconds > 0.0 && spec.time_budget_seconds == 0.0) {
     spec.time_budget_seconds = ctx.RemainingBudgetSeconds();
   }

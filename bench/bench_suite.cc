@@ -29,10 +29,13 @@
 //   bench_suite run --grid=FILE [--data-dir=DIR] [--shard=I/N] [--rep-range=A:B]
 //   bench_suite schema                 # scenario base-field table (markdown)
 //
+//   bench_suite --telemetry=FILE      # runtime counters -> per-sweep report
+//   bench_suite --qlog-dir=DIR        # per-run qlog trace pairs
+//
 //   bench_suite queue-init --queue=Q [--filter=S]... [--grid=FILE] [--scale=N] [--unit-runs=N]
-//   bench_suite worker --queue=Q [--worker-id=W] [--lease-seconds=N] [--retries=N]
-//   bench_suite queue-status --queue=Q
-//   bench_suite collect --queue=Q [--out-dir=DIR]
+//   bench_suite worker --queue=Q [--worker-id=W] [--lease-seconds=N] [--retries=N] [--telemetry]
+//   bench_suite queue-status --queue=Q [--json]
+//   bench_suite collect --queue=Q [--out-dir=DIR] [--telemetry=FILE]
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -57,6 +60,7 @@
 #include "dist/collect.h"
 #include "dist/work_queue.h"
 #include "dist/worker.h"
+#include "obs/telemetry.h"
 #include "registry.h"
 
 namespace {
@@ -69,23 +73,70 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// Writes telemetry records as the --telemetry report file.
+bool WriteTelemetryReport(const std::vector<quicer::obs::SweepRecord>& records,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << quicer::obs::TelemetryReportJson(records);
+  if (!out) {
+    std::fprintf(stderr, "cannot write the telemetry report to '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "telemetry report (%zu sweeps) -> %s\n", records.size(),
+               path.c_str());
+  return true;
+}
+
+/// Telemetry records of merged partial results (merge / collect paths):
+/// the bench label is unknown to a merge process, so it stays empty unless
+/// the caller fills it from a manifest.
+std::vector<quicer::obs::SweepRecord> RecordsOfMerged(
+    const std::vector<quicer::core::SweepResult>& merged) {
+  std::vector<quicer::obs::SweepRecord> records;
+  for (const quicer::core::SweepResult& result : merged) {
+    if (!result.telemetry.enabled) continue;
+    quicer::obs::SweepRecord record;
+    record.sweep = result.name;
+    record.wall_seconds = result.telemetry.wall_seconds;
+    record.executed_runs = result.executed_runs;
+    record.counters = result.telemetry.counters;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+/// Creates --qlog-dir (so per-run traces have somewhere to land) or fails
+/// loudly; an unwritable directory would silently drop every trace.
+bool PrepareQlogDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create qlog dir '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
 int Usage(const char* argv0) {
   std::printf(
       "usage: %s [--list] [--filter=SUBSTR] [--threads=N] [--data-dir=DIR]\n"
       "          [--scale=N] [--progress] [--budget-seconds=N]\n"
       "          [--shard=I/N | --points=ID,ID,...] [--rep-range=A:B]\n"
-      "       %s merge [--out-dir=DIR] PARTIAL.json...\n"
+      "          [--telemetry=FILE] [--qlog-dir=DIR]\n"
+      "       %s merge [--out-dir=DIR] [--telemetry=FILE] PARTIAL.json...\n"
       "       %s export-grid [BENCH...] [--scale=N] [--out=FILE] [--check]\n"
       "       %s run --grid=FILE [--data-dir=DIR] [--threads=N] [--progress]\n"
       "              [--budget-seconds=N] [--shard=I/N | --points=IDS] [--rep-range=A:B]\n"
+      "              [--telemetry=FILE] [--qlog-dir=DIR]\n"
       "       %s schema\n"
       "       %s queue-init --queue=DIR [--filter=SUBSTR]... [--grid=FILE] [--scale=N]\n"
       "                 [--unit-runs=N]\n"
       "       %s worker --queue=DIR [--threads=N] [--worker-id=ID] [--progress]\n"
       "                 [--lease-seconds=N] [--poll-seconds=N] [--max-units=N]\n"
-      "                 [--retries=N] [--no-wait]\n"
-      "       %s queue-status --queue=DIR\n"
-      "       %s collect --queue=DIR [--out-dir=DIR]\n"
+      "                 [--retries=N] [--no-wait] [--telemetry]\n"
+      "       %s queue-status --queue=DIR [--json]\n"
+      "       %s collect --queue=DIR [--out-dir=DIR] [--telemetry=FILE]\n"
       "  --list        list registered benches and exit\n"
       "  --filter=S    run only benches whose name contains S\n"
       "  --threads=N   size of the shared thread pool (default: hardware)\n"
@@ -106,6 +157,13 @@ int Usage(const char* argv0) {
       "  --rep-range=A:B  execute only repetitions [A, B) of the selected\n"
       "                points (B omitted or 0 = to the end); windows of one\n"
       "                point merge back bit-identically\n"
+      "  --telemetry=F  enable runtime counters (event queue, pools, netem\n"
+      "                drops, recovery, phase timers) and write the per-sweep\n"
+      "                telemetry report to F; counting never perturbs the\n"
+      "                simulated runs, so exports stay byte-identical\n"
+      "  --qlog-dir=D  write every run's qlog trace pair (client + server,\n"
+      "                with recovery/drop/connectivity events) into D as\n"
+      "                <sweep>_p<point>_r<rep>_{client,server}.qlog\n"
       "  merge         parse partial-result JSONs, merge per sweep name and\n"
       "                write final CSV/JSON exports (byte-identical to a\n"
       "                single-process run) into --out-dir (default \".\")\n"
@@ -135,22 +193,28 @@ int Usage(const char* argv0) {
       "                failed units re-queue up to --retries times\n"
       "                (default 1) before parking in failed/\n"
       "  queue-status  todo/active/done/failed unit counts, per-worker\n"
-      "                heartbeat ages and the failed-unit list\n"
+      "                heartbeat ages and the failed-unit list; --json emits\n"
+      "                a machine-readable document with per-worker throughput\n"
+      "                and the measured wall time of every done unit\n"
       "  collect       verify coverage (every point x repetition window\n"
       "                exactly once, spec hashes in agreement) and merge\n"
       "                every sweep's unit results into final exports under\n"
-      "                --out-dir (default \".\")\n",
+      "                --out-dir (default \".\"); --telemetry=FILE folds the\n"
+      "                workers' telemetry blocks into one report\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
 int RunMerge(int argc, char** argv) {
   std::string out_dir = ".";
+  std::string telemetry_path;
   std::vector<std::string> files;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown merge option '%s'\n", arg.c_str());
       return 2;
@@ -169,7 +233,16 @@ int RunMerge(int argc, char** argv) {
                  ec.message().c_str());
     return 2;
   }
-  return quicer::core::MergeSweepPartialFiles(files, out_dir, stderr) ? 0 : 1;
+  std::vector<quicer::core::SweepResult> merged;
+  if (!quicer::core::MergeSweepPartialFiles(files, out_dir, stderr,
+                                            telemetry_path.empty() ? nullptr : &merged)) {
+    return 1;
+  }
+  if (!telemetry_path.empty() &&
+      !WriteTelemetryReport(RecordsOfMerged(merged), telemetry_path)) {
+    return 1;
+  }
+  return 0;
 }
 
 bool ParseShard(const std::string& value, quicer::core::SweepShard& shard) {
@@ -459,11 +532,17 @@ int RunExportGrid(int argc, char** argv) {
 
 int RunGrid(int argc, char** argv) {
   std::string grid_path;
+  std::string telemetry_path;
   BenchContext context;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--grid=", 0) == 0) {
       grid_path = arg.substr(std::strlen("--grid="));
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
+    } else if (arg.rfind("--qlog-dir=", 0) == 0) {
+      context.qlog_dir = arg.substr(std::strlen("--qlog-dir="));
+      if (!PrepareQlogDir(context.qlog_dir)) return 2;
     } else if (arg.rfind("--threads=", 0) == 0) {
       setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
     } else if (arg.rfind("--data-dir=", 0) == 0) {
@@ -545,16 +624,23 @@ int RunGrid(int argc, char** argv) {
   };
   std::vector<Timing> timings;
   context.suite_start = std::chrono::steady_clock::now();
+  if (!telemetry_path.empty()) quicer::obs::EnableProcess();
   int failures = 0;
   for (const GridScenario& entry : plan->entries) {
     BenchContext scenario_context = context;
     scenario_context.sweep_filter = entry.scenario.sweep;
     scenario_context.rewrite =
         GridRewrite(std::make_shared<quicer::core::Scenario>(entry.scenario));
+    quicer::obs::SetCurrentBench(entry.scenario.bench);
     const auto start = std::chrono::steady_clock::now();
     const int code = quicer::bench::RunByName(entry.scenario.bench, scenario_context);
     timings.push_back({entry.scenario.sweep, SecondsSince(start), code});
     if (code != 0) ++failures;
+  }
+  quicer::obs::SetCurrentBench("");
+  if (!telemetry_path.empty() &&
+      !WriteTelemetryReport(quicer::obs::TakeSweepRecords(), telemetry_path)) {
+    return 1;
   }
 
   std::printf("\n%-24s %10s  %s\n", "sweep", "wall [s]", "status");
@@ -775,6 +861,10 @@ int RunWorkerCommand(int argc, char** argv) {
       options.wait_for_stragglers = false;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--telemetry") {
+      // Published partials then carry per-sweep telemetry blocks, which
+      // collect --telemetry=FILE folds into the fleet-wide report.
+      quicer::obs::EnableProcess();
     } else {
       std::fprintf(stderr, "unknown worker option '%s'\n", arg.c_str());
       return 2;
@@ -864,10 +954,13 @@ int RunWorkerCommand(int argc, char** argv) {
 
 int RunQueueStatus(int argc, char** argv) {
   std::string queue_dir;
+  bool json = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--queue=", 0) == 0) {
       queue_dir = arg.substr(std::strlen("--queue="));
+    } else if (arg == "--json") {
+      json = true;
     } else {
       std::fprintf(stderr, "unknown queue-status option '%s'\n", arg.c_str());
       return 2;
@@ -883,6 +976,10 @@ int RunQueueStatus(int argc, char** argv) {
   if (!queue) {
     std::fprintf(stderr, "queue-status: %s\n", error.c_str());
     return 1;
+  }
+  if (json) {
+    std::fputs(quicer::dist::QueueStatusJson(*queue).c_str(), stdout);
+    return 0;
   }
   const quicer::dist::WorkQueue::Status status = queue->GetStatus();
   std::printf("queue '%s': %zu units planned (%zu sweeps, scale %d%s)\n", queue_dir.c_str(),
@@ -921,12 +1018,15 @@ int RunQueueStatus(int argc, char** argv) {
 int RunCollect(int argc, char** argv) {
   std::string queue_dir;
   std::string out_dir = ".";
+  std::string telemetry_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--queue=", 0) == 0) {
       queue_dir = arg.substr(std::strlen("--queue="));
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
     } else {
       std::fprintf(stderr, "unknown collect option '%s'\n", arg.c_str());
       return 2;
@@ -944,7 +1044,7 @@ int RunCollect(int argc, char** argv) {
     return 1;
   }
   quicer::dist::CollectReport report;
-  const bool ok = quicer::dist::Collect(*queue, out_dir, &report, stderr);
+  const bool ok = quicer::dist::Collect(*queue, out_dir, &report, stderr, telemetry_path);
   std::printf("collect '%s': %zu/%zu units with results — %s\n", queue_dir.c_str(),
               report.units_with_results, report.units_total,
               ok ? ("exports written to '" + out_dir + "'").c_str() : "INCOMPLETE");
@@ -993,6 +1093,7 @@ int main(int argc, char** argv) {
 
   bool list = false;
   std::string filter;
+  std::string telemetry_path;
   BenchContext context;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1000,6 +1101,11 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg.rfind("--filter=", 0) == 0) {
       filter = arg.substr(std::strlen("--filter="));
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(std::strlen("--telemetry="));
+    } else if (arg.rfind("--qlog-dir=", 0) == 0) {
+      context.qlog_dir = arg.substr(std::strlen("--qlog-dir="));
+      if (!PrepareQlogDir(context.qlog_dir)) return 2;
     } else if (arg.rfind("--threads=", 0) == 0) {
       // Must be set before the first ThreadPool::Global() use.
       setenv("QUICER_THREADS", arg.c_str() + std::strlen("--threads="), 1);
@@ -1075,12 +1181,19 @@ int main(int argc, char** argv) {
   };
   std::vector<Timing> timings;
   context.suite_start = std::chrono::steady_clock::now();
+  if (!telemetry_path.empty()) quicer::obs::EnableProcess();
   int failures = 0;
   for (const BenchInfo& bench : selected) {
+    quicer::obs::SetCurrentBench(bench.name);
     const auto start = std::chrono::steady_clock::now();
     const int code = bench.run(context);
     timings.push_back({bench.name, SecondsSince(start), code});
     if (code != 0) ++failures;
+  }
+  quicer::obs::SetCurrentBench("");
+  if (!telemetry_path.empty() &&
+      !WriteTelemetryReport(quicer::obs::TakeSweepRecords(), telemetry_path)) {
+    return 1;
   }
 
   std::printf("\n%-24s %10s  %s\n", "bench", "wall [s]", "status");

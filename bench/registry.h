@@ -61,6 +61,10 @@ struct BenchContext {
   /// the compiled-in grid data with a scenario file's here — the hook
   /// itself decides which sweep names it touches.
   std::function<void(core::SweepSpec&)> rewrite;
+  /// When non-empty, every run of every executed sweep writes its qlog
+  /// trace pair under this directory (--qlog-dir; forwarded into
+  /// SweepSpec::qlog_dir by the context tuner).
+  std::string qlog_dir;
 
   /// True when a scaled run should also widen its RTT/Δt axes.
   bool dense_axes() const { return scale > 1; }

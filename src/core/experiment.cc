@@ -16,6 +16,10 @@ quic::ConnectionConfig BuildClientConfig(const ExperimentConfig& config) {
   client.probe_with_data = config.client_probe_with_data;
   // Packet capture is disabled for bulk transfers to keep memory bounded.
   if (config.response_body_bytes > 1024 * 1024) client.trace.capture_packets = false;
+  if (config.capture_qlog) {
+    client.trace.capture_packets = true;
+    client.trace.capture_events = true;
+  }
   return client;
 }
 
@@ -38,6 +42,10 @@ quic::ServerConfig BuildServerConfig(const ExperimentConfig& config) {
   server.signing = config.signing;
   server.response_body_bytes = config.response_body_bytes;
   if (config.response_body_bytes > 1024 * 1024) server.base.trace.capture_packets = false;
+  if (config.capture_qlog) {
+    server.base.trace.capture_packets = true;
+    server.base.trace.capture_events = true;
+  }
   return server;
 }
 
@@ -109,6 +117,26 @@ ExperimentResult RunContext::Run(const ExperimentConfig& config, const InspectFn
   quic::ServerConnection* server_ptr = &*server_;
   quic::ClientConnection* client = client_ptr;
   quic::ServerConnection* server = server_ptr;
+
+  if (config.capture_qlog) {
+    // transport:datagram_dropped is recorded at the vantage point that would
+    // have received the datagram. The hook draws no randomness, so capture
+    // cannot change the run.
+    link.set_drop_hook([client_ptr, server_ptr, &queue](sim::Direction direction,
+                                                        sim::Link::DropCause cause,
+                                                        std::size_t bytes) {
+      qlog::StructEvent event;
+      event.kind = qlog::StructEvent::Kind::kDatagramDropped;
+      event.detail = static_cast<std::uint8_t>(cause);
+      event.time = queue.now();
+      event.size = bytes;
+      if (direction == sim::Direction::kClientToServer) {
+        server_ptr->trace().RecordEvent(event);
+      } else {
+        client_ptr->trace().RecordEvent(event);
+      }
+    });
+  }
 
   // The datagram is stamped with the index the link will assign and then
   // moved into the delivery closure — no shared ownership, no copy on

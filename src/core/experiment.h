@@ -77,6 +77,15 @@ struct ExperimentConfig {
   /// Simulated-time budget per run.
   sim::Duration time_limit = sim::Seconds(30);
 
+  /// Capture a full qlog trace on both endpoints: packet events regardless
+  /// of body size, plus the structured recovery/transport/connectivity
+  /// events (qlog::StructEvent), plus transport:datagram_dropped entries
+  /// wired from the link's drop hook. Off by default — capture changes no
+  /// run behaviour or RNG draws, but the export pipeline only pays for
+  /// trace storage when a qlog is actually wanted (--qlog-dir). Not part of
+  /// the serialized scenario, so it never affects the spec content-hash.
+  bool capture_qlog = false;
+
   /// Full override of the client configuration (profiles otherwise apply).
   std::optional<quic::ConnectionConfig> client_config_override;
 };

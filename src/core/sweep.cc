@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <utility>
 
@@ -11,9 +13,37 @@
 #include "core/json.h"
 #include "core/scenario.h"
 #include "core/thread_pool.h"
+#include "obs/telemetry.h"
+#include "qlog/qlog_json.h"
 
 namespace quicer::core {
 namespace {
+
+/// Microseconds elapsed since `since` (for the sweep phase counters).
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Writes the client and server qlog traces of one repetition. File names
+/// are unique per (sweep, point, repetition), so parallel repetitions never
+/// contend and a run's qlog set is identical no matter the thread count.
+void WriteQlogPair(const std::string& dir, const std::string& sweep,
+                   std::size_t point_index, int rep,
+                   const quic::ClientConnection& client,
+                   const quic::ServerConnection& server) {
+  const std::string stem = dir + "/" + sweep + "_p" + std::to_string(point_index) +
+                           "_r" + std::to_string(rep) + "_";
+  qlog::JsonOptions options;
+  options.vantage = "client";
+  std::ofstream(stem + "client.qlog", std::ios::binary)
+      << qlog::ToJsonSeq(client.trace(), options);
+  options.vantage = "server";
+  std::ofstream(stem + "server.qlog", std::ios::binary)
+      << qlog::ToJsonSeq(server.trace(), options);
+}
 
 template <typename T>
 std::vector<std::optional<T>> AxisOrDefault(const std::vector<T>& axis) {
@@ -305,10 +335,22 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   // passes still enumerate — the sink is the point of those runs.
   if (result.deselected && !spec.enumerate_sink) return result;
 
+  // Telemetry bracket: attribute everything from here to the end-of-sweep
+  // snapshot to this sweep. Sweeps never overlap within a process (benches
+  // run serially; RunSweep itself is the parallel unit), so a process-wide
+  // reset per sweep is sound.
+  const bool telemetry = obs::ProcessEnabled() && !spec.enumerate_sink;
+  if (telemetry) {
+    obs::EnsureThisThread();
+    obs::ResetAll();
+  }
+
   const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
   const std::size_t n_metrics = metrics.size();
 
+  const auto enumerate_start = std::chrono::steady_clock::now();
   std::vector<SweepPoint> points = Enumerate(spec);
+  if (telemetry) obs::Count(obs::kSweepEnumerateMicros, MicrosSince(enumerate_start));
   result.points.reserve(points.size());
   for (SweepPoint& point : points) {
     PointSummary summary;
@@ -356,11 +398,28 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   SweepRunner runner = spec.runner;
   if (!runner) {
     // The default experiment runner: one RunExperiment per repetition, each
-    // MetricSpec's extractor applied to the result.
-    runner = [metrics](const SweepRunContext& ctx) {
+    // MetricSpec's extractor applied to the result. With a qlog_dir the run
+    // captures full traces and writes one client + one server qlog per
+    // repetition; capture changes no run behaviour, so metric values (and
+    // therefore exports) are identical either way.
+    const std::string qlog_dir = spec.qlog_dir;
+    const std::string sweep_name = spec.name;
+    if (!qlog_dir.empty()) std::filesystem::create_directories(qlog_dir);
+    runner = [metrics, qlog_dir, sweep_name](const SweepRunContext& ctx) {
       ExperimentConfig run = ctx.point.config;
       run.seed = ctx.seed;
-      const ExperimentResult experiment = RunExperiment(run);
+      ExperimentResult experiment;
+      if (qlog_dir.empty()) {
+        experiment = RunExperiment(run);
+      } else {
+        run.capture_qlog = true;
+        experiment = RunExperiment(
+            run, [&](const quic::ClientConnection& client,
+                     const quic::ServerConnection& server) {
+              WriteQlogPair(qlog_dir, sweep_name, ctx.point.index, ctx.repetition,
+                            client, server);
+            });
+      }
       std::vector<double> values;
       values.reserve(metrics.size());
       for (const MetricSpec& metric : metrics) {
@@ -413,6 +472,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   ThreadPool::Global().ParallelFor(
       total,
       [&](std::size_t j) {
+        if (telemetry) obs::EnsureThisThread();
         const std::size_t si = j / win;
         const std::size_t rep = win_begin + j % win;
         PointState& state = states[si];
@@ -486,11 +546,33 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
 
   result.total_runs = total;
   result.executed_runs = progress.runs_completed;
+
+  if (telemetry) {
+    obs::Count(obs::kSweepExecuteMicros, MicrosSince(start));
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const auto snapshot = obs::Snapshot();
+    result.telemetry.enabled = true;
+    result.telemetry.wall_seconds = wall;
+    for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+      if (snapshot[i] != 0) {
+        result.telemetry.counters.emplace_back(obs::Descriptors()[i].name, snapshot[i]);
+      }
+    }
+    obs::SweepRecord record;
+    record.bench = obs::CurrentBench();
+    record.sweep = result.name;
+    record.wall_seconds = wall;
+    record.executed_runs = result.executed_runs;
+    record.counters = result.telemetry.counters;
+    obs::AppendSweepRecord(std::move(record));
+  }
   return result;
 }
 
 std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& partials,
                                              std::string* error) {
+  const auto merge_start = std::chrono::steady_clock::now();
   auto fail = [error](std::string message) -> std::optional<SweepResult> {
     if (error != nullptr) *error = std::move(message);
     return std::nullopt;
@@ -622,6 +704,41 @@ std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& par
   }
   merged.total_runs = merged.points.size() * reps;
   merged.executed_runs = executed_points * reps;
+
+  // Fold telemetry across partials: wall times sum (total compute spent);
+  // counters fold by their registered merge mode, names unknown to this
+  // binary as sums. The merge pass itself is accounted directly into the
+  // folded counters — a merge process need not have telemetry enabled.
+  merged.telemetry = SweepTelemetry{};
+  for (const SweepResult* partial : ordered) {
+    if (!partial->telemetry.enabled) continue;
+    merged.telemetry.enabled = true;
+    merged.telemetry.wall_seconds += partial->telemetry.wall_seconds;
+    for (const auto& [name, value] : partial->telemetry.counters) {
+      auto it = std::find_if(merged.telemetry.counters.begin(),
+                             merged.telemetry.counters.end(),
+                             [&](const auto& entry) { return entry.first == name; });
+      if (it == merged.telemetry.counters.end()) {
+        merged.telemetry.counters.emplace_back(name, value);
+      } else if (obs::MergeModeForName(name) == obs::MergeMode::kMax) {
+        it->second = std::max(it->second, value);
+      } else {
+        it->second += value;
+      }
+    }
+  }
+  if (merged.telemetry.enabled) {
+    const std::uint64_t micros = MicrosSince(merge_start);
+    const std::string merge_counter = obs::Describe(obs::kSweepMergeMicros).name;
+    auto it = std::find_if(merged.telemetry.counters.begin(),
+                           merged.telemetry.counters.end(),
+                           [&](const auto& entry) { return entry.first == merge_counter; });
+    if (it == merged.telemetry.counters.end()) {
+      merged.telemetry.counters.emplace_back(merge_counter, micros);
+    } else {
+      it->second += micros;
+    }
+  }
   return merged;
 }
 

@@ -323,6 +323,14 @@ struct SweepSpec {
   /// workflow sets this: a data-defined grid may drop the very points a
   /// bench's printed tables index.
   bool export_only = false;
+
+  /// When non-empty, the default runner captures a full qlog trace per
+  /// repetition (structured events included) and writes
+  /// `<dir>/<sweep>_p<point>_r<rep>_{client,server}.qlog` in JSON-SEQ
+  /// framing. File names are unique per (point, repetition), so parallel
+  /// execution is safe and the output is deterministic for a given seed
+  /// regardless of thread count. Custom runners ignore it.
+  std::string qlog_dir;
 };
 
 /// One metric's aggregated values at one point.
@@ -377,6 +385,20 @@ struct PointSummary {
   std::size_t aborted() const { return primary().aborted; }
 };
 
+/// Runtime-telemetry snapshot attributed to one sweep execution (see
+/// src/obs/telemetry.h). Populated by RunSweep only when process telemetry
+/// is enabled; carried through partial files and folded by
+/// MergeSweepResults so sharded and queued runs merge their telemetry too.
+struct SweepTelemetry {
+  bool enabled = false;
+  /// Wall-clock execute-phase time. Merging *sums* shards' wall times (total
+  /// compute spent, not elapsed).
+  double wall_seconds = 0.0;
+  /// (counter name, value) pairs, non-zero only, registry order. Names this
+  /// binary does not know (newer producers) merge as sums.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
 struct SweepResult {
   std::string name;
   std::vector<PointSummary> points;
@@ -412,6 +434,12 @@ struct SweepResult {
   /// different grid definitions never mix silently. 0 = unknown (documents
   /// written before the hash existed).
   std::uint64_t spec_hash = 0;
+
+  /// Runtime counters attributed to this sweep's execution (empty and
+  /// disabled unless the process ran with telemetry on). Never serialized
+  /// into the final CSV/JSON exports — those stay byte-identical whether or
+  /// not telemetry ran.
+  SweepTelemetry telemetry;
 
   /// True when this result covers a strict subset of the grid by
   /// construction (spec.shard selected a subset).

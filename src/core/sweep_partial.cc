@@ -72,6 +72,18 @@ std::string SweepPartialJson(const SweepResult& result) {
   // range of JSON numbers as doubles.
   out += "  \"seed_base\": \"" + U64String(result.seed_base) + "\",\n";
   out += "  \"seed_stride\": \"" + U64String(result.seed_stride) + "\",\n";
+  // Telemetry rides only when the producing run recorded it, so documents
+  // from telemetry-off runs keep their exact legacy bytes.
+  if (result.telemetry.enabled) {
+    out += "  \"telemetry\": {\"wall_seconds\": " + JsonNumber(result.telemetry.wall_seconds) +
+           ", \"counters\": {";
+    for (std::size_t i = 0; i < result.telemetry.counters.size(); ++i) {
+      const auto& [counter_name, value] = result.telemetry.counters[i];
+      if (i != 0) out += ", ";
+      out += "\"" + JsonEscape(counter_name) + "\": " + U64String(value);
+    }
+    out += "}},\n";
+  }
   out += "  \"points_total\": " + std::to_string(result.points.size()) + ",\n";
   out += "  \"budget_skipped_points\": ";
   AppendJsonSizeArray(out, result.BudgetSkippedPoints());
@@ -169,6 +181,16 @@ std::optional<SweepResult> ParseSweepPartialJson(std::string_view json, std::str
   result.reservoir_capacity = static_cast<std::size_t>(doc->GetNumber("reservoir_capacity"));
   result.seed_base = std::strtoull(doc->GetString("seed_base").c_str(), nullptr, 10);
   result.seed_stride = std::strtoull(doc->GetString("seed_stride").c_str(), nullptr, 10);
+  if (const JsonValue* telemetry = doc->Get("telemetry")) {
+    result.telemetry.enabled = true;
+    result.telemetry.wall_seconds = telemetry->GetNumber("wall_seconds");
+    if (const JsonValue* counters = telemetry->Get("counters")) {
+      for (const auto& [counter_name, value] : counters->Members()) {
+        result.telemetry.counters.emplace_back(
+            counter_name, static_cast<std::uint64_t>(value.AsNumber()));
+      }
+    }
+  }
 
   const JsonValue* points = doc->Get("points");
   if (points == nullptr) return fail("missing 'points' array");
@@ -316,7 +338,7 @@ bool MaybeWriteSweepData(const SweepResult& result) {
 }
 
 bool MergeSweepPartialFiles(const std::vector<std::string>& files, const std::string& out_dir,
-                            std::FILE* log) {
+                            std::FILE* log, std::vector<SweepResult>* merged_out) {
   // Group the partials by sweep name, in first-seen order.
   std::vector<std::pair<std::string, std::vector<SweepResult>>> groups;
   bool ok = true;
@@ -365,6 +387,7 @@ bool MergeSweepPartialFiles(const std::vector<std::string>& files, const std::st
                           " budget-skipped points remain — see the partial file)")
                              .c_str());
     }
+    if (merged_out != nullptr) merged_out->push_back(*merged);
   }
   return ok;
 }

@@ -54,8 +54,11 @@ std::string SweepPartialFileName(const SweepResult& result);
 /// by sweep name, merges each group and writes the final exports into
 /// `out_dir` (plus a fresh partial file when budget-skipped points remain).
 /// Diagnostics go to `log` (may be null). Returns false if any file fails
-/// to read or any group fails to merge or export.
+/// to read or any group fails to merge or export. When `merged_out` is
+/// non-null, every successfully merged result is appended to it (in
+/// first-seen sweep order) — the --telemetry report path uses this to fold
+/// the partials' telemetry into a per-sweep report.
 bool MergeSweepPartialFiles(const std::vector<std::string>& files, const std::string& out_dir,
-                            std::FILE* log);
+                            std::FILE* log, std::vector<SweepResult>* merged_out = nullptr);
 
 }  // namespace quicer::core

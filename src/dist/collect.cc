@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <utility>
 
 #include "core/scenario.h"
 #include "core/sweep.h"
 #include "core/sweep_partial.h"
+#include "obs/telemetry.h"
 
 namespace quicer::dist {
 namespace {
@@ -127,7 +129,7 @@ std::string VerifyUnitPartial(const WorkUnit& unit, const core::SweepResult& par
 }  // namespace
 
 bool Collect(const WorkQueue& queue, const std::string& out_dir, CollectReport* report,
-             std::FILE* log) {
+             std::FILE* log, const std::string& telemetry_file) {
   CollectReport local;
   CollectReport& r = report != nullptr ? *report : local;
   r = CollectReport{};
@@ -192,6 +194,7 @@ bool Collect(const WorkQueue& queue, const std::string& out_dir, CollectReport* 
   // Merge per sweep. Units are already in id order; a stable sort by window
   // start makes every split point's partials concatenate in repetition
   // order, which the byte-identity of trace series relies on.
+  std::vector<obs::SweepRecord> telemetry_records;
   for (const auto& [sweep, group] : groups) {
     if (group.units.empty()) continue;
     std::vector<const WorkUnit*> ordered = group.units;
@@ -220,6 +223,24 @@ bool Collect(const WorkQueue& queue, const std::string& out_dir, CollectReport* 
     if (log != nullptr) {
       std::fprintf(log, "[%s] merged %zu units: %zu points, %zu runs\n", sweep.c_str(),
                    partials.size(), merged->points.size(), merged->executed_runs);
+    }
+    if (!telemetry_file.empty() && merged->telemetry.enabled) {
+      obs::SweepRecord record;
+      record.bench = group.inventory->bench;
+      record.sweep = merged->name;
+      record.wall_seconds = merged->telemetry.wall_seconds;
+      record.executed_runs = merged->executed_runs;
+      record.counters = merged->telemetry.counters;
+      telemetry_records.push_back(std::move(record));
+    }
+  }
+  if (!telemetry_file.empty()) {
+    std::ofstream out(telemetry_file, std::ios::trunc);
+    out << obs::TelemetryReportJson(telemetry_records);
+    if (!out) return fail("cannot write the telemetry report to '" + telemetry_file + "'");
+    if (log != nullptr) {
+      std::fprintf(log, "telemetry report (%zu sweeps) -> %s\n", telemetry_records.size(),
+                   telemetry_file.c_str());
     }
   }
   r.complete = true;

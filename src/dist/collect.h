@@ -35,7 +35,13 @@ struct CollectReport {
 /// Verifies coverage and merges every sweep's partials into final exports
 /// under `out_dir`. Returns true when the exports were written; on failure
 /// `report` (optional) and `log` (optional) say what is missing or wrong.
+/// When `telemetry_file` is non-empty, the telemetry blocks the workers'
+/// partials carried are folded per sweep and written there as a
+/// "quicer-telemetry-v1" report (bench labels come from the manifest's
+/// sweep inventories). Sweeps whose partials carry no telemetry are simply
+/// absent from the report.
 bool Collect(const WorkQueue& queue, const std::string& out_dir,
-             CollectReport* report = nullptr, std::FILE* log = nullptr);
+             CollectReport* report = nullptr, std::FILE* log = nullptr,
+             const std::string& telemetry_file = "");
 
 }  // namespace quicer::dist

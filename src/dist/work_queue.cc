@@ -234,9 +234,19 @@ std::optional<WorkQueue::Claim> WorkQueue::TryClaim(const std::string& worker_id
   return std::nullopt;
 }
 
-bool WorkQueue::Heartbeat(const std::string& worker_id) const {
+bool WorkQueue::Heartbeat(const std::string& worker_id,
+                          const WorkerProgress* progress) const {
   const std::string worker = SanitizeWorkerId(worker_id);
-  return Spill(fs::path(root_) / "heartbeat" / worker, worker + "\n");
+  std::string content;
+  if (progress != nullptr) {
+    content = "{\"worker\": \"" + core::JsonEscape(worker) +
+              "\", \"units_done\": " + std::to_string(progress->units_done) +
+              ", \"wall_seconds_total\": " + core::JsonNumber(progress->wall_seconds_total) +
+              ", \"runs_per_second\": " + core::JsonNumber(progress->runs_per_second) + "}\n";
+  } else {
+    content = worker + "\n";
+  }
+  return Spill(fs::path(root_) / "heartbeat" / worker, content);
 }
 
 std::string WorkQueue::StageDir(const Claim& claim) const {
@@ -247,7 +257,7 @@ std::string WorkQueue::StageDir(const Claim& claim) const {
   return dir.string();
 }
 
-bool WorkQueue::Publish(const Claim& claim) const {
+bool WorkQueue::Publish(const Claim& claim, const UnitTiming* timing) const {
   const fs::path base(root_);
   const fs::path staged = base / "tmp" / (claim.unit.id + "@" + claim.worker);
   const fs::path target = base / "results" / claim.unit.id;
@@ -260,9 +270,30 @@ bool WorkQueue::Publish(const Claim& claim) const {
     if (!fs::exists(target)) return false;
     fs::remove_all(staged, ec);
   }
+  const fs::path lease = base / "active" / (claim.unit.id + "@" + claim.worker + ".json");
+  const fs::path done = base / "done" / (claim.unit.id + ".json");
+  if (timing != nullptr && timing->wall_seconds > 0.0) {
+    // Stamp the measured cost into the done/ marker: write the augmented
+    // unit next to it and rename in, so the marker appears atomically with
+    // its telemetry (a plain lease rename would lose the measurement).
+    WorkUnit stamped = claim.unit;
+    stamped.wall_seconds = timing->wall_seconds;
+    stamped.runs_per_second = timing->runs_per_second;
+    stamped.worker = claim.worker;
+    const fs::path marker_tmp = base / "done" / (claim.unit.id + ".stamp");
+    if (Spill(marker_tmp, WorkUnitJson(stamped))) {
+      fs::rename(marker_tmp, done, ec);
+      if (!ec) {
+        fs::remove(lease, ec);  // the lease served its purpose
+        return true;
+      }
+      fs::remove(marker_tmp, ec);
+    }
+    // Fall through to the plain rename on any staging failure: the done/
+    // marker matters more than its telemetry.
+  }
   // Completion marker; fails harmlessly when the lease was reclaimed.
-  fs::rename(base / "active" / (claim.unit.id + "@" + claim.worker + ".json"),
-             base / "done" / (claim.unit.id + ".json"), ec);
+  fs::rename(lease, done, ec);
   return true;
 }
 
@@ -407,6 +438,68 @@ bool WorkQueue::HasResult(const std::string& unit_id) const {
 
 std::string WorkQueue::ResultDir(const std::string& unit_id) const {
   return (fs::path(root_) / "results" / unit_id).string();
+}
+
+std::string QueueStatusJson(const WorkQueue& queue) {
+  const fs::path base(queue.root());
+  const WorkQueue::Status status = queue.GetStatus();
+  std::string out = "{\n";
+  out += "  \"format\": \"quicer-queue-status-v1\",\n";
+  out += "  \"todo\": " + std::to_string(status.todo) + ",\n";
+  out += "  \"active\": " + std::to_string(status.active) + ",\n";
+  out += "  \"done\": " + std::to_string(status.done) + ",\n";
+  out += "  \"failed\": " + std::to_string(status.failed) + ",\n";
+  out += "  \"results\": " + std::to_string(status.results) + ",\n";
+
+  out += "  \"workers\": [\n";
+  const std::vector<WorkQueue::HeartbeatAge> ages = queue.HeartbeatAges();
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    const WorkQueue::HeartbeatAge& age = ages[i];
+    out += "    {\"worker\": \"" + core::JsonEscape(age.worker) + "\"";
+    out += ", \"age_seconds\": " + core::JsonNumber(age.age_seconds);
+    out += ", \"active_units\": " + std::to_string(age.active_units);
+    // Progress-carrying heartbeats (JSON content) surface the worker's own
+    // throughput report; legacy plain-text heartbeats just skip the fields.
+    if (const std::optional<std::string> beat = Slurp(base / "heartbeat" / age.worker)) {
+      if (const std::optional<core::JsonValue> doc = core::JsonValue::Parse(*beat)) {
+        out += ", \"units_done\": " +
+               std::to_string(static_cast<std::size_t>(doc->GetNumber("units_done")));
+        out += ", \"wall_seconds_total\": " +
+               core::JsonNumber(doc->GetNumber("wall_seconds_total"));
+        out += ", \"runs_per_second\": " + core::JsonNumber(doc->GetNumber("runs_per_second"));
+      }
+    }
+    out += "}";
+    out += i + 1 < ages.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  // Done markers that carry measured unit cost (timing-stamped publishes).
+  std::string units_out;
+  double wall_total = 0.0;
+  std::size_t measured = 0;
+  for (const std::string& name : ListDir(base / "done")) {
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".json") continue;
+    const std::optional<std::string> text = Slurp(base / "done" / name);
+    if (!text) continue;
+    const std::optional<WorkUnit> unit = ParseWorkUnitJson(*text);
+    if (!unit || unit->wall_seconds <= 0.0) continue;
+    if (measured != 0) units_out += ",\n";
+    units_out += "    {\"id\": \"" + core::JsonEscape(unit->id) + "\"";
+    units_out += ", \"wall_seconds\": " + core::JsonNumber(unit->wall_seconds);
+    units_out += ", \"runs_per_second\": " + core::JsonNumber(unit->runs_per_second);
+    if (!unit->worker.empty()) {
+      units_out += ", \"worker\": \"" + core::JsonEscape(unit->worker) + "\"";
+    }
+    units_out += "}";
+    wall_total += unit->wall_seconds;
+    ++measured;
+  }
+  out += "  \"done_units\": [\n" + units_out + (measured != 0 ? "\n  ],\n" : "  ],\n");
+  out += "  \"measured_units\": " + std::to_string(measured) + ",\n";
+  out += "  \"measured_wall_seconds\": " + core::JsonNumber(wall_total) + "\n";
+  out += "}\n";
+  return out;
 }
 
 std::string WorkQueue::UnitState(const std::string& unit_id) const {

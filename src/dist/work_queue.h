@@ -91,17 +91,39 @@ class WorkQueue {
   /// someone else first).
   std::optional<Claim> TryClaim(const std::string& worker_id) const;
 
-  /// Refreshes the worker's heartbeat file.
-  bool Heartbeat(const std::string& worker_id) const;
+  /// Cumulative progress a worker reports alongside its heartbeat. The
+  /// heartbeat file's mtime stays the liveness signal (HeartbeatAges and
+  /// ReclaimStale never read the content), so progress-carrying and legacy
+  /// plain-text heartbeats age identically.
+  struct WorkerProgress {
+    std::size_t units_done = 0;        // units this worker has published
+    double wall_seconds_total = 0.0;   // summed measured unit wall time
+    double runs_per_second = 0.0;      // throughput over the measured units
+  };
+
+  /// Refreshes the worker's heartbeat file. With `progress`, the file
+  /// carries a small JSON document that queue-status surfaces as per-worker
+  /// throughput; without it the legacy plain-text content is written.
+  bool Heartbeat(const std::string& worker_id,
+                 const WorkerProgress* progress = nullptr) const;
 
   /// The claim's private result-staging directory (created empty).
   std::string StageDir(const Claim& claim) const;
 
+  /// Measured cost of one executed unit, stamped into its done/ marker.
+  struct UnitTiming {
+    double wall_seconds = 0.0;
+    double runs_per_second = 0.0;
+  };
+
   /// Publishes the staged results of a claim: rename(tmp -> results/<unit>)
   /// and move the lease to done/. Returns true when the unit's results are
   /// in place afterwards — also when another worker (a reclaim race)
-  /// published the identical results first and ours were discarded.
-  bool Publish(const Claim& claim) const;
+  /// published the identical results first and ours were discarded. With
+  /// `timing`, the done/ marker is rewritten to carry the measured
+  /// wall_seconds / runs_per_second / worker fields (the adaptive-planning
+  /// and queue-status inputs) instead of the plain lease rename.
+  bool Publish(const Claim& claim, const UnitTiming* timing = nullptr) const;
 
   /// Moves a claim whose runner failed into failed/ (kept for inspection).
   bool Fail(const Claim& claim) const;
@@ -157,5 +179,11 @@ class WorkQueue {
   std::string root_;
   Manifest manifest_;
 };
+
+/// Machine-readable queue status for `queue-status --json`: the state
+/// counts, every worker's heartbeat age / lease count / reported progress,
+/// and the measured wall time of each done unit that carries one. The
+/// document round-trips through core::JsonValue::Parse.
+std::string QueueStatusJson(const WorkQueue& queue);
 
 }  // namespace quicer::dist

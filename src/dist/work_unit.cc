@@ -29,6 +29,15 @@ std::string WorkUnitJson(const WorkUnit& unit) {
   if (unit.spec_hash != 0) {
     out += "  \"spec_hash\": \"" + core::ScenarioHashHex(unit.spec_hash) + "\",\n";
   }
+  // Measured-cost fields appear only on published (done/) units, so queue
+  // documents from before the telemetry era keep their exact bytes.
+  if (unit.wall_seconds > 0.0) {
+    out += "  \"wall_seconds\": " + core::JsonNumber(unit.wall_seconds) + ",\n";
+    out += "  \"runs_per_second\": " + core::JsonNumber(unit.runs_per_second) + ",\n";
+    if (!unit.worker.empty()) {
+      out += "  \"worker\": \"" + core::JsonEscape(unit.worker) + "\",\n";
+    }
+  }
   out += "  \"attempt\": " + std::to_string(unit.attempt) + "\n";
   out += "}\n";
   return out;
@@ -62,6 +71,9 @@ std::optional<WorkUnit> ParseWorkUnitJson(std::string_view json, std::string* er
   unit.runs = static_cast<std::size_t>(doc->GetNumber("runs"));
   unit.spec_hash = std::strtoull(doc->GetString("spec_hash").c_str(), nullptr, 16);
   unit.attempt = static_cast<std::size_t>(doc->GetNumber("attempt"));
+  unit.wall_seconds = doc->GetNumber("wall_seconds");
+  unit.runs_per_second = doc->GetNumber("runs_per_second");
+  unit.worker = doc->GetString("worker");
   return unit;
 }
 

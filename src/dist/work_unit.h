@@ -39,6 +39,16 @@ struct WorkUnit {
   /// spent, then parks it in failed/.
   std::size_t attempt = 0;
 
+  /// Measured execution telemetry, stamped by the worker when it publishes
+  /// the unit into done/ (absent — 0 / empty — in todo/ and active/ units).
+  /// This is the ROADMAP's adaptive-unit-planning prerequisite: a
+  /// queue-rebalance pass can split by observed cost instead of
+  /// points × window, and `queue-status --json` reports per-worker
+  /// throughput from it.
+  double wall_seconds = 0.0;
+  double runs_per_second = 0.0;
+  std::string worker;  // sanitized id of the worker that ran it
+
   /// True when the unit covers a strict repetition window (a split point).
   bool windowed() const { return rep_begin != 0 || rep_end != 0; }
 };

@@ -17,7 +17,16 @@ WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
         stats.units_done + stats.units_failed >= options.max_units) {
       break;
     }
-    queue.Heartbeat(worker);
+    // Progress-carrying heartbeat: same mtime semantics as the plain one,
+    // but queue-status can surface this worker's cumulative throughput.
+    WorkQueue::WorkerProgress progress;
+    progress.units_done = stats.units_done;
+    progress.wall_seconds_total = stats.wall_seconds_total;
+    progress.runs_per_second = stats.wall_seconds_total > 0.0
+                                   ? static_cast<double>(stats.runs_total) /
+                                         stats.wall_seconds_total
+                                   : 0.0;
+    queue.Heartbeat(worker, &progress);
     if (std::optional<WorkQueue::Claim> claim = queue.TryClaim(worker)) {
       const std::string stage = queue.StageDir(*claim);
       if (log != nullptr) {
@@ -29,9 +38,20 @@ WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
                      claim->unit.sweep.c_str(), claim->unit.points.size(),
                      claim->unit.rep_begin, rep_end.c_str());
       }
+      const auto run_start = std::chrono::steady_clock::now();
       const int code = runner(claim->unit, stage);
-      if (code == 0 && queue.Publish(*claim)) {
+      WorkQueue::UnitTiming timing;
+      timing.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+              .count();
+      timing.runs_per_second = timing.wall_seconds > 0.0
+                                   ? static_cast<double>(claim->unit.runs) /
+                                         timing.wall_seconds
+                                   : 0.0;
+      if (code == 0 && queue.Publish(*claim, &timing)) {
         ++stats.units_done;
+        stats.wall_seconds_total += timing.wall_seconds;
+        stats.runs_total += claim->unit.runs;
       } else if (claim->unit.attempt < options.retry_budget && queue.Retry(*claim)) {
         ++stats.units_retried;
         if (log != nullptr) {

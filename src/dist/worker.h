@@ -42,6 +42,11 @@ struct WorkerStats {
   std::size_t units_failed = 0;
   std::size_t units_reclaimed = 0;
   std::size_t units_retried = 0;  // failed but re-queued within the budget
+  /// Measured wall time summed over the executed (published) units; the
+  /// same numbers are stamped into each done/ marker and the worker's
+  /// heartbeat, so queue-status reports live per-worker throughput.
+  double wall_seconds_total = 0.0;
+  std::size_t runs_total = 0;  // planned runs of the published units
 };
 
 /// Executes one claimed unit, writing its partial-result files into

@@ -52,6 +52,7 @@ void Trace::Reset(TraceConfig config, sim::Rng rng) {
   rng_ = rng;
   metrics_.clear();
   packets_.clear();
+  events_.clear();
   notes_used_ = 0;  // slots stay allocated; RecordNote overwrites them
   packets_with_new_acks_ = 0;
   suppressed_ = 0;

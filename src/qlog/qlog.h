@@ -48,6 +48,34 @@ struct NoteEvent {
   std::string detail;
 };
 
+/// Structured events beyond packets/metrics, matching qlog draft event
+/// classes. One tagged struct instead of per-class vectors: the classes are
+/// rare relative to packets, and a single time-ordered stream is what
+/// serialisation wants anyway.
+struct StructEvent {
+  enum class Kind : std::uint8_t {
+    kLossTimerUpdated,       // recovery:loss_timer_updated
+    kPacketLost,             // recovery:packet_lost
+    kDatagramDropped,        // transport:datagram_dropped
+    kConnectionStateUpdated, // connectivity:connection_state_updated
+  };
+  Kind kind = Kind::kLossTimerUpdated;
+  /// Sub-kind discriminators, meaning depends on Kind:
+  ///  * kLossTimerUpdated: event_type — 0 = set, 1 = cancelled, 2 = expired
+  ///  * kPacketLost: trigger — 0 = reordering_threshold, 1 = time_threshold
+  ///  * kDatagramDropped: drop cause — 0 = pattern, 1 = stochastic, 2 = queue
+  ///  * kConnectionStateUpdated: 0 = handshake_complete,
+  ///    1 = handshake_confirmed, 2 = closed
+  std::uint8_t detail = 0;
+  /// kLossTimerUpdated only: 0 = ack (time-threshold) timer, 1 = pto.
+  std::uint8_t timer_type = 0;
+  sim::Time time = 0;
+  quic::PacketNumberSpace space = quic::PacketNumberSpace::kInitial;
+  std::uint64_t packet_number = 0;  // kPacketLost: the lost packet
+  std::uint64_t size = 0;           // kDatagramDropped: raw payload length
+  sim::Time deadline = 0;           // kLossTimerUpdated(set): absolute expiry
+};
+
 /// Controls how faithfully the emulated implementation exposes its
 /// recovery metrics (Appendix E).
 struct TraceConfig {
@@ -57,6 +85,11 @@ struct TraceConfig {
   bool logs_rttvar = true;
   /// Capture packet events (disable for bulk-transfer speed).
   bool capture_packets = true;
+  /// Capture structured recovery/transport/connectivity events (StructEvent).
+  /// Off by default: metric extraction never reads them, and keeping the
+  /// default trace byte-identical to pre-telemetry builds is part of the
+  /// export contract. Enabled for qlog export (--qlog-dir).
+  bool capture_events = false;
 };
 
 /// Live prefix of a trace's note log. Note slots (and their string buffers)
@@ -97,6 +130,16 @@ class Trace {
 
   void RecordNote(sim::Time time, std::string_view category, std::string_view detail);
 
+  /// Records a structured event when capture_events is on (single branch
+  /// otherwise — callers emit unconditionally).
+  void RecordEvent(const StructEvent& event) {
+    if (!config_.capture_events) return;
+    if (events_.capacity() == 0) events_.reserve(32);
+    events_.push_back(event);
+  }
+
+  bool capturing_events() const { return config_.capture_events; }
+
   /// Count of received packets that newly acknowledged data ("packets with
   /// new ACKs" in Fig 11); incremented by the connection.
   void CountNewAckPacket() { ++packets_with_new_acks_; }
@@ -106,6 +149,7 @@ class Trace {
   /// trace is discarded or reset afterwards).
   std::vector<MetricsUpdate> TakeMetrics() { return std::move(metrics_); }
   const std::vector<PacketEvent>& packets() const { return packets_; }
+  const std::vector<StructEvent>& events() const { return events_; }
   NotesView notes() const { return NotesView(notes_.data(), notes_used_); }
   std::uint64_t packets_with_new_acks() const { return packets_with_new_acks_; }
 
@@ -119,6 +163,7 @@ class Trace {
   sim::Rng rng_;
   std::vector<MetricsUpdate> metrics_;
   std::vector<PacketEvent> packets_;
+  std::vector<StructEvent> events_;
   /// Note slots; only the first notes_used_ are live (see NotesView).
   std::vector<NoteEvent> notes_;
   std::size_t notes_used_ = 0;

@@ -76,6 +76,60 @@ std::string ToJsonSeq(const Trace& trace, const JsonOptions& options) {
     }
   }
 
+  if (options.include_events) {
+    for (const StructEvent& event : trace.events()) {
+      switch (event.kind) {
+        case StructEvent::Kind::kLossTimerUpdated: {
+          static const char* kEventType[] = {"set", "cancelled", "expired"};
+          const char* timer = event.timer_type == 0 ? "ack" : "pto";
+          if (event.detail == 0) {
+            std::snprintf(buf, sizeof(buf),
+                          R"({"time":%.3f,"name":"recovery:loss_timer_updated","data":{)"
+                          R"("event_type":"set","timer_type":"%s",)"
+                          R"("packet_number_space":"%s","delta":%.3f}})",
+                          sim::ToMillis(event.time), timer, SpaceName(event.space),
+                          sim::ToMillis(event.deadline - event.time));
+          } else {
+            std::snprintf(buf, sizeof(buf),
+                          R"({"time":%.3f,"name":"recovery:loss_timer_updated","data":{)"
+                          R"("event_type":"%s","timer_type":"%s"}})",
+                          sim::ToMillis(event.time), kEventType[event.detail], timer);
+          }
+          break;
+        }
+        case StructEvent::Kind::kPacketLost:
+          std::snprintf(buf, sizeof(buf),
+                        R"({"time":%.3f,"name":"recovery:packet_lost","data":{)"
+                        R"("header":{"packet_type":"%s","packet_number":%llu},)"
+                        R"("trigger":"%s"}})",
+                        sim::ToMillis(event.time), SpaceName(event.space),
+                        static_cast<unsigned long long>(event.packet_number),
+                        event.detail == 1 ? "time_threshold" : "reordering_threshold");
+          break;
+        case StructEvent::Kind::kDatagramDropped: {
+          static const char* kCause[] = {"pattern", "stochastic", "queue_overflow"};
+          std::snprintf(buf, sizeof(buf),
+                        R"({"time":%.3f,"name":"transport:datagram_dropped","data":{)"
+                        R"("raw":{"length":%llu},"trigger":"%s"}})",
+                        sim::ToMillis(event.time),
+                        static_cast<unsigned long long>(event.size),
+                        kCause[event.detail]);
+          break;
+        }
+        case StructEvent::Kind::kConnectionStateUpdated: {
+          static const char* kState[] = {"handshake_complete", "handshake_confirmed",
+                                         "closed"};
+          std::snprintf(buf, sizeof(buf),
+                        R"({"time":%.3f,"name":"connectivity:connection_state_updated",)"
+                        R"("data":{"new":"%s"}})",
+                        sim::ToMillis(event.time), kState[event.detail]);
+          break;
+        }
+      }
+      records.push_back({event.time, order++, buf});
+    }
+  }
+
   if (options.include_notes) {
     for (const NoteEvent& note : trace.notes()) {
       std::snprintf(buf, sizeof(buf),

@@ -21,6 +21,10 @@ struct JsonOptions {
   bool include_metrics = true;
   /// Emit free-form notes as "internal:note" events.
   bool include_notes = true;
+  /// Emit structured recovery/transport/connectivity events (StructEvent):
+  /// recovery:loss_timer_updated, recovery:packet_lost,
+  /// transport:datagram_dropped, connectivity:connection_state_updated.
+  bool include_events = true;
   /// Vantage point name recorded in the header.
   std::string vantage = "client";
 };

@@ -4,6 +4,7 @@
 #include <new>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "quic/pool.h"
 
 namespace quicer::quic {
@@ -504,12 +505,22 @@ void Connection::SetHandshakeComplete() {
   if (handshake_complete_) return;
   handshake_complete_ = true;
   metrics_.handshake_complete = queue_.now();
+  qlog::StructEvent event;
+  event.kind = qlog::StructEvent::Kind::kConnectionStateUpdated;
+  event.detail = 0;  // handshake_complete
+  event.time = queue_.now();
+  trace_.RecordEvent(event);
 }
 
 void Connection::SetHandshakeConfirmed() {
   if (handshake_confirmed_) return;
   handshake_confirmed_ = true;
   metrics_.handshake_confirmed = queue_.now();
+  qlog::StructEvent event;
+  event.kind = qlog::StructEvent::Kind::kConnectionStateUpdated;
+  event.detail = 1;  // handshake_confirmed
+  event.time = queue_.now();
+  trace_.RecordEvent(event);
   if (!space(PacketNumberSpace::kHandshake).discarded) {
     DiscardSpace(PacketNumberSpace::kHandshake);
   }
@@ -521,6 +532,11 @@ void Connection::CloseConnection(std::string reason) {
   metrics_.aborted = true;
   metrics_.abort_reason = std::move(reason);
   trace_.RecordNote(queue_.now(), "connectivity", "closed: " + metrics_.abort_reason);
+  qlog::StructEvent event;
+  event.kind = qlog::StructEvent::Kind::kConnectionStateUpdated;
+  event.detail = 2;  // closed
+  event.time = queue_.now();
+  trace_.RecordEvent(event);
   loss_timer_.Cancel();
   ack_timer_.Cancel();
   idle_timer_.Cancel();
@@ -734,13 +750,16 @@ void Connection::ProcessAckFrame(PacketNumberSpace s, const AckFrame& ack) {
 
   // Loss detection after every ack (RFC 9002 A.7).
   std::vector<recovery::SentPacket>& lost = loss_scratch_;
+  obs::Count(obs::kRecoveryLossDetectionRuns);
   state.ledger.DetectLossInto(queue_.now(), LossDelay(), lost);
   if (!lost.empty()) {
+    obs::Count(obs::kRecoveryPacketsLost, lost.size());
     std::size_t lost_bytes = 0;
     sim::Time largest_sent = 0;
     for (recovery::SentPacket& packet : lost) {
       if (packet.in_flight) lost_bytes += packet.bytes;
       largest_sent = std::max(largest_sent, packet.sent_time);
+      RecordPacketLost(s, packet.packet_number, /*time_threshold=*/false);
       InsertSortedPn(probed_pns_, {s, packet.packet_number});
       for (Frame& frame : packet.retransmittable) {
         QueueFrame(s, frame);
@@ -791,26 +810,60 @@ sim::Duration Connection::LossDelay() const {
   return std::max(base * 9 / 8, recovery::kGranularity);
 }
 
+void Connection::RecordPacketLost(PacketNumberSpace s, std::uint64_t packet_number,
+                                  bool time_threshold) {
+  if (!trace_.capturing_events()) return;
+  qlog::StructEvent event;
+  event.kind = qlog::StructEvent::Kind::kPacketLost;
+  event.detail = time_threshold ? 1 : 0;
+  event.time = queue_.now();
+  event.space = s;
+  event.packet_number = packet_number;
+  trace_.RecordEvent(event);
+}
+
+void Connection::RecordLossTimer(std::uint8_t event_type, std::uint8_t timer_type,
+                                 PacketNumberSpace s, sim::Time deadline) {
+  if (!trace_.capturing_events()) return;
+  qlog::StructEvent event;
+  event.kind = qlog::StructEvent::Kind::kLossTimerUpdated;
+  event.detail = event_type;
+  event.timer_type = timer_type;
+  event.time = queue_.now();
+  event.space = s;
+  event.deadline = deadline;
+  trace_.RecordEvent(event);
+}
+
 void Connection::SetLossDetectionTimer() {
   if (closed_) return;
   // While a datagram is being processed only the final re-arm (from the
   // ProcessDatagram tail) can be observed — no event runs in between — so
   // intermediate recomputations are skipped wholesale.
   if (defer_loss_timer_) return;
+  obs::Count(obs::kRecoveryLossTimerUpdates);
 
   // Earliest time-threshold loss deadline.
   sim::Time loss_time = sim::kNever;
+  PacketNumberSpace loss_space = PacketNumberSpace::kInitial;
   for (const auto& state : spaces_) {
-    if (!state.discarded) loss_time = std::min(loss_time, state.ledger.loss_time());
+    if (!state.discarded && state.ledger.loss_time() < loss_time) {
+      loss_time = state.ledger.loss_time();
+      loss_space = state.acks.space();
+    }
   }
   if (loss_time != sim::kNever) {
     loss_timer_.SetDeadline(loss_time);
+    RecordLossTimer(/*event_type=*/0, /*timer_type=*/0, loss_space, loss_time);
     return;
   }
 
   // A server blocked by the amplification limit cannot usefully probe.
   if (perspective_ == Perspective::kServer && !amp_.validated() &&
       amp_.Budget() < kMinProbeBudget) {
+    if (loss_timer_.armed()) {
+      RecordLossTimer(/*event_type=*/1, /*timer_type=*/1, pending_pto_space_, 0);
+    }
     loss_timer_.Cancel();
     return;
   }
@@ -834,10 +887,15 @@ void Connection::SetLossDetectionTimer() {
       const PacketNumberSpace s = has_handshake_keys_ ? PacketNumberSpace::kHandshake
                                                       : PacketNumberSpace::kInitial;
       pending_pto_space_ = s;
-      loss_timer_.SetDeadline(
+      const sim::Time deadline =
           pto_base_time_ + recovery::PtoPeriodWithBackoff(rtt_, config_.pto, s,
-                                                          handshake_confirmed_, pto_count_));
+                                                          handshake_confirmed_, pto_count_);
+      loss_timer_.SetDeadline(deadline);
+      RecordLossTimer(/*event_type=*/0, /*timer_type=*/1, s, deadline);
       return;
+    }
+    if (loss_timer_.armed()) {
+      RecordLossTimer(/*event_type=*/1, /*timer_type=*/1, pending_pto_space_, 0);
     }
     loss_timer_.Cancel();
     return;
@@ -860,11 +918,15 @@ void Connection::SetLossDetectionTimer() {
     }
   }
   if (earliest == sim::kNever) {
+    if (loss_timer_.armed()) {
+      RecordLossTimer(/*event_type=*/1, /*timer_type=*/1, pending_pto_space_, 0);
+    }
     loss_timer_.Cancel();
     return;
   }
   pending_pto_space_ = chosen;
   loss_timer_.SetDeadline(earliest);
+  RecordLossTimer(/*event_type=*/0, /*timer_type=*/1, chosen, earliest);
 }
 
 void Connection::MaybeDeclarePersistentCongestion(
@@ -893,12 +955,15 @@ void Connection::MaybeDeclarePersistentCongestion(
 
 void Connection::HandleTimeThresholdLoss(SpaceState& state) {
   std::vector<recovery::SentPacket>& lost = loss_scratch_;
+  obs::Count(obs::kRecoveryLossDetectionRuns);
   state.ledger.DetectLossInto(queue_.now(), LossDelay(), lost);
+  if (!lost.empty()) obs::Count(obs::kRecoveryPacketsLost, lost.size());
   std::size_t lost_bytes = 0;
   sim::Time largest_sent = 0;
   for (recovery::SentPacket& packet : lost) {
     if (packet.in_flight) lost_bytes += packet.bytes;
     largest_sent = std::max(largest_sent, packet.sent_time);
+    RecordPacketLost(state.acks.space(), packet.packet_number, /*time_threshold=*/true);
     InsertSortedPn(probed_pns_, {state.acks.space(), packet.packet_number});
     for (Frame& frame : packet.retransmittable) {
       QueueFrame(state.acks.space(), frame);
@@ -916,6 +981,7 @@ void Connection::OnLossDetectionTimeout() {
   for (auto& state : spaces_) {
     if (state.discarded) continue;
     if (state.ledger.loss_time() != sim::kNever && state.ledger.loss_time() <= queue_.now()) {
+      RecordLossTimer(/*event_type=*/2, /*timer_type=*/0, state.acks.space(), 0);
       HandleTimeThresholdLoss(state);
       Flush();
       SetLossDetectionTimer();
@@ -925,6 +991,8 @@ void Connection::OnLossDetectionTimeout() {
 
   // PTO expiry.
   ++metrics_.pto_expirations;
+  obs::Count(obs::kRecoveryPtoFired);
+  RecordLossTimer(/*event_type=*/2, /*timer_type=*/1, pending_pto_space_, 0);
   trace_.RecordNote(queue_.now(), "recovery",
                     "PTO expired (space " + std::string(ToString(pending_pto_space_)) + ")");
   TouchPtoBase();

@@ -342,6 +342,15 @@ class Connection {
   void RecordRttSample(PacketNumberSpace s, sim::Duration latest, sim::Duration ack_delay);
   void HandleTimeThresholdLoss(SpaceState& state);
   void MaybeDeclarePersistentCongestion(const std::vector<recovery::SentPacket>& lost);
+  /// Emits a qlog recovery:packet_lost event (no-op unless the trace
+  /// captures structured events).
+  void RecordPacketLost(PacketNumberSpace s, std::uint64_t packet_number,
+                        bool time_threshold);
+  /// Emits a qlog recovery:loss_timer_updated event. `event_type` follows
+  /// qlog::StructEvent::detail (0 set / 1 cancelled / 2 expired);
+  /// `timer_type` is 0 for the time-threshold (ack) timer, 1 for PTO.
+  void RecordLossTimer(std::uint8_t event_type, std::uint8_t timer_type,
+                       PacketNumberSpace s, sim::Time deadline);
   void OnStreamBytesReceived(const StreamFrame& frame);
   void OnLossDetectionTimeout();
   void OnAckTimerFired();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace quicer::quic {
 namespace {
 
@@ -32,9 +34,11 @@ Pools& LocalPools() {
 }  // namespace
 
 std::vector<Frame> AcquireFrameVec() {
+  obs::Count(obs::kPoolFrameAcquire);
   if (pools_destroyed) return {};
   auto& pool = LocalPools().frame_vecs;
   if (pool.empty()) return {};
+  obs::Count(obs::kPoolFrameHit);
   std::vector<Frame> frames = std::move(pool.back());
   pool.pop_back();
   return frames;
@@ -54,12 +58,16 @@ void ReleaseFrameVec(std::vector<Frame>&& frames) {
   if (pool.size() >= kMaxPooled) return;
   frames.clear();
   pool.push_back(std::move(frames));
+  obs::Count(obs::kPoolFrameRelease);
+  obs::CountMax(obs::kPoolFrameHighWater, pool.size());
 }
 
 std::vector<PnRange> AcquirePnRangeVec() {
+  obs::Count(obs::kPoolPnRangeAcquire);
   if (pools_destroyed) return {};
   auto& pool = LocalPools().pn_range_vecs;
   if (pool.empty()) return {};
+  obs::Count(obs::kPoolPnRangeHit);
   std::vector<PnRange> ranges = std::move(pool.back());
   pool.pop_back();
   return ranges;
@@ -71,12 +79,16 @@ void ReleasePnRangeVec(std::vector<PnRange>&& ranges) {
   if (pool.size() >= kMaxPooled) return;
   ranges.clear();
   pool.push_back(std::move(ranges));
+  obs::Count(obs::kPoolPnRangeRelease);
+  obs::CountMax(obs::kPoolPnRangeHighWater, pool.size());
 }
 
 std::vector<Packet> AcquirePacketVec() {
+  obs::Count(obs::kPoolPacketAcquire);
   if (pools_destroyed) return {};
   auto& pool = LocalPools().packet_vecs;
   if (pool.empty()) return {};
+  obs::Count(obs::kPoolPacketHit);
   std::vector<Packet> packets = std::move(pool.back());
   pool.pop_back();
   return packets;
@@ -90,6 +102,8 @@ void ReleasePacketVec(std::vector<Packet>&& packets) {
   if (pool.size() >= kMaxPooled) return;
   packets.clear();
   pool.push_back(std::move(packets));
+  obs::Count(obs::kPoolPacketRelease);
+  obs::CountMax(obs::kPoolPacketHighWater, pool.size());
 }
 
 Datagram AcquireDatagram() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace quicer::sim {
 
 EventQueue::EventQueue() {
@@ -38,8 +40,10 @@ EventQueue::Handle EventQueue::ScheduleImpl(Time at, Callback&& cb) {
   const std::uint64_t id = EncodeId(index, slot.generation);
 
   const Entry entry{at, next_seq_++, id};
+  obs::Count(obs::kEventsScheduled);
   const std::int64_t abucket = BucketOf(at);
   if (abucket <= cursor_) {
+    obs::Count(obs::kEventsWheel);
     // At or before the bucket being drained: merge into the ready run at its
     // (time, seq) position. Monotone seq means equal-time inserts append
     // after their peers, preserving FIFO. Chains scheduled in ascending time
@@ -56,10 +60,12 @@ EventQueue::Handle EventQueue::ScheduleImpl(Time at, Callback&& cb) {
       ready_.insert(it, entry);
     }
   } else if (abucket - cursor_ <= static_cast<std::int64_t>(kNumBuckets)) {
+    obs::Count(obs::kEventsWheel);
     const std::uint32_t s = static_cast<std::uint32_t>(abucket) & kBucketMask;
     buckets_[s].push_back(entry);
     occupied_[s >> 6] |= 1ULL << (s & 63);
   } else {
+    obs::Count(obs::kEventsOverflow);
     overflow_.push_back(entry);
     std::push_heap(overflow_.begin(), overflow_.end(), Later{});
   }
@@ -83,6 +89,7 @@ void EventQueue::Cancel(Handle handle) {
   // mismatch and is a true no-op. The entry stays behind in whichever
   // structure holds it and is skipped lazily when it surfaces.
   if (!handle.valid() || !IsLive(handle.id)) return;
+  obs::Count(obs::kEventsCancelled);
   const std::uint32_t index = SlotIndex(handle.id);
   slots_[index].cb = nullptr;  // destroy the capture now, not at drain time
   ReleaseSlot(index);
@@ -172,6 +179,7 @@ bool EventQueue::RunOne() {
 
   now_ = top.at;
   ++executed_;
+  obs::Count(obs::kEventsRun);
   slots_[index].cb.ConsumeInvoke();
   return true;
 }

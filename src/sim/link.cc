@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace quicer::sim {
 
 Link::Link(EventQueue& queue, Config config, Rng rng)
@@ -26,6 +28,7 @@ void Link::ResetForRun(const Config& config, Rng rng) {
   config_ = config;
   rng_ = rng;
   loss_ = LossPattern();
+  drop_hook_ = nullptr;
   ApplyModel();
   for (int dir : {netem::kUp, netem::kDown}) {
     tx_free_[dir] = 0;
@@ -44,6 +47,8 @@ std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliv
   if (loss_.ShouldDrop(direction, index, queue_.now(), rng_)) {
     ++stats.datagrams_dropped;
     ++stats.dropped_pattern;
+    obs::Count(static_cast<obs::Counter>(obs::kNetemDropPatternUp + dir));
+    if (drop_hook_) drop_hook_(direction, DropCause::kPattern, bytes);
     return index;
   }
   // Stochastic loss layers after the deterministic patterns; an inert
@@ -51,8 +56,11 @@ std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliv
   if (!loss_process_[dir].inert() && loss_process_[dir].ShouldDrop(rng_)) {
     ++stats.datagrams_dropped;
     ++stats.dropped_stochastic;
+    obs::Count(static_cast<obs::Counter>(obs::kNetemDropStochasticUp + dir));
+    if (drop_hook_) drop_hook_(direction, DropCause::kStochastic, bytes);
     return index;
   }
+  obs::Count(static_cast<obs::Counter>(obs::kNetemEnqueuedUp + dir));
 
   const double bits =
       static_cast<double>(bytes + config_.header_overhead_bytes) * 8.0;
@@ -64,9 +72,15 @@ std::uint64_t Link::Send(Direction direction, std::size_t bytes, DeliverFn deliv
     const netem::BottleneckQueue::Stats& queue_stats = bottleneck_[dir].stats();
     stats.max_queue_pkts = queue_stats.max_pkts;
     stats.max_queue_bytes = queue_stats.max_bytes;
+    obs::CountMax(static_cast<obs::Counter>(obs::kNetemMaxQueuePktsUp + dir),
+                  queue_stats.max_pkts);
+    obs::CountMax(static_cast<obs::Counter>(obs::kNetemMaxQueueBytesUp + dir),
+                  queue_stats.max_bytes);
     if (!departure) {
       ++stats.datagrams_dropped;
       ++stats.dropped_queue;
+      obs::Count(static_cast<obs::Counter>(obs::kNetemDropQueueUp + dir));
+      if (drop_hook_) drop_hook_(direction, DropCause::kQueue, bytes);
       return index;
     }
     serialised = *departure;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "netem/loss_process.h"
 #include "netem/model.h"
@@ -67,6 +68,16 @@ class Link {
     std::uint64_t max_queue_bytes = 0;
   };
 
+  /// Which emulation stage dropped a datagram (for the drop hook / qlog).
+  enum class DropCause { kPattern, kStochastic, kQueue };
+
+  /// Observer invoked for every dropped datagram with the direction, cause
+  /// and payload size. Null by default (the drop paths pay one branch);
+  /// installed by qlog capture, cleared by ResetForRun. Must not draw
+  /// randomness — the link's RNG stream is part of the deterministic
+  /// scenario contract.
+  using DropHook = std::function<void(Direction, DropCause, std::size_t)>;
+
   Link(EventQueue& queue, Config config, Rng rng);
 
   /// Rewinds the path to freshly-constructed state for context reuse between
@@ -76,6 +87,9 @@ class Link {
 
   /// Installs the loss pattern applied to subsequent sends.
   void set_loss_pattern(LossPattern pattern) { loss_ = std::move(pattern); }
+
+  /// Installs (or clears, with nullptr) the drop observer.
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
   /// Round trip time implied by the configured one-way delay.
   Duration rtt() const { return 2 * config_.one_way_delay; }
@@ -108,6 +122,7 @@ class Link {
   Config config_;
   Rng rng_;
   LossPattern loss_;
+  DropHook drop_hook_;
   // Per-direction resolved path parameters (symmetric config with the
   // model's overrides applied).
   double bandwidth_bps_[2];

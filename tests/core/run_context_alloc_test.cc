@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/telemetry.h"
+
 namespace {
 
 std::size_t g_alloc_count = 0;
@@ -114,6 +116,35 @@ TEST(RunContextAlloc, ReusedContextMatchesFreshContext) {
   EXPECT_EQ(reused.realized_cert_delay, fresh.realized_cert_delay);
   EXPECT_EQ(reused.client_to_server.datagrams_delivered,
             fresh.client_to_server.datagrams_delivered);
+}
+
+TEST(RunContextAlloc, TelemetryCountingStaysAllocationFree) {
+  // EnableProcess is sticky for the rest of the process, so this test is
+  // declared last. With telemetry live the hot paths count events, pool
+  // traffic, netem queue depths and loss-detection activity — each count a
+  // branch plus an array increment on a registry created here, outside the
+  // counting scope. A steady-state repetition must stay allocation-free
+  // with the instrumentation armed.
+  obs::EnableProcess();
+  obs::EnsureThisThread();
+
+  RunContext context;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ExperimentResult result = context.Run(QuietConfig(seed));
+    ASSERT_TRUE(result.completed);
+  }
+
+  AllocationScope scope;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      context.Run(QuietConfig(seed));
+    }
+  }
+  EXPECT_EQ(scope.count(), 0u);
+
+  // And the counters actually moved — the zero-alloc loop above was
+  // measuring instrumented code, not a disabled path.
+  EXPECT_GT(obs::Snapshot()[obs::kEventsRun], 0u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json.h"
 #include "core/sweep.h"
 #include "core/sweep_partial.h"
 #include "dist/collect.h"
@@ -163,6 +164,149 @@ TEST(WorkUnitJson, RoundTrips) {
 
   EXPECT_FALSE(ParseWorkUnitJson("{}", &error).has_value());
   EXPECT_FALSE(ParseWorkUnitJson("not json", &error).has_value());
+}
+
+TEST(WorkUnitJson, MeasuredCostRoundTripsAndStaysOffLegacyDocuments) {
+  WorkUnit unit;
+  unit.id = "u00001";
+  unit.bench = "synthetic";
+  unit.sweep = "alpha";
+  unit.points = {0};
+  unit.runs = 5;
+
+  // Unmeasured units (todo/active) serialize without the cost fields, so
+  // pre-telemetry queue documents keep their exact bytes.
+  const std::string plain = WorkUnitJson(unit);
+  EXPECT_EQ(plain.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(plain.find("worker"), std::string::npos);
+
+  unit.wall_seconds = 1.25;
+  unit.runs_per_second = 4.0;
+  unit.worker = "host-42";
+  std::string error;
+  const std::optional<WorkUnit> parsed = ParseWorkUnitJson(WorkUnitJson(unit), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(parsed->wall_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(parsed->runs_per_second, 4.0);
+  EXPECT_EQ(parsed->worker, "host-42");
+
+  // Legacy documents parse with the fields at their zero defaults.
+  const std::optional<WorkUnit> legacy = ParseWorkUnitJson(plain, &error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  EXPECT_EQ(legacy->wall_seconds, 0.0);
+  EXPECT_TRUE(legacy->worker.empty());
+}
+
+TEST(WorkQueue, TimedPublishStampsMeasuredCostIntoTheDoneMarker) {
+  const std::string root = Scratch("timed_publish");
+  const WorkQueue queue = MakeQueue(root, 1000);
+  std::optional<WorkQueue::Claim> claim = queue.TryClaim("w1");
+  ASSERT_TRUE(claim.has_value());
+  const std::string stage = queue.StageDir(*claim);
+  std::ofstream(fs::path(stage) / "alpha_sweep.points.json") << "{}";
+
+  WorkQueue::UnitTiming timing;
+  timing.wall_seconds = 2.5;
+  timing.runs_per_second = 24.0;
+  ASSERT_TRUE(queue.Publish(*claim, &timing));
+  EXPECT_EQ(queue.UnitState(claim->unit.id), "done");
+
+  const std::string marker =
+      SlurpFile((fs::path(root) / "done" / (claim->unit.id + ".json")).string());
+  std::string error;
+  const std::optional<WorkUnit> done = ParseWorkUnitJson(marker, &error);
+  ASSERT_TRUE(done.has_value()) << error;
+  EXPECT_DOUBLE_EQ(done->wall_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(done->runs_per_second, 24.0);
+  EXPECT_EQ(done->worker, "w1");
+  // The lease must be gone — not lingering in active/.
+  EXPECT_EQ(queue.GetStatus().active, 0u);
+}
+
+TEST(WorkQueue, QueueStatusJsonRoundTripsThroughTheParser) {
+  const std::string root = Scratch("status_json");
+  const WorkQueue queue = MakeQueue(root, 1000);  // 2 units
+
+  // One worker publishes a timed unit and reports progress; a second one
+  // heartbeats in the legacy plain-text format.
+  std::optional<WorkQueue::Claim> claim = queue.TryClaim("fast-worker");
+  ASSERT_TRUE(claim.has_value());
+  const std::string stage = queue.StageDir(*claim);
+  std::ofstream(fs::path(stage) / "alpha_sweep.points.json") << "{}";
+  WorkQueue::UnitTiming timing;
+  timing.wall_seconds = 0.5;
+  timing.runs_per_second = 120.0;
+  ASSERT_TRUE(queue.Publish(*claim, &timing));
+  WorkQueue::WorkerProgress progress;
+  progress.units_done = 1;
+  progress.wall_seconds_total = 0.5;
+  progress.runs_per_second = 120.0;
+  ASSERT_TRUE(queue.Heartbeat("fast-worker", &progress));
+  ASSERT_TRUE(queue.Heartbeat("legacy-worker"));
+
+  const std::string json = QueueStatusJson(queue);
+  std::string error;
+  const std::optional<core::JsonValue> doc = core::JsonValue::Parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << json;
+  EXPECT_EQ(doc->GetString("format"), "quicer-queue-status-v1");
+  EXPECT_EQ(static_cast<std::size_t>(doc->GetNumber("todo")), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(doc->GetNumber("done")), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(doc->GetNumber("results")), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(doc->GetNumber("measured_units")), 1u);
+  EXPECT_DOUBLE_EQ(doc->GetNumber("measured_wall_seconds"), 0.5);
+
+  const core::JsonValue* workers = doc->Get("workers");
+  ASSERT_NE(workers, nullptr);
+  bool fast_seen = false;
+  bool legacy_seen = false;
+  for (const core::JsonValue& worker : workers->Items()) {
+    if (worker.GetString("worker") == "fast-worker") {
+      fast_seen = true;
+      EXPECT_EQ(static_cast<std::size_t>(worker.GetNumber("units_done")), 1u);
+      EXPECT_DOUBLE_EQ(worker.GetNumber("runs_per_second"), 120.0);
+    }
+    if (worker.GetString("worker") == "legacy-worker") {
+      legacy_seen = true;
+      EXPECT_EQ(worker.Get("units_done"), nullptr);  // plain beat: no progress
+    }
+  }
+  EXPECT_TRUE(fast_seen);
+  EXPECT_TRUE(legacy_seen);
+
+  const core::JsonValue* done_units = doc->Get("done_units");
+  ASSERT_NE(done_units, nullptr);
+  bool marker_seen = false;
+  for (const core::JsonValue& done : done_units->Items()) {
+    if (done.GetString("id") != claim->unit.id) continue;
+    marker_seen = true;
+    EXPECT_DOUBLE_EQ(done.GetNumber("wall_seconds"), 0.5);
+    EXPECT_EQ(done.GetString("worker"), "fast-worker");
+  }
+  EXPECT_TRUE(marker_seen);
+}
+
+TEST(Worker, StampsMeasuredWallTimesIntoDoneMarkersAndHeartbeat) {
+  const std::string root = Scratch("worker_timing");
+  const WorkQueue queue = MakeQueue(root, 1000);  // 2 units
+  WorkerOptions options;
+  options.worker_id = "timed";
+  options.wait_for_stragglers = false;
+  const WorkerStats stats = RunWorker(queue, options, SyntheticRunner());
+  ASSERT_EQ(stats.units_done, 2u);
+  EXPECT_GT(stats.wall_seconds_total, 0.0);
+  EXPECT_GT(stats.runs_total, 0u);
+
+  // Every done/ marker carries the measurement.
+  for (const WorkUnit& unit : queue.Units()) {
+    const std::string marker =
+        SlurpFile((fs::path(root) / "done" / (unit.id + ".json")).string());
+    std::string error;
+    const std::optional<WorkUnit> done = ParseWorkUnitJson(marker, &error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_GT(done->wall_seconds, 0.0) << unit.id;
+    EXPECT_GT(done->runs_per_second, 0.0) << unit.id;
+    EXPECT_EQ(done->worker, "timed") << unit.id;
+  }
 }
 
 TEST(PlanUnits, PropagatesTheSweepSpecHash) {

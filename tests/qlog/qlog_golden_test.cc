@@ -1,0 +1,213 @@
+// Golden-file coverage for the qlog exporter: a trace exercising every
+// event class — packets, metrics, all four StructEvent kinds (loss-timer
+// set/cancelled/expired, packet_lost, datagram_dropped,
+// connection_state_updated) and a note — must serialise to byte-exact
+// JSON-SEQ output. The golden bytes are embedded here rather than read from
+// a data file, so the test needs no install-path plumbing and a diff shows
+// up directly in the assertion failure.
+//
+// Also pins the sweep-level qlog export (--qlog-dir): file naming,
+// per-vantage content, and byte-identical output across repeated runs.
+#include "qlog/qlog_json.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/sweep.h"
+
+namespace quicer::qlog {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Scratch(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("qlog_golden_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// One of everything: a packet, a metrics update, every StructEvent kind
+/// (with the loss timer in all three of its event_type forms) and a note.
+Trace MakeFullTrace() {
+  TraceConfig config;
+  config.capture_events = true;
+  Trace trace(config, sim::Rng(1));
+
+  trace.RecordPacket(PacketEvent{sim::Millis(1), true, quic::PacketNumberSpace::kInitial,
+                                 0, 1200, true});
+
+  MetricsUpdate update;
+  update.time = sim::Millis(10);
+  update.smoothed_rtt = sim::Millis(9);
+  update.rtt_var = sim::Millis(4.5);
+  update.latest_rtt = sim::Millis(9);
+  update.min_rtt = sim::Millis(9);
+  trace.RecordMetrics(update);
+
+  StructEvent timer_set;
+  timer_set.kind = StructEvent::Kind::kLossTimerUpdated;
+  timer_set.detail = 0;  // set
+  timer_set.timer_type = 1;  // pto
+  timer_set.time = sim::Millis(12);
+  timer_set.space = quic::PacketNumberSpace::kHandshake;
+  timer_set.deadline = sim::Millis(37);
+  trace.RecordEvent(timer_set);
+
+  StructEvent lost;
+  lost.kind = StructEvent::Kind::kPacketLost;
+  lost.detail = 1;  // time_threshold
+  lost.time = sim::Millis(14);
+  lost.space = quic::PacketNumberSpace::kInitial;
+  lost.packet_number = 3;
+  trace.RecordEvent(lost);
+
+  StructEvent dropped;
+  dropped.kind = StructEvent::Kind::kDatagramDropped;
+  dropped.detail = 2;  // queue overflow
+  dropped.time = sim::Millis(15);
+  dropped.size = 1200;
+  trace.RecordEvent(dropped);
+
+  StructEvent state;
+  state.kind = StructEvent::Kind::kConnectionStateUpdated;
+  state.detail = 1;  // handshake_confirmed
+  state.time = sim::Millis(16);
+  trace.RecordEvent(state);
+
+  StructEvent timer_cancelled;
+  timer_cancelled.kind = StructEvent::Kind::kLossTimerUpdated;
+  timer_cancelled.detail = 1;  // cancelled
+  timer_cancelled.timer_type = 0;  // ack
+  timer_cancelled.time = sim::Millis(17);
+  trace.RecordEvent(timer_cancelled);
+
+  StructEvent timer_expired;
+  timer_expired.kind = StructEvent::Kind::kLossTimerUpdated;
+  timer_expired.detail = 2;  // expired
+  timer_expired.timer_type = 1;  // pto
+  timer_expired.time = sim::Millis(18);
+  trace.RecordEvent(timer_expired);
+
+  trace.RecordNote(sim::Millis(20), "recovery", "PTO \"expired\"");
+  return trace;
+}
+
+// clang-format off
+const char kGolden[] =
+    "{\"qlog_version\":\"0.3\",\"title\":\"reacked-quicer trace\","
+        "\"trace\":{\"vantage_point\":{\"name\":\"server\"},\"event_count\":9}}\n"
+    "{\"time\":1.000,\"name\":\"transport:packet_sent\",\"data\":{"
+        "\"header\":{\"packet_type\":\"initial\",\"packet_number\":0},"
+        "\"raw\":{\"length\":1200},\"is_ack_eliciting\":true}}\n"
+    "{\"time\":10.000,\"name\":\"recovery:metrics_updated\",\"data\":{"
+        "\"smoothed_rtt\":9.000,\"rtt_variance\":4.500,\"latest_rtt\":9.000,"
+        "\"min_rtt\":9.000,\"pto_count\":0}}\n"
+    "{\"time\":12.000,\"name\":\"recovery:loss_timer_updated\",\"data\":{"
+        "\"event_type\":\"set\",\"timer_type\":\"pto\","
+        "\"packet_number_space\":\"handshake\",\"delta\":25.000}}\n"
+    "{\"time\":14.000,\"name\":\"recovery:packet_lost\",\"data\":{"
+        "\"header\":{\"packet_type\":\"initial\",\"packet_number\":3},"
+        "\"trigger\":\"time_threshold\"}}\n"
+    "{\"time\":15.000,\"name\":\"transport:datagram_dropped\",\"data\":{"
+        "\"raw\":{\"length\":1200},\"trigger\":\"queue_overflow\"}}\n"
+    "{\"time\":16.000,\"name\":\"connectivity:connection_state_updated\","
+        "\"data\":{\"new\":\"handshake_confirmed\"}}\n"
+    "{\"time\":17.000,\"name\":\"recovery:loss_timer_updated\",\"data\":{"
+        "\"event_type\":\"cancelled\",\"timer_type\":\"ack\"}}\n"
+    "{\"time\":18.000,\"name\":\"recovery:loss_timer_updated\",\"data\":{"
+        "\"event_type\":\"expired\",\"timer_type\":\"pto\"}}\n"
+    "{\"time\":20.000,\"name\":\"internal:note\",\"data\":{"
+        "\"category\":\"recovery\",\"message\":\"PTO \\\"expired\\\"\"}}\n";
+// clang-format on
+
+TEST(QlogGolden, FullEventCoverageSerialisesByteExact) {
+  JsonOptions options;
+  options.vantage = "server";
+  EXPECT_EQ(ToJsonSeq(MakeFullTrace(), options), kGolden);
+}
+
+TEST(QlogGolden, StructuredEventsRespectCaptureFlagAndFilter) {
+  // Default config: capture_events off, RecordEvent is a no-op.
+  Trace off;
+  StructEvent lost;
+  lost.kind = StructEvent::Kind::kPacketLost;
+  lost.time = sim::Millis(3);
+  off.RecordEvent(lost);
+  EXPECT_TRUE(off.events().empty());
+  EXPECT_EQ(ToJsonSeq(off).find("packet_lost"), std::string::npos);
+
+  // Captured events can still be filtered out at serialisation time.
+  JsonOptions options;
+  options.include_events = false;
+  const std::string filtered = ToJsonSeq(MakeFullTrace(), options);
+  EXPECT_EQ(filtered.find("loss_timer_updated"), std::string::npos);
+  EXPECT_EQ(filtered.find("datagram_dropped"), std::string::npos);
+  EXPECT_NE(filtered.find("metrics_updated"), std::string::npos);
+}
+
+/// A tiny default-runner sweep with qlog export: 2 points x 2 repetitions.
+core::SweepSpec QlogSweep(const std::string& qlog_dir) {
+  core::SweepSpec spec;
+  spec.name = "qsweep";
+  spec.base.response_body_bytes = 2048;
+  spec.axes.rtts = {sim::Millis(9), sim::Millis(20)};
+  spec.repetitions = 2;
+  spec.qlog_dir = qlog_dir;
+  return spec;
+}
+
+TEST(QlogGolden, SweepExportWritesDeterministicPerRunFiles) {
+  const std::string first = Scratch("first");
+  const std::string second = Scratch("second");
+  const core::SweepResult a = core::RunSweep(QlogSweep(first));
+  const core::SweepResult b = core::RunSweep(QlogSweep(second));
+  EXPECT_EQ(a.executed_runs, 4u);
+  EXPECT_EQ(b.executed_runs, 4u);
+
+  // One client + one server file per (point, repetition), named by stable
+  // point id and absolute repetition index.
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(first)) {
+    files[entry.path().filename().string()] = SlurpFile(entry.path().string());
+  }
+  ASSERT_EQ(files.size(), 8u);
+  for (int point = 0; point < 2; ++point) {
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::string stem =
+          "qsweep_p" + std::to_string(point) + "_r" + std::to_string(rep) + "_";
+      ASSERT_TRUE(files.count(stem + "client.qlog")) << stem;
+      ASSERT_TRUE(files.count(stem + "server.qlog")) << stem;
+    }
+  }
+
+  // Each file is a full trace from its vantage, with structured events on.
+  const std::string& client = files["qsweep_p0_r0_client.qlog"];
+  EXPECT_NE(client.find("\"vantage_point\":{\"name\":\"client\"}"), std::string::npos);
+  EXPECT_NE(client.find("transport:packet_sent"), std::string::npos);
+  EXPECT_NE(client.find("connectivity:connection_state_updated"), std::string::npos);
+  const std::string& server = files["qsweep_p0_r0_server.qlog"];
+  EXPECT_NE(server.find("\"vantage_point\":{\"name\":\"server\"}"), std::string::npos);
+
+  // Seeds derive from (point, repetition) alone, so a repeated run produces
+  // byte-identical files regardless of worker scheduling.
+  for (const auto& [name, content] : files) {
+    EXPECT_EQ(content, SlurpFile(second + "/" + name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace quicer::qlog
