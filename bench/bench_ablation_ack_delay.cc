@@ -56,11 +56,11 @@ QUICER_BENCH("ablation_ackdelay_strategies",
   };
   spec.metrics = {metric("first_pto_wfc_ms"), metric("first_pto_iack_ms"),
                   metric("clamped")};
-  spec.runner = [](const core::SweepRunContext& ctx) {
-    const StrategyCase& c = kCases[ctx.point.Extra("case")->value];
+  spec.runner = [](const core::SweepRunContext& run) {
+    const StrategyCase& c = kCases[run.point.Extra("case")->value];
     core::AckDelayAltScenario scenario;
-    scenario.rtt = ctx.point.config.rtt;
-    scenario.delta_t = ctx.point.config.cert_fetch_delay;
+    scenario.rtt = run.point.config.rtt;
+    scenario.delta_t = run.point.config.cert_fetch_delay;
     scenario.reported_ack_delay = sim::Millis(c.reported_ms);
     const auto result = core::EvaluateStrategy(c.strategy, scenario);
     return std::vector<double>{sim::ToMillis(result.first_pto_wfc),

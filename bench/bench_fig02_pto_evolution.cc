@@ -32,10 +32,10 @@ QUICER_BENCH("fig02", "Figure 2: PTO evolution, WFC vs IACK (numerical model)") 
       // Computed from the integer-microsecond durations, not the ms traces:
       // the difference of the rounded doubles can land one ulp off.
       {"reduction_ms", core::MetricMode::kTrace, /*exclude_negative=*/false, nullptr}};
-  spec.runner = [](const core::SweepRunContext& ctx) {
-    const auto points = core::ComputePtoEvolution(ctx.point.config.rtt,
-                                                  ctx.point.config.cert_fetch_delay, kAckCount);
-    const auto& point = points[static_cast<std::size_t>(ctx.repetition)];
+  spec.runner = [](const core::SweepRunContext& run) {
+    const auto points = core::ComputePtoEvolution(run.point.config.rtt,
+                                                  run.point.config.cert_fetch_delay, kAckCount);
+    const auto& point = points[static_cast<std::size_t>(run.repetition)];
     return std::vector<double>{sim::ToMillis(point.pto_wfc), sim::ToMillis(point.pto_iack),
                                sim::ToMillis(point.pto_wfc - point.pto_iack)};
   };

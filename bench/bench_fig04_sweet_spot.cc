@@ -24,9 +24,9 @@ QUICER_BENCH("fig04", "Figure 4: first-PTO reduction and spurious-retransmit zon
   spec.metrics = {
       {"reduction_rtts", core::MetricMode::kSummary, /*exclude_negative=*/false, nullptr},
       {"spurious", core::MetricMode::kSummary, /*exclude_negative=*/false, nullptr}};
-  spec.runner = [](const core::SweepRunContext& ctx) {
+  spec.runner = [](const core::SweepRunContext& run) {
     const core::SweetSpotPoint point = core::FirstPtoReduction(
-        ctx.point.config.rtt, ctx.point.config.cert_fetch_delay);
+        run.point.config.rtt, run.point.config.cert_fetch_delay);
     return std::vector<double>{point.reduction_rtts,
                                point.spurious_retransmissions ? 1.0 : 0.0};
   };

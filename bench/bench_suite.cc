@@ -12,6 +12,10 @@
 // execute → merge pipeline, and `queue-init --grid` plans a distributed run
 // from one — scenario authorship is a data task, not a C++ task.
 //
+//
+// lint:allow-file(ND002): the driver times sweeps, budgets, and heartbeats
+// with the wall clock; no wall-clock value reaches an exported byte.
+//
 //   bench_suite --list                 # names + descriptions
 //   bench_suite                        # run everything
 //   bench_suite --filter=fig1          # substring-select benches

@@ -35,8 +35,8 @@ QUICER_BENCH("table3", "Table 3: first ACK Delay per server implementation") {
                             nullptr};
   };
   spec.metrics = {trace("initial_ack_delay_ms"), trace("handshake_ack_delay_ms")};
-  spec.runner = [](const core::SweepRunContext& ctx) {
-    const auto impl = static_cast<clients::ServerImpl>(ctx.point.Extra("server")->value);
+  spec.runner = [](const core::SweepRunContext& run) {
+    const auto impl = static_cast<clients::ServerImpl>(run.point.Extra("server")->value);
     const auto& profile = clients::GetServerAckDelayProfile(impl);
     auto delay = [](const std::optional<sim::Duration>& d) {
       return d.has_value() ? sim::ToMillis(*d) : core::NoSample();

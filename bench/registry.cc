@@ -1,3 +1,4 @@
+// lint:allow-file(ND002): suite budget accounting is wall-clock by design.
 #include "registry.h"
 
 #include <algorithm>

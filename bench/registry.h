@@ -8,6 +8,8 @@
 // needs from its `ctx` parameter and standalone binaries run with the
 // defaults.
 //
+// lint:allow-file(ND002): the suite budget clock is wall time by design.
+//
 // A migrated bench file contains:
 //
 //   QUICER_BENCH("fig05", "Figure 5: TTFB under amplification limits") {

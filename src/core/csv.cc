@@ -51,7 +51,7 @@ void CsvWriter::TextRow(const std::vector<std::string>& fields) {
 }
 
 std::optional<std::string> DataDirFromEnv() {
-  const char* dir = std::getenv("QUICER_DATA_DIR");
+  const char* dir = std::getenv("QUICER_DATA_DIR");  // lint:allow(ND003): export destination root, never run behaviour
   if (dir == nullptr || dir[0] == '\0') return std::nullopt;
   return std::string(dir);
 }

@@ -65,7 +65,7 @@ struct ExperimentConfig {
   tls::SigningModel signing{sim::Millis(2.8), 0.2};
 
   std::size_t response_body_bytes = http::kSmallFileBytes;
-  sim::LossPattern loss;
+  sim::LossPattern loss;  // lint:allow(CC001): set from the losses axis; scenarios carry the loss label
 
   /// Server default PTO (the paper's quic-go server: 200 ms).
   sim::Duration server_default_pto = sim::Millis(200);
@@ -84,10 +84,10 @@ struct ExperimentConfig {
   /// run behaviour or RNG draws, but the export pipeline only pays for
   /// trace storage when a qlog is actually wanted (--qlog-dir). Not part of
   /// the serialized scenario, so it never affects the spec content-hash.
-  bool capture_qlog = false;
+  bool capture_qlog = false;  // lint:allow(CC001): changes no run bytes; deliberately outside the scenario hash
 
   /// Full override of the client configuration (profiles otherwise apply).
-  std::optional<quic::ConnectionConfig> client_config_override;
+  std::optional<quic::ConnectionConfig> client_config_override;  // lint:allow(CC001): programmatic escape hatch, not expressible in scenario files
 };
 
 struct ExperimentResult {

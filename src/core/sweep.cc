@@ -20,10 +20,11 @@ namespace quicer::core {
 namespace {
 
 /// Microseconds elapsed since `since` (for the sweep phase counters).
+// lint:allow(ND002): wall-clock phase timers measure the engine, never a run
 std::uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - since)
+          std::chrono::steady_clock::now() - since)  // lint:allow(ND002): phase timer
           .count());
 }
 
@@ -348,7 +349,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   const std::vector<MetricSpec> metrics = ResolveMetrics(spec);
   const std::size_t n_metrics = metrics.size();
 
-  const auto enumerate_start = std::chrono::steady_clock::now();
+  const auto enumerate_start = std::chrono::steady_clock::now();  // lint:allow(ND002): phase timer
   std::vector<SweepPoint> points = Enumerate(spec);
   if (telemetry) obs::Count(obs::kSweepEnumerateMicros, MicrosSince(enumerate_start));
   result.points.reserve(points.size());
@@ -430,7 +431,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   }
 
   const std::uint64_t seed_base = result.seed_base;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // lint:allow(ND002): phase timer
 
   // Transient per-point value slots: allocated when the point's first
   // repetition arrives, filled by (point × repetition) jobs in any order,
@@ -458,7 +459,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   auto budget_exhausted = [&] {
     if (!budgeted) return false;
     const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();  // lint:allow(ND002): wall budget
     return elapsed >= spec.time_budget_seconds;
   };
 
@@ -532,7 +533,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
           }
           if (spec.observer) {
             progress.elapsed_seconds =
-                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // lint:allow(ND002): progress wall time
                     .count();
             progress.runs_per_second =
                 progress.elapsed_seconds > 0.0
@@ -550,7 +551,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
   if (telemetry) {
     obs::Count(obs::kSweepExecuteMicros, MicrosSince(start));
     const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();  // lint:allow(ND002): telemetry wall time
     const auto snapshot = obs::Snapshot();
     result.telemetry.enabled = true;
     result.telemetry.wall_seconds = wall;
@@ -572,7 +573,7 @@ SweepResult RunSweep(const SweepSpec& spec, unsigned max_parallelism) {
 
 std::optional<SweepResult> MergeSweepResults(const std::vector<SweepResult>& partials,
                                              std::string* error) {
-  const auto merge_start = std::chrono::steady_clock::now();
+  const auto merge_start = std::chrono::steady_clock::now();  // lint:allow(ND002): phase timer
   auto fail = [error](std::string message) -> std::optional<SweepResult> {
     if (error != nullptr) *error = std::move(message);
     return std::nullopt;

@@ -143,7 +143,7 @@ std::uint64_t ThreadPool::tasks_executed() const {
 ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = [] {
     unsigned threads = 0;
-    if (const char* env = std::getenv("QUICER_THREADS")) {
+    if (const char* env = std::getenv("QUICER_THREADS")) {  // lint:allow(ND003): pool sizing; scheduling only, exports are thread-count invariant
       const long parsed = std::strtol(env, nullptr, 10);
       if (parsed > 0) threads = static_cast<unsigned>(parsed);
     }

@@ -38,11 +38,11 @@ WorkerStats RunWorker(const WorkQueue& queue, const WorkerOptions& options,
                      claim->unit.sweep.c_str(), claim->unit.points.size(),
                      claim->unit.rep_begin, rep_end.c_str());
       }
-      const auto run_start = std::chrono::steady_clock::now();
+      const auto run_start = std::chrono::steady_clock::now();  // lint:allow(ND002): unit wall timing for the queue report
       const int code = runner(claim->unit, stage);
       WorkQueue::UnitTiming timing;
       timing.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)  // lint:allow(ND002): unit wall timing
               .count();
       timing.runs_per_second = timing.wall_seconds > 0.0
                                    ? static_cast<double>(claim->unit.runs) /

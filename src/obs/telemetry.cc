@@ -104,7 +104,7 @@ std::array<std::uint64_t, kCounterCount> Snapshot() {
   std::lock_guard<std::mutex> lock(G().mu);
   for (const auto& registry : G().registries) {
     for (std::size_t i = 0; i < kCounterCount; ++i) {
-      std::uint64_t v = registry->values[i];
+      const std::uint64_t v = registry->values[i].load(std::memory_order_relaxed);
       if (kDescriptors[i].merge == MergeMode::kMax) {
         if (v > out[i]) out[i] = v;
       } else {
@@ -117,7 +117,9 @@ std::array<std::uint64_t, kCounterCount> Snapshot() {
 
 void ResetAll() {
   std::lock_guard<std::mutex> lock(G().mu);
-  for (const auto& registry : G().registries) registry->values.fill(0);
+  for (const auto& registry : G().registries) {
+    for (auto& cell : registry->values) cell.store(0, std::memory_order_relaxed);
+  }
 }
 
 void SetCurrentBench(std::string bench) {

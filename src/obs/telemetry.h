@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -102,11 +103,15 @@ const std::array<CounterDesc, kCounterCount>& Descriptors();
 /// know (forward compatibility with reports from newer binaries).
 MergeMode MergeModeForName(std::string_view name);
 
-/// One thread's counter block. Plain (non-atomic) — each thread owns its
-/// own; Snapshot() reads cross-thread, which is benign for monotonically
-/// bumped uint64 diagnostics.
+/// One thread's counter block. Each thread bumps only its own registry, but
+/// Snapshot()/ResetAll() read and zero every registry cross-thread, so the
+/// cells are relaxed atomics: the owning thread's read-modify-write compiles
+/// to the same unguarded add as a plain uint64 (no lock prefix — only this
+/// thread writes), while cross-thread snapshots are race-free even if a
+/// future caller reads mid-sweep instead of behind ParallelFor's completion
+/// edge the way RunSweep's end-of-sweep snapshot does.
 struct Registry {
-  std::array<std::uint64_t, kCounterCount> values{};
+  std::array<std::atomic<std::uint64_t>, kCounterCount> values{};
 };
 
 namespace detail {
@@ -131,15 +136,22 @@ void EnsureThisThread();
 /// True when the calling thread is recording.
 inline bool Enabled() { return detail::tls_registry != nullptr; }
 
-/// Adds `n` to a kSum counter. The disabled path is one branch.
+/// Adds `n` to a kSum counter. The disabled path is one branch; enabled,
+/// the relaxed load/store pair is a plain add (single-writer cell).
 inline void Count(Counter counter, std::uint64_t n = 1) {
-  if (Registry* r = detail::tls_registry) r->values[counter] += n;
+  if (Registry* r = detail::tls_registry) {
+    std::atomic<std::uint64_t>& cell = r->values[counter];
+    cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
 }
 
 /// Raises a kMax (high-water) counter to at least `v`.
 inline void CountMax(Counter counter, std::uint64_t v) {
   if (Registry* r = detail::tls_registry) {
-    if (v > r->values[counter]) r->values[counter] = v;
+    std::atomic<std::uint64_t>& cell = r->values[counter];
+    if (v > cell.load(std::memory_order_relaxed)) {
+      cell.store(v, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -1,0 +1,11 @@
+// CC001 fixture: a serializable field missing from the descriptor table.
+#pragma once
+
+namespace quicer::core {
+
+struct ExperimentConfig {
+  double rtt_ms = 9.0;
+  int orphan_knob = 3;
+};
+
+}  // namespace quicer::core

@@ -1,0 +1,8 @@
+// CC001 fixture codec: covers rtt_ms only; orphan_knob is missing.
+#include "core/experiment.h"
+
+namespace quicer::core {
+
+double WriteRtt(const ExperimentConfig& c) { return c.rtt_ms; }
+
+}  // namespace quicer::core

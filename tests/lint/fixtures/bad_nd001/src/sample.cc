@@ -1,0 +1,13 @@
+// ND001 fixture: libc randomness in simulation code.
+#include <cstdlib>
+
+namespace quicer {
+
+int DrawJitter() {
+  // The forked sim::Rng is the only legal randomness source.
+  return std::rand() % 7;
+}
+
+void SeedLegacy(unsigned seed) { srand(seed); }
+
+}  // namespace quicer

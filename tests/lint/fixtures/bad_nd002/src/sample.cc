@@ -1,0 +1,18 @@
+// ND002 fixture: wall clocks leaking into simulation code.
+#include <chrono>
+#include <ctime>
+
+namespace quicer {
+
+long StampRun() {
+  const auto wall = std::chrono::system_clock::now();
+  return wall.time_since_epoch().count();
+}
+
+long StampMonotonic() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long StampLibc() { return static_cast<long>(std::time(nullptr)); }
+
+}  // namespace quicer

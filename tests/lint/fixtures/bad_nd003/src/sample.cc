@@ -1,0 +1,12 @@
+// ND003 fixture: environment read outside the bench_suite driver.
+#include <cstdlib>
+#include <string>
+
+namespace quicer {
+
+std::string DataDir() {
+  if (const char* dir = std::getenv("QUICER_SECRET_DIR")) return dir;
+  return "data";
+}
+
+}  // namespace quicer

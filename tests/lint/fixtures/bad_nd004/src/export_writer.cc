@@ -1,0 +1,21 @@
+// ND004 fixture: unordered-container iteration in an export-writing file.
+#include <string>
+#include <unordered_map>
+
+namespace quicer {
+
+std::string JsonEscape(const std::string& s);
+
+std::string WriteCountsJson() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  std::string out = "{";
+  for (const auto& entry : counts) {
+    out += "\"" + JsonEscape(entry.first) + "\":";
+    out += std::to_string(entry.second) + ",";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace quicer

@@ -1,0 +1,16 @@
+// ND005 fixture: sort predicate ordering by pointer value.
+#include <algorithm>
+#include <vector>
+
+namespace quicer {
+
+struct Node {
+  int id;
+};
+
+void SortNodes(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });
+}
+
+}  // namespace quicer

@@ -1,0 +1,15 @@
+// TL001 fixture: one descriptor violates the counter naming policy.
+#include "obs/telemetry.h"
+
+namespace quicer::obs {
+
+struct CounterDesc {
+  const char* name;
+};
+
+constexpr CounterDesc kDescriptors[] = {{
+    {"sim.alpha_total"},
+    {"SimBetaTotal"},
+}};
+
+}  // namespace quicer::obs

@@ -1,0 +1,13 @@
+// TL001 fixture registry header.
+#pragma once
+#include <cstddef>
+
+namespace quicer::obs {
+
+enum Counter : std::size_t {
+  kAlpha = 0,
+  kBeta,
+  kCounterCount
+};
+
+}  // namespace quicer::obs

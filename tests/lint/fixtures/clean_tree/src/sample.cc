@@ -1,0 +1,32 @@
+// Negative fixture: deterministic code that must produce zero findings.
+// Mentions of std::rand or steady_clock in comments must not trip the
+// determinism rules, and value-comparing sort predicates are fine.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace quicer {
+
+struct Row {
+  int key;
+  std::string label;
+};
+
+void SortRows(std::vector<Row>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+}
+
+void SortByLabel(std::vector<const Row*>& rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row* a, const Row* b) {
+    return a->label < b->label;  // dereferenced: orders by content, not address
+  });
+}
+
+std::string DescribeCsv(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& row : rows) out += row.label + "\n";
+  return out;
+}
+
+}  // namespace quicer

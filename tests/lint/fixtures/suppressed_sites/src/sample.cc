@@ -1,0 +1,20 @@
+// Suppression fixture: every banned pattern below carries a justified
+// per-site or file-wide allowance, so the tree must lint clean.
+#include <chrono>
+#include <cstdlib>
+
+namespace quicer {
+
+double MeasureSetupSeconds() {
+  // lint:allow(ND002): wall-clock measurement of setup cost, never exported
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // lint:allow(ND002): same measurement
+  return std::chrono::duration<double>(end - start).count();
+}
+
+const char* CacheDir() {
+  // lint:allow(ND003): operator-facing cache location, not run behaviour
+  return std::getenv("SAMPLE_CACHE_DIR");
+}
+
+}  // namespace quicer

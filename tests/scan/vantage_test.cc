@@ -45,8 +45,8 @@ TEST_P(VantageSweep, CloudflareAckShDelayMedianStable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVantages, VantageSweep, ::testing::ValuesIn(kAllVantages),
-                         [](const ::testing::TestParamInfo<Vantage>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Vantage>& param_info) {
+                           switch (param_info.param) {
                              case Vantage::kHamburg: return "Hamburg";
                              case Vantage::kLosAngeles: return "LosAngeles";
                              case Vantage::kSaoPaulo: return "SaoPaulo";
